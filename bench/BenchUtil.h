@@ -1,0 +1,82 @@
+//===- bench/BenchUtil.h - timing/table helpers -----------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the table/figure benchmarks: repeated timing with
+/// mean and standard deviation (the paper reports averages of 1000 runs
+/// with variance), and fixed-width table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_BENCH_BENCHUTIL_H
+#define IPG_BENCH_BENCHUTIL_H
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ipg::bench {
+
+struct TimingResult {
+  double MeanUs = 0;
+  double StdDevUs = 0;
+  size_t Reps = 0;
+};
+
+/// Runs \p Fn \p Reps times (after one warmup) and reports mean/stddev in
+/// microseconds.
+inline TimingResult timeIt(const std::function<void()> &Fn, size_t Reps) {
+  using Clock = std::chrono::steady_clock;
+  Fn(); // warmup
+  std::vector<double> Samples;
+  Samples.reserve(Reps);
+  for (size_t I = 0; I < Reps; ++I) {
+    auto T0 = Clock::now();
+    Fn();
+    auto T1 = Clock::now();
+    Samples.push_back(
+        std::chrono::duration<double, std::micro>(T1 - T0).count());
+  }
+  TimingResult R;
+  R.Reps = Reps;
+  for (double S : Samples)
+    R.MeanUs += S;
+  R.MeanUs /= static_cast<double>(Reps);
+  for (double S : Samples)
+    R.StdDevUs += (S - R.MeanUs) * (S - R.MeanUs);
+  R.StdDevUs = std::sqrt(R.StdDevUs / static_cast<double>(Reps));
+  return R;
+}
+
+/// Picks a repetition count that keeps one series cell under ~0.4s.
+inline size_t repsFor(double OneRunUsEstimate) {
+  if (OneRunUsEstimate <= 0)
+    return 1000;
+  double R = 400000.0 / OneRunUsEstimate;
+  if (R > 1000)
+    return 1000;
+  if (R < 5)
+    return 5;
+  return static_cast<size_t>(R);
+}
+
+inline void banner(const std::string &Title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", Title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string &Text) {
+  std::printf("%s\n", Text.c_str());
+}
+
+} // namespace ipg::bench
+
+#endif // IPG_BENCH_BENCHUTIL_H

@@ -1,0 +1,217 @@
+//===- bench/bench_fig12_handwritten.cpp - Figure 12 ----------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 12: unzip and readelf with their parsing components
+/// replaced by IPG-generated parsers, vs. the hand-written originals.
+///   (a) unzip end-to-end      (b) unzip parsing time only
+///   (c) readelf end-to-end    (d) readelf parsing time only
+/// The paper's observed shape: hand-written parsers are much faster at
+/// *parsing* (they map file bytes straight into C structs), but end-to-end
+/// times are close because parsing is a small share of each tool's work.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Handwritten.h"
+#include "formats/Elf.h"
+#include "formats/FormatRegistry.h"
+#include "formats/Zip.h"
+#include "runtime/Interp.h"
+
+#include "BenchUtil.h"
+
+#include <map>
+
+using namespace ipg;
+using namespace ipg::bench;
+using namespace ipg::baselines;
+using namespace ipg::formats;
+
+namespace {
+
+/// IPG-based unzip: parse (decompression happens in the blackbox during
+/// parsing, as in the paper's modified unzip), then write files out.
+bool ipgUnzip(Interp &I, const Grammar &G, ByteSpan Image,
+              std::map<std::string, std::vector<uint8_t>> &Files) {
+  auto Tree = I.parse(Image);
+  if (!Tree)
+    return false;
+  auto P = extractZip(*Tree, G);
+  if (!P)
+    return false;
+  for (size_t K = 0; K < P->Entries.size(); ++K) {
+    ZipParsedEntry &E = P->Entries[K];
+    std::string Name = "entry" + std::to_string(K);
+    if (E.Method == 0) {
+      // Stored entries were skipped zero-copy; materialize them now the
+      // way unzip's write stage would.
+      Files[Name] = std::vector<uint8_t>(E.UncompressedSize, 0);
+    } else {
+      Files[Name] = std::move(E.Data);
+    }
+  }
+  return true;
+}
+
+void benchUnzip() {
+  auto R = loadZipGrammar();
+  if (!R) {
+    std::printf("zip grammar failed: %s\n", R.message().c_str());
+    return;
+  }
+  BlackboxRegistry BB = standardBlackboxes();
+  Interp I(R->G, &BB);
+
+  banner("Figure 12a/12b: unzip — hand-written vs IPG");
+  std::printf("%8s %10s | %12s %12s | %12s %12s\n", "entries", "bytes",
+              "hw e2e(us)", "ipg e2e(us)", "hw parse(us)", "ipg parse(us)");
+
+  for (size_t Entries : {1u, 4u, 16u, 64u}) {
+    auto Bytes = synthesizeZip(
+        zipArchiveOfCopies(Entries, 4096, /*Compress=*/true));
+    ByteSpan Image = ByteSpan::of(Bytes);
+
+    // End-to-end.
+    auto HwE2E = timeIt(
+        [&] {
+          std::map<std::string, std::vector<uint8_t>> Files;
+          if (!hwUnzip(Image, Files))
+            std::abort();
+        },
+        repsFor(static_cast<double>(Entries) * 100));
+    auto IpgE2E = timeIt(
+        [&] {
+          std::map<std::string, std::vector<uint8_t>> Files;
+          if (!ipgUnzip(I, R->G, Image, Files))
+            std::abort();
+        },
+        repsFor(static_cast<double>(Entries) * 400));
+
+    // Parsing only (hand-written: metadata walk; IPG: parse includes the
+    // blackbox, so compare against stored archives for a parse-only view).
+    auto StoredBytes =
+        synthesizeZip(zipArchiveOfCopies(Entries, 4096, false));
+    ByteSpan StoredImage = ByteSpan::of(StoredBytes);
+    auto HwParse = timeIt(
+        [&] {
+          HwZip Z;
+          if (!hwParseZip(StoredImage, Z))
+            std::abort();
+        },
+        repsFor(static_cast<double>(Entries) * 10));
+    auto IpgParse = timeIt(
+        [&] {
+          if (!I.parse(StoredImage))
+            std::abort();
+        },
+        repsFor(static_cast<double>(Entries) * 200));
+
+    std::printf("%8zu %10zu | %12.1f %12.1f | %12.2f %12.2f\n", Entries,
+                Bytes.size(), HwE2E.MeanUs, IpgE2E.MeanUs, HwParse.MeanUs,
+                IpgParse.MeanUs);
+  }
+  note("shape: hw parse << ipg parse, but e2e within a small factor");
+}
+
+std::string ipgReadelf(Interp &I, const Grammar &G, ByteSpan Image) {
+  auto Tree = I.parse(Image);
+  if (!Tree)
+    return std::string();
+  auto P = extractElf(*Tree, G);
+  if (!P)
+    return std::string();
+  std::string Out;
+  Out.reserve(256 + P->Sections.size() * 48 + P->SymValues.size() * 32);
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "ELF Header:\n  Section header offset: %llu\n"
+                "  Number of section headers: %u\n",
+                static_cast<unsigned long long>(P->ShOff), P->ShNum);
+  Out += Buf;
+  Out += "Section Headers:\n";
+  for (size_t K = 0; K < P->Sections.size(); ++K) {
+    std::snprintf(Buf, sizeof(Buf), "  [%2zu] type=%u off=%llu size=%llu\n",
+                  K, P->Sections[K].Type,
+                  static_cast<unsigned long long>(P->Sections[K].Offset),
+                  static_cast<unsigned long long>(P->Sections[K].Size));
+    Out += Buf;
+  }
+  Out += "Dynamic section entries:\n";
+  for (size_t K = 0; K < P->DynTags.size(); ++K) {
+    std::snprintf(Buf, sizeof(Buf), "  tag=%llu\n",
+                  static_cast<unsigned long long>(P->DynTags[K]));
+    Out += Buf;
+  }
+  Out += "Symbols:\n";
+  for (uint64_t V : P->SymValues) {
+    std::snprintf(Buf, sizeof(Buf), "  value=%llu\n",
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  return Out;
+}
+
+void benchReadelf() {
+  auto R = loadElfGrammar();
+  if (!R) {
+    std::printf("elf grammar failed: %s\n", R.message().c_str());
+    return;
+  }
+  Interp I(R->G);
+
+  banner("Figure 12c/12d: readelf -h -S --dyn-syms — hand-written vs IPG");
+  std::printf("%8s %10s | %12s %12s | %12s %12s\n", "symbols", "bytes",
+              "hw e2e(us)", "ipg e2e(us)", "hw parse(us)", "ipg parse(us)");
+
+  for (size_t Syms : {16u, 128u, 1024u, 4096u}) {
+    ElfSynthSpec Spec;
+    Spec.NumSymbols = Syms;
+    Spec.NumDynEntries = Syms / 4 + 1;
+    Spec.TextSize = Syms * 8;
+    auto Bytes = synthesizeElf(Spec);
+    ByteSpan Image = ByteSpan::of(Bytes);
+
+    auto HwE2E = timeIt(
+        [&] {
+          if (hwReadelf(Image).empty())
+            std::abort();
+        },
+        repsFor(static_cast<double>(Syms)));
+    auto IpgE2E = timeIt(
+        [&] {
+          if (ipgReadelf(I, R->G, Image).empty())
+            std::abort();
+        },
+        repsFor(static_cast<double>(Syms) * 4));
+    auto HwParse = timeIt(
+        [&] {
+          HwElf E;
+          if (!hwParseElf(Image, E))
+            std::abort();
+        },
+        repsFor(static_cast<double>(Syms) / 4));
+    auto IpgParse = timeIt(
+        [&] {
+          if (!I.parse(Image))
+            std::abort();
+        },
+        repsFor(static_cast<double>(Syms) * 3));
+
+    std::printf("%8zu %10zu | %12.1f %12.1f | %12.2f %12.2f\n", Syms,
+                Bytes.size(), HwE2E.MeanUs, IpgE2E.MeanUs, HwParse.MeanUs,
+                IpgParse.MeanUs);
+  }
+  note("shape: hand-written parsing is faster; end-to-end gap is smaller");
+}
+
+} // namespace
+
+int main() {
+  benchUnzip();
+  benchReadelf();
+  return 0;
+}

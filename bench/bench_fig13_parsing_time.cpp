@@ -1,0 +1,269 @@
+//===- bench/bench_fig13_parsing_time.cpp - Figure 13 ---------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 13: parsing time per format over input sizes —
+///   (a) ZIP   IPG vs Kaitai-style  (Kaitai copies archived data; IPG skips
+///                                   it zero-copy, the paper's headline gap)
+///   (b) GIF   IPG vs Kaitai-style
+///   (c) PE    IPG vs Kaitai-style
+///   (d) ELF   IPG vs Kaitai-style
+///   (e) DNS   IPG vs Kaitai-style vs Nail-style (arena)
+///   (f) IPv4+UDP likewise
+/// Only the parse call is timed; inputs are in memory (as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Arena.h"
+#include "baselines/KaitaiParsers.h"
+#include "baselines/NailParsers.h"
+#include "formats/Dns.h"
+#include "formats/Elf.h"
+#include "formats/FormatRegistry.h"
+#include "formats/Gif.h"
+#include "formats/Ipv4Udp.h"
+#include "formats/Pe.h"
+#include "formats/Zip.h"
+#include "runtime/Interp.h"
+
+#include "BenchUtil.h"
+
+using namespace ipg;
+using namespace ipg::bench;
+using namespace ipg::baselines;
+using namespace ipg::formats;
+
+namespace {
+
+void row(size_t Size, const TimingResult &Ipg, const TimingResult &Kaitai,
+         const TimingResult *Nail = nullptr) {
+  if (Nail)
+    std::printf("%10zu | %10.2f ±%8.2f | %10.2f ±%8.2f | %10.2f ±%8.2f\n",
+                Size, Ipg.MeanUs, Ipg.StdDevUs, Kaitai.MeanUs,
+                Kaitai.StdDevUs, Nail->MeanUs, Nail->StdDevUs);
+  else
+    std::printf("%10zu | %10.2f ±%8.2f | %10.2f ±%8.2f\n", Size, Ipg.MeanUs,
+                Ipg.StdDevUs, Kaitai.MeanUs, Kaitai.StdDevUs);
+}
+
+void head(const char *SizeCol, bool WithNail) {
+  if (WithNail)
+    std::printf("%10s | %22s | %22s | %22s\n", SizeCol, "IPG (us)",
+                "Kaitai-style (us)", "Nail-style (us)");
+  else
+    std::printf("%10s | %22s | %22s\n", SizeCol, "IPG (us)",
+                "Kaitai-style (us)");
+}
+
+void benchZip() {
+  auto R = loadZipGrammar();
+  if (!R)
+    return;
+  BlackboxRegistry BB = standardBlackboxes();
+  Interp I(R->G, &BB);
+
+  banner("Figure 13a: ZIP parsing time (stored archives)");
+  head("bytes", false);
+  for (size_t Entries : {2u, 8u, 32u, 128u}) {
+    // Stored entries isolate the zero-copy vs copy-through difference.
+    auto Bytes = synthesizeZip(zipArchiveOfCopies(Entries, 16384, false));
+    ByteSpan Image = ByteSpan::of(Bytes);
+    auto Ipg = timeIt([&] { if (!I.parse(Image)) std::abort(); },
+                      repsFor(Entries * 40.0));
+    auto Kaitai = timeIt(
+        [&] {
+          KaitaiStream Io(Bytes.data(), Bytes.size());
+          KaitaiZip Z;
+          if (!Z.parse(Io))
+            std::abort();
+        },
+        repsFor(Entries * 200.0));
+    row(Bytes.size(), Ipg, Kaitai);
+  }
+  note("shape: Kaitai-style grows with archived bytes (copy-through); IPG");
+  note("skips stored data zero-copy and should win by a growing factor.");
+}
+
+void benchGif() {
+  auto R = loadGifGrammar();
+  if (!R)
+    return;
+  InterpOptions Opts;
+  Opts.MaxDepth = 1 << 18;
+  Interp I(R->G, nullptr, Opts);
+
+  banner("Figure 13b: GIF parsing time");
+  head("bytes", false);
+  for (size_t Images : {1u, 4u, 16u, 64u}) {
+    GifSynthSpec Spec;
+    Spec.NumImages = Images;
+    Spec.NumExtensions = Images;
+    Spec.SubBlocksPerImage = 16;
+    Spec.SubBlockSize = 200;
+    auto Bytes = synthesizeGif(Spec);
+    ByteSpan Image = ByteSpan::of(Bytes);
+    auto Ipg = timeIt([&] { if (!I.parse(Image)) std::abort(); },
+                      repsFor(Images * 120.0));
+    auto Kaitai = timeIt(
+        [&] {
+          KaitaiStream Io(Bytes.data(), Bytes.size());
+          KaitaiGif Gf;
+          if (!Gf.parse(Io))
+            std::abort();
+        },
+        repsFor(Images * 30.0));
+    row(Bytes.size(), Ipg, Kaitai);
+  }
+  note("shape: same order of magnitude (paper: similar performance).");
+}
+
+void benchPe() {
+  auto R = loadPeGrammar();
+  if (!R)
+    return;
+  Interp I(R->G);
+
+  banner("Figure 13c: PE parsing time");
+  head("bytes", false);
+  for (size_t Sections : {2u, 8u, 32u, 96u}) {
+    PeSynthSpec Spec;
+    Spec.NumSections = Sections;
+    Spec.SectionSize = 4096;
+    auto Bytes = synthesizePe(Spec);
+    ByteSpan Image = ByteSpan::of(Bytes);
+    auto Ipg = timeIt([&] { if (!I.parse(Image)) std::abort(); },
+                      repsFor(Sections * 8.0));
+    auto Kaitai = timeIt(
+        [&] {
+          KaitaiStream Io(Bytes.data(), Bytes.size());
+          KaitaiPe P;
+          if (!P.parse(Io))
+            std::abort();
+        },
+        repsFor(Sections * 40.0));
+    row(Bytes.size(), Ipg, Kaitai);
+  }
+  note("shape: similar performance; Kaitai-style pays for copying bodies.");
+}
+
+void benchElf() {
+  auto R = loadElfGrammar();
+  if (!R)
+    return;
+  Interp I(R->G);
+
+  banner("Figure 13d: ELF parsing time");
+  head("bytes", false);
+  for (size_t Syms : {32u, 256u, 1024u, 4096u}) {
+    ElfSynthSpec Spec;
+    Spec.NumSymbols = Syms;
+    Spec.NumDynEntries = Syms / 4;
+    Spec.TextSize = Syms * 16;
+    auto Bytes = synthesizeElf(Spec);
+    ByteSpan Image = ByteSpan::of(Bytes);
+    auto Ipg = timeIt([&] { if (!I.parse(Image)) std::abort(); },
+                      repsFor(Syms * 3.0));
+    auto Kaitai = timeIt(
+        [&] {
+          KaitaiStream Io(Bytes.data(), Bytes.size());
+          KaitaiElf E;
+          if (!E.parse(Io))
+            std::abort();
+        },
+        repsFor(Syms * 1.0));
+    row(Bytes.size(), Ipg, Kaitai);
+  }
+  note("shape: comparable for small/medium files (paper saw IPG lose only");
+  note("on symbol-name deep recursion, which this grammar avoids).");
+}
+
+void benchDns() {
+  auto R = loadDnsGrammar();
+  if (!R)
+    return;
+  Interp I(R->G);
+
+  banner("Figure 13e: DNS parsing time");
+  head("bytes", true);
+  for (size_t Answers : {2u, 8u, 24u, 64u}) {
+    DnsSynthSpec Spec;
+    Spec.NumAnswers = Answers;
+    Spec.RDataSize = 16;
+    auto Bytes = synthesizeDns(Spec);
+    ByteSpan Image = ByteSpan::of(Bytes);
+    auto Ipg = timeIt([&] { if (!I.parse(Image)) std::abort(); },
+                      repsFor(Answers * 12.0));
+    auto Kaitai = timeIt(
+        [&] {
+          KaitaiStream Io(Bytes.data(), Bytes.size());
+          KaitaiDns D;
+          if (!D.parse(Io))
+            std::abort();
+        },
+        repsFor(Answers * 4.0));
+    Arena A;
+    auto Nail = timeIt(
+        [&] {
+          A.reset();
+          if (!nailParseDns(A, Bytes.data(), Bytes.size()))
+            std::abort();
+        },
+        repsFor(Answers * 0.5));
+    row(Bytes.size(), Ipg, Kaitai, &Nail);
+  }
+  note("shape: Nail-style (arena, no tree) fastest in absolute terms; the");
+  note("paper matched it only after giving IPG arena allocation too.");
+}
+
+void benchIpv4() {
+  auto R = loadIpv4UdpGrammar();
+  if (!R)
+    return;
+  Interp I(R->G);
+
+  banner("Figure 13f: IPv4+UDP parsing time");
+  head("bytes", true);
+  for (size_t Payload : {64u, 256u, 1024u, 1400u}) {
+    Ipv4SynthSpec Spec;
+    Spec.PayloadSize = Payload;
+    auto Bytes = synthesizeIpv4Udp(Spec);
+    ByteSpan Image = ByteSpan::of(Bytes);
+    auto Ipg = timeIt([&] { if (!I.parse(Image)) std::abort(); },
+                      repsFor(8.0));
+    auto Kaitai = timeIt(
+        [&] {
+          KaitaiStream Io(Bytes.data(), Bytes.size());
+          KaitaiIpv4 P;
+          if (!P.parse(Io))
+            std::abort();
+        },
+        repsFor(4.0));
+    Arena A;
+    auto Nail = timeIt(
+        [&] {
+          A.reset();
+          if (!nailParseIpv4(A, Bytes.data(), Bytes.size()))
+            std::abort();
+        },
+        repsFor(1.0));
+    row(Bytes.size(), Ipg, Kaitai, &Nail);
+  }
+  note("shape: flat in payload size for IPG (payload skipped zero-copy);");
+  note("Kaitai- and Nail-style copy the payload and scale with it.");
+}
+
+} // namespace
+
+int main() {
+  benchZip();
+  benchGif();
+  benchPe();
+  benchElf();
+  benchDns();
+  benchIpv4();
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- examples/elf_inspector.cpp - readelf-style tool over IPG -----------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 4.1 case study as a tool: parse an ELF image with the IPG
+/// grammar and print its section table, dynamic section, and symbols —
+/// the readelf replacement of Figure 12. With no arguments it inspects a
+/// synthesized ELF; pass a path to inspect a real ELF64 file.
+///
+//===----------------------------------------------------------------------===//
+
+#include "formats/Elf.h"
+#include "runtime/Interp.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace ipg;
+using namespace ipg::formats;
+
+static const char *sectionTypeName(uint32_t Type) {
+  switch (Type) {
+  case 0:
+    return "NULL";
+  case 1:
+    return "PROGBITS";
+  case 2:
+    return "SYMTAB";
+  case 3:
+    return "STRTAB";
+  case 6:
+    return "DYNAMIC";
+  default:
+    return "OTHER";
+  }
+}
+
+int main(int argc, char **argv) {
+  std::vector<uint8_t> Bytes;
+  if (argc > 1) {
+    std::ifstream In(argv[1], std::ios::binary);
+    if (!In) {
+      std::printf("cannot open %s\n", argv[1]);
+      return 1;
+    }
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+    std::printf("inspecting %s (%zu bytes)\n", argv[1], Bytes.size());
+  } else {
+    ElfSynthSpec Spec;
+    Spec.NumSymbols = 6;
+    Spec.NumDynEntries = 4;
+    Bytes = synthesizeElf(Spec);
+    std::printf("inspecting a synthesized ELF (%zu bytes); pass a path to "
+                "inspect a real file\n",
+                Bytes.size());
+  }
+
+  auto Loaded = loadElfGrammar();
+  if (!Loaded) {
+    std::printf("grammar error: %s\n", Loaded.message().c_str());
+    return 1;
+  }
+  Interp I(Loaded->G);
+  auto Tree = I.parse(ByteSpan::of(Bytes));
+  if (!Tree) {
+    std::printf("not parseable by the ELF grammar: %s\n",
+                Tree.message().c_str());
+    return 1;
+  }
+  auto P = extractElf(*Tree, Loaded->G);
+  if (!P) {
+    std::printf("extraction error: %s\n", P.message().c_str());
+    return 1;
+  }
+
+  std::printf("\nELF header:\n  section header table at %llu, %u entries\n",
+              static_cast<unsigned long long>(P->ShOff), P->ShNum);
+  std::printf("\nSections:\n");
+  for (size_t K = 0; K < P->Sections.size(); ++K)
+    std::printf("  [%2zu] %-9s off=%-8llu size=%llu\n", K,
+                sectionTypeName(P->Sections[K].Type),
+                static_cast<unsigned long long>(P->Sections[K].Offset),
+                static_cast<unsigned long long>(P->Sections[K].Size));
+  std::printf("\nDynamic section (%zu entries):\n", P->DynTags.size());
+  for (uint64_t Tag : P->DynTags)
+    std::printf("  tag 0x%llx\n", static_cast<unsigned long long>(Tag));
+  std::printf("\nSymbols (%zu):\n", P->SymValues.size());
+  for (uint64_t V : P->SymValues)
+    std::printf("  value 0x%llx\n", static_cast<unsigned long long>(V));
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- examples/pdf_explorer.cpp - PDF xref explorer over IPG -------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 4.3 case study as a tool: the parser starts at the *end* of
+/// the file, scans the startxref offset backward digit by digit (the bNum
+/// pattern), jumps to the xref table, and re-parses every object region
+/// the table points at (multi-pass parsing with overlapping intervals).
+///
+//===----------------------------------------------------------------------===//
+
+#include "formats/Pdf.h"
+#include "runtime/Interp.h"
+
+#include <cstdio>
+
+using namespace ipg;
+using namespace ipg::formats;
+
+int main() {
+  PdfSynthSpec Spec;
+  Spec.NumObjects = 4;
+  Spec.ObjectBodySize = 40;
+  PdfModel Model;
+  auto Bytes = synthesizePdf(Spec, &Model);
+  std::printf("document: %zu bytes, %zu objects\n", Bytes.size(),
+              Spec.NumObjects);
+  std::printf("tail of file: ...startxref\\n%zu\\n%%%%EOF\n",
+              Model.XrefOffset);
+
+  auto Loaded = loadPdfGrammar();
+  if (!Loaded) {
+    std::printf("grammar error: %s\n", Loaded.message().c_str());
+    return 1;
+  }
+  Interp I(Loaded->G);
+  auto Tree = I.parse(ByteSpan::of(Bytes));
+  if (!Tree) {
+    std::printf("parse failed: %s\n", Tree.message().c_str());
+    return 1;
+  }
+  auto P = extractPdf(*Tree, Loaded->G);
+  if (!P) {
+    std::printf("extraction error: %s\n", P.message().c_str());
+    return 1;
+  }
+
+  std::printf("\nxref table found at offset %zu (parsed backward from "
+              "%%%%EOF)\n",
+              P->XrefOffset);
+  std::printf("%zu xref entries (entry 0 is the free entry)\n",
+              P->NumXrefEntries);
+  for (size_t K = 0; K < P->ObjectOffsets.size(); ++K)
+    std::printf("  object %zu at offset %zu — re-parsed and verified to "
+                "end in 'endobj'\n",
+                K + 1, P->ObjectOffsets[K]);
+  return 0;
+}

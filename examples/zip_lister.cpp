@@ -1,0 +1,78 @@
+//===- examples/zip_lister.cpp - unzip-style tool over IPG ----------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ZIP case study as a tool: parse an archive backward from its EOCD
+/// record, list entries, and decompress compressed ones through the
+/// `inflate` blackbox (Section 3.4's modularity story: a legacy
+/// decompressor invoked on an interval-confined slice).
+///
+//===----------------------------------------------------------------------===//
+
+#include "formats/FormatRegistry.h"
+#include "formats/Zip.h"
+#include "runtime/Interp.h"
+
+#include <cstdio>
+
+using namespace ipg;
+using namespace ipg::formats;
+
+int main() {
+  // Build a mixed archive: one stored entry, two compressed ones.
+  ZipSynthSpec Spec;
+  std::vector<uint8_t> Hello;
+  for (const char *P = "hello, interval parsing grammars!\n"; *P; ++P)
+    Hello.push_back(static_cast<uint8_t>(*P));
+  Spec.Entries.push_back({"hello.txt", Hello, /*Compress=*/false});
+  Spec.Entries.push_back({"runs.bin", std::vector<uint8_t>(1 << 14, 'R'),
+                          /*Compress=*/true});
+  std::vector<uint8_t> Mixed;
+  for (int K = 0; K < 4096; ++K)
+    Mixed.push_back(static_cast<uint8_t>(K % 23 == 0 ? K : 'm'));
+  Spec.Entries.push_back({"mixed.bin", Mixed, /*Compress=*/true});
+  auto Bytes = synthesizeZip(Spec);
+  std::printf("archive: %zu bytes, %zu entries\n", Bytes.size(),
+              Spec.Entries.size());
+
+  auto Loaded = loadZipGrammar();
+  if (!Loaded) {
+    std::printf("grammar error: %s\n", Loaded.message().c_str());
+    return 1;
+  }
+  BlackboxRegistry BB = standardBlackboxes();
+  Interp I(Loaded->G, &BB);
+  auto Tree = I.parse(ByteSpan::of(Bytes));
+  if (!Tree) {
+    std::printf("parse failed: %s\n", Tree.message().c_str());
+    return 1;
+  }
+  auto P = extractZip(*Tree, Loaded->G);
+  if (!P) {
+    std::printf("extraction error: %s\n", P.message().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-12s %10s %12s %10s\n", "entry", "method", "compressed",
+              "original");
+  for (size_t K = 0; K < P->Entries.size(); ++K) {
+    const ZipParsedEntry &E = P->Entries[K];
+    std::printf("%-12s %10s %12u %10u\n", Spec.Entries[K].Name.c_str(),
+                E.Method == 0 ? "stored" : "deflated", E.CompressedSize,
+                E.UncompressedSize);
+    if (E.Method == 8 && E.Data != Spec.Entries[K].Data) {
+      std::printf("  decompression mismatch!\n");
+      return 1;
+    }
+  }
+  std::printf("\nall compressed entries decoded correctly through the "
+              "blackbox\n");
+  std::printf("(stored entries were skipped zero-copy: %zu archived bytes "
+              "never touched)\n",
+              Hello.size());
+  return 0;
+}

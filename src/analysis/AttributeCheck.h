@@ -1,0 +1,54 @@
+//===- analysis/AttributeCheck.h - IPG attribute checking -------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Attribute checking (paper Section 3.2) ensures
+///   (1) every attribute reference refers to a defined attribute, and
+///   (2) no alternative has circular attribute dependencies;
+/// and, as in the paper, reorders each alternative's terms into the
+/// topological order of its dependency DAG (stored in
+/// Alternative::ExecOrder; ties keep source order).
+///
+/// This pass also binds nonterminal occurrences to rules, resolving names
+/// through the where-clause scope chain (innermost local rules first, then
+/// enclosing alternatives' local rules, then global rules).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_ANALYSIS_ATTRIBUTECHECK_H
+#define IPG_ANALYSIS_ATTRIBUTECHECK_H
+
+#include "analysis/Completion.h"
+#include "grammar/Grammar.h"
+#include "support/Result.h"
+
+#include <set>
+#include <string_view>
+
+namespace ipg {
+
+/// Runs resolution + attribute checking over \p G (intervals must already
+/// be completed). On success every alternative has a valid ExecOrder and
+/// every nonterminal occurrence a valid Resolved rule id.
+Error checkAttributes(Grammar &G);
+
+/// def(A) of Section 3.2: the attributes defined in *every* alternative of
+/// rule \p Id (the special attributes start/end/EOI are not included).
+std::set<Symbol> ruleDefSet(const Grammar &G, RuleId Id);
+
+/// A grammar that went through the full front-end pipeline.
+struct LoadResult {
+  Grammar G;
+  CompletionStats Stats;
+};
+
+/// parse text -> complete intervals -> resolve + attribute-check.
+Expected<LoadResult> loadGrammar(std::string_view Text);
+
+} // namespace ipg
+
+#endif // IPG_ANALYSIS_ATTRIBUTECHECK_H

@@ -1,0 +1,124 @@
+//===- analysis/Completion.cpp --------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Completion.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+
+namespace {
+
+class Completer {
+public:
+  explicit Completer(Grammar &G) : G(G) {}
+
+  Expected<CompletionStats> run() {
+    for (size_t I = 0, E = G.numRules(); I != E; ++I) {
+      Rule &R = G.rule(static_cast<RuleId>(I));
+      for (Alternative &Alt : R.Alts)
+        if (Error Err = completeAlternative(R, Alt))
+          return Expected<CompletionStats>(std::move(Err));
+    }
+    return Stats;
+  }
+
+private:
+  Grammar &G;
+  CompletionStats Stats;
+
+  void count(const Interval &Iv) {
+    ++Stats.TotalIntervals;
+    if (Iv.How == Interval::Form::Omitted)
+      ++Stats.FullyImplicit;
+    else if (Iv.How == Interval::Form::Length)
+      ++Stats.LengthOnly;
+  }
+
+  /// Left endpoint for term \p TermIdx given the previous positional term.
+  static ExprPtr leftEndpoint(int PrevPositional) {
+    if (PrevPositional < 0)
+      return NumExpr::create(0);
+    return RefExpr::termEnd(static_cast<uint32_t>(PrevPositional));
+  }
+
+  /// Completes one interval in place. \p TermLen is the byte length for
+  /// terminal strings, or -1 for nonterminals/blackboxes (right endpoint
+  /// defaults to EOI).
+  void completeInterval(Interval &Iv, int PrevPositional, int64_t TermLen) {
+    count(Iv);
+    switch (Iv.How) {
+    case Interval::Form::Explicit:
+      return;
+    case Interval::Form::Length: {
+      ExprPtr Lo = leftEndpoint(PrevPositional);
+      Iv.Hi = BinaryExpr::create(BinOpKind::Add, Lo, Iv.Len);
+      Iv.Lo = std::move(Lo);
+      return;
+    }
+    case Interval::Form::Omitted: {
+      ExprPtr Lo = leftEndpoint(PrevPositional);
+      if (TermLen >= 0)
+        Iv.Hi = BinaryExpr::create(BinOpKind::Add, Lo,
+                                   NumExpr::create(TermLen));
+      else
+        Iv.Hi = RefExpr::eoi();
+      Iv.Lo = std::move(Lo);
+      return;
+    }
+    }
+  }
+
+  Error completeAlternative(const Rule &R, Alternative &Alt) {
+    int PrevPositional = -1;
+    for (size_t I = 0, E = Alt.Terms.size(); I != E; ++I) {
+      Term &T = *Alt.Terms[I];
+      switch (T.kind()) {
+      case Term::Kind::Nonterminal:
+        completeInterval(cast<NTTerm>(&T)->Iv, PrevPositional, -1);
+        break;
+      case Term::Kind::Terminal: {
+        auto *S = cast<TerminalTerm>(&T);
+        // Wildcards have no fixed length; like nonterminals, an omitted
+        // right endpoint becomes EOI.
+        completeInterval(S->Iv, PrevPositional,
+                         S->Wildcard ? -1
+                                     : static_cast<int64_t>(S->Bytes.size()));
+        break;
+      }
+      case Term::Kind::Blackbox:
+        completeInterval(cast<BlackboxTerm>(&T)->Iv, PrevPositional, -1);
+        break;
+      case Term::Kind::Array: {
+        auto *A = cast<ArrayTerm>(&T);
+        count(A->Iv);
+        if (A->Iv.How != Interval::Form::Explicit)
+          return Error::failure(
+              "rule '" + std::string(G.interner().name(R.Name)) +
+              "': array term requires an explicit interval");
+        break;
+      }
+      case Term::Kind::Switch:
+        for (SwitchChoice &C : cast<SwitchTerm>(&T)->Choices)
+          completeInterval(C.Iv, PrevPositional, -1);
+        break;
+      case Term::Kind::AttrDef:
+      case Term::Kind::Predicate:
+        break;
+      }
+      if (isPositionalTerm(T))
+        PrevPositional = static_cast<int>(I);
+    }
+    return Error::success();
+  }
+};
+
+} // namespace
+
+Expected<CompletionStats> ipg::completeIntervals(Grammar &G) {
+  return Completer(G).run();
+}

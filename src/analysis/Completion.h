@@ -1,0 +1,52 @@
+//===- analysis/Completion.h - Implicit interval completion -----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Auto-completion of implicit intervals (paper Section 3.4):
+///
+///   S -> "magic" A B[10]
+/// becomes
+///   S -> "magic"[0, 5] A[5, EOI] B[A.end, A.end + 10]
+///
+/// Scanning each alternative left to right, a missing left endpoint is "the
+/// end of the last positional term" (0 for the first term), a missing right
+/// endpoint is EOI for nonterminals and left + |bytes| for terminals, and a
+/// single bracketed expression is a length (right = left + length).
+///
+/// "End of the last term" is encoded with the internal TermEnd(k) reference
+/// rather than `A.end` so that repeated nonterminal names in one
+/// alternative stay unambiguous; TermEnd of a terminal equals its right
+/// endpoint, matching the paper's rule for terminals.
+///
+/// The pass also tallies the per-grammar interval counts reported in
+/// Table 2 (total, fully implicit, length-only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_ANALYSIS_COMPLETION_H
+#define IPG_ANALYSIS_COMPLETION_H
+
+#include "grammar/Grammar.h"
+#include "support/Result.h"
+
+namespace ipg {
+
+/// Table-2 statistics gathered while completing one grammar.
+struct CompletionStats {
+  size_t TotalIntervals = 0; ///< every interval position in the grammar
+  size_t FullyImplicit = 0;  ///< written with no interval at all
+  size_t LengthOnly = 0;     ///< written as [length]
+};
+
+/// Fills in every implicit interval in \p G. Fails when an array term's
+/// interval is not explicit (element intervals depend on the loop variable,
+/// so there is nothing sensible to infer).
+Expected<CompletionStats> completeIntervals(Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_ANALYSIS_COMPLETION_H

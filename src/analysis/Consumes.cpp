@@ -1,0 +1,102 @@
+//===- analysis/Consumes.cpp ----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Consumes.h"
+
+#include "expr/Linear.h"
+#include "solver/LinearSystem.h"
+#include "support/Casting.h"
+
+using namespace ipg;
+
+/// A wildcard (`raw`) touches its whole interval, so it surely consumes
+/// when the interval is provably non-empty: if Hi - Lo <= 0 (with EOI >= 0)
+/// is unsatisfiable, every successful match covers at least one byte.
+/// This is what lets fixed-size record rules like `raw[0, 2]` count.
+static bool wildcardConsumes(const TerminalTerm &T,
+                             const StringInterner &Names) {
+  if (!T.Iv.Lo || !T.Iv.Hi)
+    return false;
+  AtomTable Atoms;
+  LinearSystem Sys;
+  uint32_t Eoi = Atoms.atom("EOI");
+  Sys.addLe(LinExpr::atom(Eoi).scaled(Rational(-1))); // -EOI <= 0
+  Sys.addLe(linearize(*T.Iv.Hi, Atoms, "w", Names) -
+            linearize(*T.Iv.Lo, Atoms, "w", Names)); // Hi - Lo <= 0
+  return Sys.check() == LinearSystem::Result::Unsat;
+}
+
+bool ipg::terminalSurelyConsumes(const TerminalTerm &T,
+                                 const StringInterner &Names) {
+  if (T.Wildcard)
+    return wildcardConsumes(T, Names);
+  return !T.Bytes.empty();
+}
+
+static bool termConsumes(const Term &T, const std::vector<bool> &Consumes,
+                         const StringInterner &Names) {
+  switch (T.kind()) {
+  case Term::Kind::Terminal:
+    return terminalSurelyConsumes(*cast<TerminalTerm>(&T), Names);
+  case Term::Kind::Nonterminal: {
+    RuleId R = cast<NTTerm>(&T)->Resolved;
+    return R != InvalidRuleId && Consumes[R];
+  }
+  case Term::Kind::Switch: {
+    // A switch consumes when every arm's rule consumes (whichever arm is
+    // taken, a byte is touched).
+    const auto &Sw = *cast<SwitchTerm>(&T);
+    if (Sw.Choices.empty())
+      return false;
+    for (const SwitchChoice &C : Sw.Choices)
+      if (C.Resolved == InvalidRuleId || !Consumes[C.Resolved])
+        return false;
+    return true;
+  }
+  case Term::Kind::Array:    // may iterate zero times
+  case Term::Kind::Blackbox: // may succeed consuming nothing
+  case Term::Kind::AttrDef:
+  case Term::Kind::Predicate:
+    return false;
+  }
+  return false;
+}
+
+static bool altConsumes(const Alternative &Alt,
+                        const std::vector<bool> &Consumes,
+                        const StringInterner &Names) {
+  for (const TermPtr &T : Alt.Terms)
+    if (termConsumes(*T, Consumes, Names))
+      return true;
+  return false;
+}
+
+std::vector<bool> ipg::computeConsumes(const Grammar &G) {
+  std::vector<bool> Consumes(G.numRules(), false);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0, E = G.numRules(); I != E; ++I) {
+      if (Consumes[I])
+        continue;
+      const Rule &R = G.rule(static_cast<RuleId>(I));
+      if (R.Alts.empty())
+        continue;
+      bool All = true;
+      for (const Alternative &Alt : R.Alts)
+        if (!altConsumes(Alt, Consumes, G.interner())) {
+          All = false;
+          break;
+        }
+      if (All) {
+        Consumes[I] = true;
+        Changed = true;
+      }
+    }
+  }
+  return Consumes;
+}

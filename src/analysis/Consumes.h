@@ -1,0 +1,40 @@
+//===- analysis/Consumes.h - "Consumes a terminal" fixpoint -----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The termination-checking extension of Section 5 adds `A.end > 0` to the
+/// cycle formula when A's rule is guaranteed to consume at least one
+/// terminal byte whenever it succeeds. This is the syntactic check: a least
+/// fixpoint where a rule consumes iff every alternative contains a
+/// non-empty terminal, a consuming nonterminal, or a switch whose arms all
+/// consume. Arrays (which may iterate zero times), predicates, attribute
+/// definitions, and blackboxes do not count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_ANALYSIS_CONSUMES_H
+#define IPG_ANALYSIS_CONSUMES_H
+
+#include "grammar/Grammar.h"
+
+#include <vector>
+
+namespace ipg {
+
+/// Indexed by RuleId: true when the rule surely touches >= 1 byte on
+/// success.
+std::vector<bool> computeConsumes(const Grammar &G);
+
+/// True when a terminal term surely touches >= 1 byte on success: a
+/// non-empty literal, or a wildcard whose interval is provably non-empty
+/// (Hi - Lo <= 0 refuted by the linear core).
+bool terminalSurelyConsumes(const TerminalTerm &T,
+                            const StringInterner &Names);
+
+} // namespace ipg
+
+#endif // IPG_ANALYSIS_CONSUMES_H

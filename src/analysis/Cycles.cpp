@@ -1,0 +1,93 @@
+//===- analysis/Cycles.cpp ------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cycles.h"
+
+#include <algorithm>
+
+using namespace ipg;
+
+namespace {
+
+/// Johnson's circuit-enumeration algorithm restricted to the subgraph of
+/// nodes >= Root, with Root as the start vertex of every reported circuit.
+class JohnsonSearch {
+public:
+  JohnsonSearch(const NTGraph &G, size_t Root,
+                std::vector<std::vector<uint32_t>> &Out, size_t MaxCycles)
+      : G(G), Root(Root), Out(Out), MaxCycles(MaxCycles),
+        Blocked(G.NumNodes, false), BlockLists(G.NumNodes) {}
+
+  void run() { circuit(Root); }
+
+private:
+  const NTGraph &G;
+  size_t Root;
+  std::vector<std::vector<uint32_t>> &Out;
+  size_t MaxCycles;
+  std::vector<bool> Blocked;
+  std::vector<std::vector<size_t>> BlockLists;
+  std::vector<uint32_t> EdgeStack;
+
+  void unblock(size_t V) {
+    Blocked[V] = false;
+    for (size_t W : BlockLists[V])
+      if (Blocked[W])
+        unblock(W);
+    BlockLists[V].clear();
+  }
+
+  bool circuit(size_t V) {
+    if (Out.size() >= MaxCycles)
+      return true;
+    bool Found = false;
+    Blocked[V] = true;
+    for (uint32_t EI : G.Adj[V]) {
+      size_t W = G.Edges[EI].To;
+      if (W < Root)
+        continue; // only consider the subgraph induced by nodes >= Root
+      if (W == Root) {
+        EdgeStack.push_back(EI);
+        Out.push_back(EdgeStack);
+        EdgeStack.pop_back();
+        Found = true;
+        if (Out.size() >= MaxCycles)
+          break;
+        continue;
+      }
+      if (!Blocked[W]) {
+        EdgeStack.push_back(EI);
+        if (circuit(W))
+          Found = true;
+        EdgeStack.pop_back();
+      }
+    }
+    if (Found) {
+      unblock(V);
+    } else {
+      for (uint32_t EI : G.Adj[V]) {
+        size_t W = G.Edges[EI].To;
+        if (W < Root)
+          continue;
+        auto &BL = BlockLists[W];
+        if (std::find(BL.begin(), BL.end(), V) == BL.end())
+          BL.push_back(V);
+      }
+    }
+    return Found;
+  }
+};
+
+} // namespace
+
+std::vector<std::vector<uint32_t>>
+ipg::elementaryCycles(const NTGraph &G, size_t MaxCycles) {
+  std::vector<std::vector<uint32_t>> Out;
+  for (size_t Root = 0; Root < G.NumNodes && Out.size() < MaxCycles; ++Root)
+    JohnsonSearch(G, Root, Out, MaxCycles).run();
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- analysis/Cycles.h - Elementary cycle enumeration ---------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Johnson's algorithm (SIAM J. Comput. 1975) for enumerating the
+/// elementary circuits of a directed multigraph, as prescribed by paper
+/// Section 5 step (2). Cycles are returned as sequences of edge indices so
+/// parallel edges yield distinct cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_ANALYSIS_CYCLES_H
+#define IPG_ANALYSIS_CYCLES_H
+
+#include "analysis/NTGraph.h"
+
+#include <vector>
+
+namespace ipg {
+
+/// Enumerates elementary cycles of \p G, stopping after \p MaxCycles (real
+/// grammars have a handful; the cap only guards against pathological
+/// inputs).
+std::vector<std::vector<uint32_t>> elementaryCycles(const NTGraph &G,
+                                                    size_t MaxCycles = 4096);
+
+} // namespace ipg
+
+#endif // IPG_ANALYSIS_CYCLES_H

@@ -1,0 +1,58 @@
+//===- analysis/NTGraph.cpp -----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/NTGraph.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+
+NTGraph ipg::buildNTGraph(const Grammar &G) {
+  NTGraph Graph;
+  Graph.NumNodes = G.numRules();
+  Graph.Adj.resize(Graph.NumNodes);
+
+  auto AddEdge = [&](RuleId From, RuleId To, const Interval &Iv,
+                     const Alternative *OwnerAlt) {
+    if (To == InvalidRuleId)
+      return;
+    NTEdge E;
+    E.From = From;
+    E.To = To;
+    E.Lo = Iv.Lo;
+    E.Hi = Iv.Hi;
+    E.OwnerAlt = OwnerAlt;
+    Graph.Adj[From].push_back(static_cast<uint32_t>(Graph.Edges.size()));
+    Graph.Edges.push_back(std::move(E));
+  };
+
+  for (size_t I = 0, E = G.numRules(); I != E; ++I) {
+    const Rule &R = G.rule(static_cast<RuleId>(I));
+    for (const Alternative &Alt : R.Alts)
+      for (const TermPtr &T : Alt.Terms) {
+        switch (T->kind()) {
+        case Term::Kind::Nonterminal: {
+          const auto *N = cast<NTTerm>(T.get());
+          AddEdge(R.Id, N->Resolved, N->Iv, &Alt);
+          break;
+        }
+        case Term::Kind::Array: {
+          const auto *A = cast<ArrayTerm>(T.get());
+          AddEdge(R.Id, A->Resolved, A->Iv, &Alt);
+          break;
+        }
+        case Term::Kind::Switch:
+          for (const SwitchChoice &C : cast<SwitchTerm>(T.get())->Choices)
+            AddEdge(R.Id, C.Resolved, C.Iv, &Alt);
+          break;
+        default:
+          break;
+        }
+      }
+  }
+  return Graph;
+}

@@ -1,0 +1,47 @@
+//===- analysis/NTGraph.h - Nonterminal dependency graph --------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The directed multigraph of Section 5 step (1): one node per rule, one
+/// edge A -> B labeled with the symbolic interval [el, er] for every
+/// occurrence of B[el, er] in A's rule (including array elements and switch
+/// arms). Blackbox terms contribute no edges (the paper assumes blackboxes
+/// terminate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_ANALYSIS_NTGRAPH_H
+#define IPG_ANALYSIS_NTGRAPH_H
+
+#include "grammar/Grammar.h"
+
+#include <vector>
+
+namespace ipg {
+
+struct NTEdge {
+  RuleId From = InvalidRuleId;
+  RuleId To = InvalidRuleId;
+  ExprPtr Lo, Hi;
+  /// The alternative the occurrence lives in (used to resolve sibling
+  /// `X.end` references when applying the consumes extension).
+  const Alternative *OwnerAlt = nullptr;
+};
+
+struct NTGraph {
+  size_t NumNodes = 0;
+  std::vector<NTEdge> Edges;
+  /// Out-edge indices per node.
+  std::vector<std::vector<uint32_t>> Adj;
+};
+
+/// Builds the graph over all rules of \p G (grammar must be resolved).
+NTGraph buildNTGraph(const Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_ANALYSIS_NTGRAPH_H

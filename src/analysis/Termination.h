@@ -1,0 +1,50 @@
+//===- analysis/Termination.h - IPG termination checking --------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static termination checking (paper Section 5):
+///   1. build the nonterminal dependency graph,
+///   2. enumerate its elementary cycles (Johnson's algorithm),
+///   3. for each cycle check that the formula
+///        el_0 = 0 /\ er_0 = EOI /\ ... /\ el_n = 0 /\ er_n = EOI
+///      is unsatisfiable — i.e. the cycle cannot keep looping on the same
+///      interval [0, EOI], so intervals strictly shrink and parsing
+///      terminates (Theorem 5.1).
+///
+/// The extension for the special `end` attribute is implemented: when an
+/// interval expression refers to the end of a nonterminal whose rule surely
+/// consumes a byte, the conjunct `X.end > 0` is added, which is what lets
+/// chunk-list rules like `Blocks -> Block Blocks[Block.end, EOI]` pass.
+///
+/// Z3 is replaced by the rational linear-arithmetic core in solver/ (see
+/// DESIGN.md for the soundness argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_ANALYSIS_TERMINATION_H
+#define IPG_ANALYSIS_TERMINATION_H
+
+#include "grammar/Grammar.h"
+
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+struct TerminationReport {
+  bool Terminates = false;
+  size_t NumCycles = 0;
+  /// One description per cycle whose formula was (possibly) satisfiable.
+  std::vector<std::string> FailingCycles;
+};
+
+/// Checks \p G (must be completed + attribute-checked).
+TerminationReport checkTermination(const Grammar &G);
+
+} // namespace ipg
+
+#endif // IPG_ANALYSIS_TERMINATION_H

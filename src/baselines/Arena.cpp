@@ -1,0 +1,41 @@
+//===- baselines/Arena.cpp ------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Arena.h"
+
+using namespace ipg::baselines;
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  TotalAllocated += Bytes;
+  for (;;) {
+    if (Current < Blocks.size()) {
+      Block &B = Blocks[Current];
+      size_t Aligned = (B.Used + Align - 1) & ~(Align - 1);
+      if (Aligned + Bytes <= B.Size) {
+        B.Used = Aligned + Bytes;
+        return B.Memory.get() + Aligned;
+      }
+      ++Current;
+      continue;
+    }
+    size_t Size = NextBlockSize;
+    while (Size < Bytes + Align)
+      Size *= 2;
+    NextBlockSize = Size * 2;
+    Block B;
+    B.Memory = std::make_unique<uint8_t[]>(Size);
+    B.Size = Size;
+    Blocks.push_back(std::move(B));
+  }
+}
+
+void Arena::reset() {
+  for (Block &B : Blocks)
+    B.Used = 0;
+  Current = 0;
+  TotalAllocated = 0;
+}

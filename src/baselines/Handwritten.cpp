@@ -1,0 +1,187 @@
+//===- baselines/Handwritten.cpp ------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Handwritten.h"
+
+#include "formats/MiniZlib.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ipg;
+using namespace ipg::baselines;
+
+//===----------------------------------------------------------------------===//
+// ELF.
+//===----------------------------------------------------------------------===//
+
+bool ipg::baselines::hwParseElf(ByteSpan Image, HwElf &Out) {
+  if (Image.size() < 64 || !Image.matchesAt(0, "\x7f"
+                                               "ELF"))
+    return false;
+  Out.ShOff = Image.readUnsigned(40, 8, Endian::Little);
+  uint16_t EntSize =
+      static_cast<uint16_t>(Image.readUnsigned(58, 2, Endian::Little));
+  Out.ShNum =
+      static_cast<uint16_t>(Image.readUnsigned(60, 2, Endian::Little));
+  if (EntSize != 64)
+    return false;
+  if (Out.ShOff + static_cast<uint64_t>(Out.ShNum) * 64 > Image.size())
+    return false;
+
+  for (uint16_t I = 0; I < Out.ShNum; ++I) {
+    size_t Base = static_cast<size_t>(Out.ShOff) + I * 64u;
+    HwElfSection S;
+    S.Type =
+        static_cast<uint32_t>(Image.readUnsigned(Base + 4, 4, Endian::Little));
+    S.Offset = Image.readUnsigned(Base + 24, 8, Endian::Little);
+    S.Size = Image.readUnsigned(Base + 32, 8, Endian::Little);
+    if (I > 0 && S.Offset + S.Size > Image.size())
+      return false;
+    Out.Sections.push_back(S);
+  }
+  // Structured sections, exactly what the IPG grammar parses.
+  for (uint16_t I = 1; I < Out.ShNum; ++I) {
+    const HwElfSection &S = Out.Sections[I];
+    size_t Base = static_cast<size_t>(S.Offset);
+    if (S.Type == 6) {
+      if (S.Size % 16 != 0)
+        return false;
+      for (uint64_t K = 0; K < S.Size / 16; ++K)
+        Out.DynEntries.emplace_back(
+            Image.readUnsigned(Base + K * 16, 8, Endian::Little),
+            Image.readUnsigned(Base + K * 16 + 8, 8, Endian::Little));
+    } else if (S.Type == 2) {
+      if (S.Size % 24 != 0)
+        return false;
+      for (uint64_t K = 0; K < S.Size / 24; ++K)
+        Out.SymValues.push_back(
+            Image.readUnsigned(Base + K * 24 + 8, 8, Endian::Little));
+    }
+  }
+  return true;
+}
+
+std::string ipg::baselines::hwReadelf(ByteSpan Image) {
+  HwElf E;
+  if (!hwParseElf(Image, E))
+    return std::string();
+  std::string Out;
+  Out.reserve(256 + E.Sections.size() * 48 + E.SymValues.size() * 32);
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "ELF Header:\n  Section header offset: %llu\n"
+                "  Number of section headers: %u\n",
+                static_cast<unsigned long long>(E.ShOff), E.ShNum);
+  Out += Buf;
+  Out += "Section Headers:\n";
+  for (size_t I = 0; I < E.Sections.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf), "  [%2zu] type=%u off=%llu size=%llu\n",
+                  I, E.Sections[I].Type,
+                  static_cast<unsigned long long>(E.Sections[I].Offset),
+                  static_cast<unsigned long long>(E.Sections[I].Size));
+    Out += Buf;
+  }
+  Out += "Dynamic section entries:\n";
+  for (auto &[Tag, Val] : E.DynEntries) {
+    std::snprintf(Buf, sizeof(Buf), "  tag=%llu val=%llu\n",
+                  static_cast<unsigned long long>(Tag),
+                  static_cast<unsigned long long>(Val));
+    Out += Buf;
+  }
+  Out += "Symbols:\n";
+  for (uint64_t V : E.SymValues) {
+    std::snprintf(Buf, sizeof(Buf), "  value=%llu\n",
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ZIP.
+//===----------------------------------------------------------------------===//
+
+bool ipg::baselines::hwParseZip(ByteSpan Image, HwZip &Out) {
+  if (Image.size() < 22)
+    return false;
+  size_t Eocd = Image.size() - 22;
+  if (!Image.matchesAt(Eocd, "PK\x05\x06"))
+    return false;
+  Out.EntryCount =
+      static_cast<uint16_t>(Image.readUnsigned(Eocd + 10, 2, Endian::Little));
+  uint32_t CdSize =
+      static_cast<uint32_t>(Image.readUnsigned(Eocd + 12, 4, Endian::Little));
+  uint32_t CdOfs =
+      static_cast<uint32_t>(Image.readUnsigned(Eocd + 16, 4, Endian::Little));
+  if (static_cast<uint64_t>(CdOfs) + CdSize > Eocd)
+    return false;
+
+  size_t P = CdOfs;
+  for (uint16_t I = 0; I < Out.EntryCount; ++I) {
+    if (P + 46 > CdOfs + CdSize || !Image.matchesAt(P, "PK\x01\x02"))
+      return false;
+    HwZipEntry E;
+    E.Method =
+        static_cast<uint16_t>(Image.readUnsigned(P + 10, 2, Endian::Little));
+    E.CSize =
+        static_cast<uint32_t>(Image.readUnsigned(P + 20, 4, Endian::Little));
+    E.USize =
+        static_cast<uint32_t>(Image.readUnsigned(P + 24, 4, Endian::Little));
+    uint16_t NameLen =
+        static_cast<uint16_t>(Image.readUnsigned(P + 28, 2, Endian::Little));
+    uint16_t ExtraLen =
+        static_cast<uint16_t>(Image.readUnsigned(P + 30, 2, Endian::Little));
+    uint16_t CommentLen =
+        static_cast<uint16_t>(Image.readUnsigned(P + 32, 2, Endian::Little));
+    E.LfhOfs =
+        static_cast<uint32_t>(Image.readUnsigned(P + 42, 4, Endian::Little));
+    if (P + 46 + NameLen > Image.size())
+      return false;
+    E.Name.assign(reinterpret_cast<const char *>(Image.data()) + P + 46,
+                  NameLen);
+    P += 46u + NameLen + ExtraLen + CommentLen;
+
+    // Validate the local header the entry points at (random access).
+    size_t L = E.LfhOfs;
+    if (L + 30 > Image.size() || !Image.matchesAt(L, "PK\x03\x04"))
+      return false;
+    Out.Entries.push_back(std::move(E));
+  }
+  return P == CdOfs + CdSize;
+}
+
+bool ipg::baselines::hwUnzip(
+    ByteSpan Image, std::map<std::string, std::vector<uint8_t>> &Files) {
+  HwZip Z;
+  if (!hwParseZip(Image, Z))
+    return false;
+  for (const HwZipEntry &E : Z.Entries) {
+    size_t L = E.LfhOfs;
+    uint16_t NameLen =
+        static_cast<uint16_t>(Image.readUnsigned(L + 26, 2, Endian::Little));
+    uint16_t ExtraLen =
+        static_cast<uint16_t>(Image.readUnsigned(L + 28, 2, Endian::Little));
+    size_t DataOfs = L + 30u + NameLen + ExtraLen;
+    if (DataOfs + E.CSize > Image.size())
+      return false;
+    if (E.Method == 0) {
+      Files[E.Name] = std::vector<uint8_t>(
+          Image.data() + DataOfs, Image.data() + DataOfs + E.CSize);
+    } else if (E.Method == 8) {
+      size_t Consumed = 0;
+      auto Out = formats::miniZlibDecompress(
+          Image.slice(DataOfs, DataOfs + E.CSize), Consumed);
+      if (!Out || Out->size() != E.USize)
+        return false;
+      Files[E.Name] = std::move(*Out);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,83 @@
+//===- baselines/Handwritten.h - readelf/unzip-style parsers ----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-written comparators of Figure 12: parsers in the style of GNU
+/// readelf and Info-ZIP unzip — direct struct mapping over the file image,
+/// parsing tightly mixed with processing, no intermediate tree. The
+/// end-to-end entry points replicate what the paper timed: readelf's
+/// "-h -S --dyn-syms" report and unzip's parse + decompress + write-files
+/// pipeline (files are written to an in-memory store so the measurement is
+/// not dominated by filesystem noise; see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_BASELINES_HANDWRITTEN_H
+#define IPG_BASELINES_HANDWRITTEN_H
+
+#include "support/Bytes.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipg::baselines {
+
+//===----------------------------------------------------------------------===//
+// readelf-style ELF access.
+//===----------------------------------------------------------------------===//
+
+struct HwElfSection {
+  uint32_t Type = 0;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+};
+
+struct HwElf {
+  uint64_t ShOff = 0;
+  uint16_t ShNum = 0;
+  std::vector<HwElfSection> Sections;
+  std::vector<std::pair<uint64_t, uint64_t>> DynEntries;
+  std::vector<uint64_t> SymValues;
+};
+
+/// Parse-only (the "parsing time" series of Figure 12d).
+bool hwParseElf(ipg::ByteSpan Image, HwElf &Out);
+
+/// readelf -h -S --dyn-syms: parse + validate + render a report (the
+/// end-to-end series of Figure 12c). Returns the report, empty on error.
+std::string hwReadelf(ipg::ByteSpan Image);
+
+//===----------------------------------------------------------------------===//
+// unzip-style ZIP access.
+//===----------------------------------------------------------------------===//
+
+struct HwZipEntry {
+  std::string Name;
+  uint16_t Method = 0;
+  uint32_t CSize = 0, USize = 0;
+  uint32_t LfhOfs = 0;
+};
+
+struct HwZip {
+  uint16_t EntryCount = 0;
+  std::vector<HwZipEntry> Entries;
+};
+
+/// Parse-only: EOCD -> central directory -> local headers (Figure 12b's
+/// "parsing" series).
+bool hwParseZip(ipg::ByteSpan Image, HwZip &Out);
+
+/// unzip end-to-end: parse, decompress every entry, "write" each file into
+/// \p Files (Figure 12a). False on any malformed entry.
+bool hwUnzip(ipg::ByteSpan Image,
+             std::map<std::string, std::vector<uint8_t>> &Files);
+
+} // namespace ipg::baselines
+
+#endif // IPG_BASELINES_HANDWRITTEN_H

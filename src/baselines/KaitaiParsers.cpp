@@ -1,0 +1,295 @@
+//===- baselines/KaitaiParsers.cpp ----------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/KaitaiParsers.h"
+
+using namespace ipg::baselines;
+
+bool KaitaiElf::parse(KaitaiStream &Io) {
+  if (!Io.expectBytes("\x7f"
+                      "ELF"))
+    return false;
+  Io.seek(40);
+  ShOff = Io.readU8le();
+  Io.seek(58);
+  uint16_t ShEntSize = Io.readU2le();
+  ShNum = Io.readU2le();
+  if (!Io.ok() || ShEntSize != 64)
+    return false;
+
+  // Jump to the section header table (the `pos:` instance of Figure 11a).
+  for (uint16_t I = 0; I < ShNum; ++I) {
+    Io.seek(ShOff + static_cast<uint64_t>(I) * 64);
+    Section S;
+    Io.readU4le(); // sh_name
+    S.Type = Io.readU4le();
+    Io.readU8le(); // sh_flags
+    Io.readU8le(); // sh_addr
+    S.Offset = Io.readU8le();
+    S.Size = Io.readU8le();
+    if (!Io.ok())
+      return false;
+    Sections.push_back(std::move(S));
+  }
+  for (uint16_t I = 1; I < ShNum; ++I) {
+    Section &S = Sections[I];
+    Io.seek(S.Offset);
+    if (!Io.ok())
+      return false;
+    if (S.Type == 6) {
+      if (S.Size % 16 != 0)
+        return false;
+      for (uint64_t K = 0; K < S.Size / 16; ++K) {
+        uint64_t Tag = Io.readU8le();
+        uint64_t Val = Io.readU8le();
+        S.DynEntries.emplace_back(Tag, Val);
+      }
+    } else if (S.Type == 2) {
+      if (S.Size % 24 != 0)
+        return false;
+      for (uint64_t K = 0; K < S.Size / 24; ++K) {
+        Io.readU4le(); // st_name
+        Io.readU4le(); // st_info etc.
+        S.SymValues.push_back(Io.readU8le());
+        Io.readU8le(); // st_size
+      }
+    } else {
+      S.Body = Io.readBytes(S.Size); // copied through
+    }
+    if (!Io.ok())
+      return false;
+  }
+  return Io.ok();
+}
+
+bool KaitaiZip::parse(KaitaiStream &Io) {
+  // Kaitai's zip.ksy walks sections from the front, consuming each body.
+  while (Io.ok() && !Io.isEof()) {
+    if (!Io.expectBytes("PK"))
+      return false;
+    uint16_t SectionType = Io.readU2le();
+    if (SectionType == 0x0403) { // local file
+      Entry E;
+      Io.readU2le(); // version
+      Io.readU2le(); // flags
+      E.Method = Io.readU2le();
+      Io.readU2le(); // time
+      Io.readU2le(); // date
+      Io.readU4le(); // crc
+      E.CSize = Io.readU4le();
+      E.USize = Io.readU4le();
+      uint16_t NameLen = Io.readU2le();
+      uint16_t ExtraLen = Io.readU2le();
+      auto NameBytes = Io.readBytes(NameLen);
+      E.Name.assign(NameBytes.begin(), NameBytes.end());
+      Io.readBytes(ExtraLen);
+      // This is the behaviour the paper calls out: the archived data is
+      // *read* (copied) to advance the stream.
+      E.Data = Io.readBytes(E.CSize);
+      if (!Io.ok())
+        return false;
+      Entries.push_back(std::move(E));
+    } else if (SectionType == 0x0201) { // central directory header
+      Io.readBytes(24);
+      uint16_t NameLen = Io.readU2le();
+      uint16_t ExtraLen = Io.readU2le();
+      uint16_t CommentLen = Io.readU2le();
+      Io.readBytes(12);
+      Io.readBytes(static_cast<size_t>(NameLen) + ExtraLen + CommentLen);
+      if (!Io.ok())
+        return false;
+    } else if (SectionType == 0x0605) { // end of central directory
+      Io.readBytes(6);
+      EntryCount = Io.readU2le();
+      Io.readBytes(8);
+      uint16_t CommentLen = Io.readU2le();
+      Io.readBytes(CommentLen);
+      return Io.ok() && EntryCount == Entries.size();
+    } else {
+      return false;
+    }
+  }
+  return false; // no EOCD seen
+}
+
+bool KaitaiGif::parse(KaitaiStream &Io) {
+  if (!Io.expectBytes("GIF89a"))
+    return false;
+  Width = Io.readU2le();
+  Height = Io.readU2le();
+  uint8_t Flags = Io.readU1();
+  Io.readU1(); // background color
+  Io.readU1(); // aspect ratio
+  if ((Flags & 0x80) != 0) {
+    HasGct = true;
+    Gct = Io.readBytes(3u * (2u << (Flags & 7)));
+  }
+  auto ReadSubBlocks = [&](std::vector<uint8_t> &Out) {
+    for (;;) {
+      uint8_t Len = Io.readU1();
+      if (!Io.ok())
+        return false;
+      if (Len == 0)
+        return true;
+      auto Chunk = Io.readBytes(Len);
+      Out.insert(Out.end(), Chunk.begin(), Chunk.end());
+      if (!Io.ok())
+        return false;
+    }
+  };
+  for (;;) {
+    uint8_t Tag = Io.readU1();
+    if (!Io.ok())
+      return false;
+    if (Tag == 0x3b)
+      return true; // trailer
+    if (Tag == 0x21) {
+      Io.readU1(); // label
+      std::vector<uint8_t> Scratch;
+      if (!ReadSubBlocks(Scratch))
+        return false;
+      ++NumBlocks;
+    } else if (Tag == 0x2c) {
+      Io.readBytes(8); // left/top/width/height
+      uint8_t IFlags = Io.readU1();
+      if ((IFlags & 0x80) != 0)
+        Io.readBytes(3u * (2u << (IFlags & 7)));
+      Io.readU1(); // LZW min code size
+      std::vector<uint8_t> Data;
+      if (!ReadSubBlocks(Data))
+        return false;
+      ImageData.push_back(std::move(Data));
+      ++NumBlocks;
+      ++NumImages;
+    } else {
+      return false;
+    }
+  }
+}
+
+bool KaitaiPe::parse(KaitaiStream &Io) {
+  if (!Io.expectBytes("MZ"))
+    return false;
+  Io.seek(60);
+  LfaNew = Io.readU4le();
+  Io.seek(LfaNew);
+  if (!Io.expectBytes(std::string_view("PE\x00\x00", 4)))
+    return false;
+  Machine = Io.readU2le();
+  NumSections = Io.readU2le();
+  Io.readBytes(12);
+  uint16_t OptSize = Io.readU2le();
+  Io.readU2le(); // characteristics
+  size_t OptBase = Io.pos();
+  uint16_t Magic = Io.readU2le();
+  if (!Io.ok() || Magic != 0x20b)
+    return false;
+  Io.seek(OptBase + OptSize);
+  for (uint16_t I = 0; I < NumSections; ++I) {
+    Io.readBytes(8); // name
+    Io.readU4le();   // virtual size
+    Io.readU4le();   // virtual address
+    Section S;
+    S.RawSize = Io.readU4le();
+    S.RawPtr = Io.readU4le();
+    Io.readBytes(16);
+    if (!Io.ok())
+      return false;
+    Sections.push_back(std::move(S));
+  }
+  for (Section &S : Sections) {
+    Io.seek(S.RawPtr);
+    S.Body = Io.readBytes(S.RawSize);
+    if (!Io.ok())
+      return false;
+  }
+  return true;
+}
+
+static bool kaitaiReadName(KaitaiStream &Io, std::vector<uint8_t> &Out) {
+  for (;;) {
+    uint8_t Len = Io.readU1();
+    if (!Io.ok())
+      return false;
+    if (Len == 0)
+      return true;
+    if ((Len & 0xC0) == 0xC0) {
+      Io.readU1(); // second pointer byte
+      return Io.ok();
+    }
+    if (Len >= 64)
+      return false;
+    auto Label = Io.readBytes(Len);
+    Out.insert(Out.end(), Label.begin(), Label.end());
+    Out.push_back('.');
+    if (!Io.ok())
+      return false;
+  }
+}
+
+bool KaitaiDns::parse(KaitaiStream &Io) {
+  Id = Io.readU2be();
+  Io.readU2be(); // flags
+  QdCount = Io.readU2be();
+  AnCount = Io.readU2be();
+  Io.readU2be(); // ns
+  Io.readU2be(); // ar
+  if (!Io.ok() || QdCount != 1)
+    return false;
+  if (!kaitaiReadName(Io, QName))
+    return false;
+  Io.readU2be(); // qtype
+  Io.readU2be(); // qclass
+  for (uint16_t I = 0; I < AnCount; ++I) {
+    std::vector<uint8_t> Scratch;
+    if (!kaitaiReadName(Io, Scratch))
+      return false;
+    Answer A;
+    A.Type = Io.readU2be();
+    A.Class = Io.readU2be();
+    A.Ttl = Io.readU4be();
+    uint16_t RdLen = Io.readU2be();
+    A.RData = Io.readBytes(RdLen);
+    if (!Io.ok())
+      return false;
+    Answers.push_back(std::move(A));
+  }
+  return Io.ok();
+}
+
+bool KaitaiIpv4::parse(KaitaiStream &Io) {
+  uint8_t VIhl = Io.readU1();
+  if (!Io.ok() || (VIhl >> 4) != 4)
+    return false;
+  Ihl = VIhl & 0xf;
+  if (Ihl < 5)
+    return false;
+  Io.readU1(); // dscp
+  TotalLength = Io.readU2be();
+  Io.readBytes(5);
+  Protocol = Io.readU1();
+  Io.readU2be();  // checksum
+  Io.readU4be();  // src
+  Io.readU4be();  // dst
+  Io.readBytes((Ihl - 5) * 4u); // options
+  if (TotalLength > Io.size() || TotalLength < Ihl * 4u)
+    return false;
+  size_t Remaining = TotalLength - Ihl * 4u;
+  if (Protocol == 17) {
+    HasUdp = true;
+    SrcPort = Io.readU2be();
+    DstPort = Io.readU2be();
+    UdpLen = Io.readU2be();
+    Io.readU2be(); // checksum
+    if (UdpLen != Remaining)
+      return false;
+    Payload = Io.readBytes(UdpLen - 8);
+  } else {
+    Payload = Io.readBytes(Remaining);
+  }
+  return Io.ok();
+}

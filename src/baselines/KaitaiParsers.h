@@ -1,0 +1,107 @@
+//===- baselines/KaitaiParsers.h - Kaitai-style format parsers --*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsers written the way Kaitai Struct's generated C++ looks: one struct
+/// per type, eagerly reading every field through a KaitaiStream, jumping
+/// with seek() for random access (the Figure 11a pattern), and materializing
+/// payload bytes (ZIP's archived data in particular is read, not skipped).
+/// These are the Figure 13 comparators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_BASELINES_KAITAIPARSERS_H
+#define IPG_BASELINES_KAITAIPARSERS_H
+
+#include "baselines/KaitaiStream.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg::baselines {
+
+struct KaitaiElf {
+  uint64_t ShOff = 0;
+  uint16_t ShNum = 0;
+  struct Section {
+    uint32_t Type = 0;
+    uint64_t Offset = 0;
+    uint64_t Size = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> DynEntries;
+    std::vector<uint64_t> SymValues;
+    std::vector<uint8_t> Body; ///< copied raw bytes for "other" sections
+  };
+  std::vector<Section> Sections;
+
+  bool parse(KaitaiStream &Io);
+};
+
+struct KaitaiZip {
+  struct Entry {
+    uint16_t Method = 0;
+    uint32_t CSize = 0, USize = 0;
+    std::string Name;
+    std::vector<uint8_t> Data; ///< archived bytes, copied through
+  };
+  uint16_t EntryCount = 0;
+  std::vector<Entry> Entries;
+
+  bool parse(KaitaiStream &Io);
+};
+
+struct KaitaiGif {
+  uint16_t Width = 0, Height = 0;
+  bool HasGct = false;
+  std::vector<uint8_t> Gct;
+  size_t NumBlocks = 0;
+  size_t NumImages = 0;
+  std::vector<std::vector<uint8_t>> ImageData; ///< copied sub-block bytes
+
+  bool parse(KaitaiStream &Io);
+};
+
+struct KaitaiPe {
+  uint32_t LfaNew = 0;
+  uint16_t Machine = 0;
+  uint16_t NumSections = 0;
+  struct Section {
+    uint32_t RawPtr = 0, RawSize = 0;
+    std::vector<uint8_t> Body;
+  };
+  std::vector<Section> Sections;
+
+  bool parse(KaitaiStream &Io);
+};
+
+struct KaitaiDns {
+  uint16_t Id = 0, QdCount = 0, AnCount = 0;
+  std::vector<uint8_t> QName;
+  struct Answer {
+    uint16_t Type = 0, Class = 0;
+    uint32_t Ttl = 0;
+    std::vector<uint8_t> RData;
+  };
+  std::vector<Answer> Answers;
+
+  bool parse(KaitaiStream &Io);
+};
+
+struct KaitaiIpv4 {
+  uint8_t Ihl = 0;
+  uint16_t TotalLength = 0;
+  uint8_t Protocol = 0;
+  bool HasUdp = false;
+  uint16_t SrcPort = 0, DstPort = 0, UdpLen = 0;
+  std::vector<uint8_t> Payload;
+
+  bool parse(KaitaiStream &Io);
+};
+
+} // namespace ipg::baselines
+
+#endif // IPG_BASELINES_KAITAIPARSERS_H

@@ -1,0 +1,60 @@
+//===- baselines/KaitaiStream.cpp -----------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/KaitaiStream.h"
+
+#include <cstring>
+
+using namespace ipg::baselines;
+
+uint64_t KaitaiStream::readUnsigned(size_t NumBytes, bool BigEndian) {
+  if (Pos + NumBytes > Data.size()) {
+    Failed = true;
+    return 0;
+  }
+  uint64_t V = 0;
+  if (BigEndian) {
+    for (size_t I = 0; I < NumBytes; ++I)
+      V = (V << 8) | Data[Pos + I];
+  } else {
+    for (size_t I = NumBytes; I-- > 0;)
+      V = (V << 8) | Data[Pos + I];
+  }
+  Pos += NumBytes;
+  return V;
+}
+
+std::vector<uint8_t> KaitaiStream::readBytes(size_t N) {
+  if (Pos + N > Data.size()) {
+    Failed = true;
+    return {};
+  }
+  std::vector<uint8_t> Out(Data.begin() + Pos, Data.begin() + Pos + N);
+  Pos += N;
+  return Out;
+}
+
+bool KaitaiStream::expectBytes(std::string_view Magic) {
+  if (Pos + Magic.size() > Data.size() ||
+      std::memcmp(Data.data() + Pos, Magic.data(), Magic.size()) != 0) {
+    Failed = true;
+    return false;
+  }
+  Pos += Magic.size();
+  return true;
+}
+
+KaitaiStream KaitaiStream::substream(size_t At, size_t Len) const {
+  if (At + Len > Data.size()) {
+    KaitaiStream Bad(std::vector<uint8_t>{});
+    Bad.Failed = true;
+    return Bad;
+  }
+  // Deliberately copies: this is the behaviour Figure 13a attributes to
+  // Kaitai's generated ZIP parser.
+  return KaitaiStream(Data.data() + At, Len);
+}

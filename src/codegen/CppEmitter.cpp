@@ -1,0 +1,557 @@
+//===- codegen/CppEmitter.cpp ---------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppEmitter.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+
+namespace {
+
+/// The runtime preamble embedded into every generated parser.
+const char RuntimePreamble[] = R"CPP(
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace %NS% {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+struct Node {
+  const char *Name;
+  std::vector<std::pair<const char *, long long>> Env;
+  std::vector<NodePtr> Children;
+  std::vector<std::pair<const char *, std::vector<NodePtr>>> Arrays;
+
+  bool get(const char *K, long long &Out) const {
+    for (auto &KV : Env)
+      if (!std::strcmp(KV.first, K)) { Out = KV.second; return true; }
+    return false;
+  }
+  void set(const char *K, long long V) {
+    for (auto &KV : Env)
+      if (!std::strcmp(KV.first, K)) { KV.second = V; return; }
+    Env.emplace_back(K, V);
+  }
+};
+
+struct Frame {
+  const uint8_t *Base;
+  size_t Lo, Hi; // local input = Base[Lo, Hi)
+  Node *N;
+  Frame *Lexical;
+  std::vector<long long> TermEnd;
+  std::vector<bool> TermEndSet;
+  int Depth;
+
+  long long eoi() const { return (long long)(Hi - Lo); }
+  bool attr(const char *K, long long &Out) const {
+    for (const Frame *F = this; F; F = F->Lexical)
+      if (F->N->get(K, Out))
+        return true;
+    return false;
+  }
+  Node *findNode(const char *Name) const {
+    for (const Frame *F = this; F; F = F->Lexical)
+      for (size_t I = F->N->Children.size(); I-- > 0;)
+        if (!std::strcmp(F->N->Children[I]->Name, Name))
+          return F->N->Children[I].get();
+    return nullptr;
+  }
+  const std::vector<NodePtr> *findArray(const char *Name) const {
+    for (const Frame *F = this; F; F = F->Lexical)
+      for (size_t I = F->N->Arrays.size(); I-- > 0;)
+        if (!std::strcmp(F->N->Arrays[I].first, Name))
+          return &F->N->Arrays[I].second;
+    return nullptr;
+  }
+  bool read(long long Off, long long W, bool BE, long long &Out) const {
+    if (Off < 0 || W < 1 || W > 8 || (size_t)(Off + W) > Hi - Lo)
+      return false;
+    unsigned long long V = 0;
+    if (BE)
+      for (long long I = 0; I < W; ++I)
+        V = (V << 8) | Base[Lo + Off + I];
+    else
+      for (long long I = W; I-- > 0;)
+        V = (V << 8) | Base[Lo + Off + I];
+    Out = (long long)V;
+    return true;
+  }
+};
+
+static inline void updStartEnd(Node *N, long long L, long long H, bool T) {
+  if (!T) return;
+  long long S = 0, E = 0;
+  N->get("start", S);
+  N->get("end", E);
+  N->set("start", L < S ? L : S);
+  N->set("end", H > E ? H : E);
+}
+
+static const int MaxDepth = 8192;
+)CPP";
+
+class Emitter {
+public:
+  Emitter(const Grammar &G, const std::string &NS) : G(G), NS(NS) {}
+
+  Expected<std::string> run();
+
+private:
+  const Grammar &G;
+  std::string NS;
+  std::string EvalFns;  ///< emitted eval_N function bodies
+  std::string RuleFns;  ///< emitted parseRule_N function bodies
+  unsigned NextEval = 0;
+  unsigned NextTmp = 0;
+  Error Err = Error::success();
+
+  std::string cstr(std::string_view S) {
+    std::string Out = "\"";
+    for (unsigned char C : S) {
+      static const char *Hex = "0123456789abcdef";
+      Out += "\\x";
+      Out += Hex[C >> 4];
+      Out += Hex[C & 0xf];
+    }
+    return Out + "\"";
+  }
+  std::string name(Symbol S) { return std::string(G.interner().name(S)); }
+
+  /// Emits statements computing \p E into a fresh temp inside \p Body;
+  /// statements `return false;` on partiality. Returns the temp name.
+  std::string emitExpr(const Expr &E, std::string &Body);
+  /// Emits a whole expression as a standalone `bool eval_N(Frame&, long
+  /// long&)` function; returns its index.
+  unsigned emitEvalFn(const Expr &E);
+  void emitTerm(const Term &T, uint32_t TI, std::string &Body);
+  void emitChildParse(RuleId Target, const Interval &Iv, uint32_t TI,
+                      const char *ChildKind, std::string &Body);
+  void emitRule(const Rule &R);
+};
+
+std::string Emitter::emitExpr(const Expr &E, std::string &Body) {
+  std::string T = "t" + std::to_string(NextTmp++);
+  Body += "  long long " + T + " = 0; (void)" + T + ";\n";
+  switch (E.kind()) {
+  case Expr::Kind::Num:
+    Body += "  " + T + " = " +
+            std::to_string(cast<NumExpr>(&E)->value()) + "LL;\n";
+    return T;
+  case Expr::Kind::Binary: {
+    const auto &B = *cast<BinaryExpr>(&E);
+    if (B.op() == BinOpKind::And || B.op() == BinOpKind::Or) {
+      std::string L = emitExpr(*B.lhs(), Body);
+      bool IsAnd = B.op() == BinOpKind::And;
+      Body += "  if (" + std::string(IsAnd ? "!" : "") + L + ") { " + T +
+              " = " + (IsAnd ? "0" : "1") + "; } else {\n";
+      std::string R = emitExpr(*B.rhs(), Body);
+      Body += "  " + T + " = " + R + " != 0;\n  }\n";
+      return T;
+    }
+    std::string L = emitExpr(*B.lhs(), Body);
+    std::string R = emitExpr(*B.rhs(), Body);
+    switch (B.op()) {
+    case BinOpKind::Add:
+      Body += "  " + T + " = " + L + " + " + R + ";\n";
+      break;
+    case BinOpKind::Sub:
+      Body += "  " + T + " = " + L + " - " + R + ";\n";
+      break;
+    case BinOpKind::Mul:
+      Body += "  " + T + " = " + L + " * " + R + ";\n";
+      break;
+    case BinOpKind::Div:
+      Body += "  if (" + R + " == 0) return false;\n  " + T + " = " + L +
+              " / " + R + ";\n";
+      break;
+    case BinOpKind::Mod:
+      Body += "  if (" + R + " == 0) return false;\n  " + T + " = " + L +
+              " % " + R + ";\n";
+      break;
+    case BinOpKind::Eq:
+      Body += "  " + T + " = " + L + " == " + R + ";\n";
+      break;
+    case BinOpKind::Ne:
+      Body += "  " + T + " = " + L + " != " + R + ";\n";
+      break;
+    case BinOpKind::Lt:
+      Body += "  " + T + " = " + L + " < " + R + ";\n";
+      break;
+    case BinOpKind::Gt:
+      Body += "  " + T + " = " + L + " > " + R + ";\n";
+      break;
+    case BinOpKind::Le:
+      Body += "  " + T + " = " + L + " <= " + R + ";\n";
+      break;
+    case BinOpKind::Ge:
+      Body += "  " + T + " = " + L + " >= " + R + ";\n";
+      break;
+    case BinOpKind::Shl:
+      Body += "  if (" + R + " < 0 || " + R + " > 62) return false;\n  " +
+              T + " = " + L + " << " + R + ";\n";
+      break;
+    case BinOpKind::Shr:
+      Body += "  if (" + R + " < 0 || " + R + " > 62) return false;\n  " +
+              T + " = " + L + " >> " + R + ";\n";
+      break;
+    case BinOpKind::BitAnd:
+      Body += "  " + T + " = " + L + " & " + R + ";\n";
+      break;
+    case BinOpKind::And:
+    case BinOpKind::Or:
+      break; // handled above
+    }
+    return T;
+  }
+  case Expr::Kind::Cond: {
+    const auto &C = *cast<CondExpr>(&E);
+    std::string Cv = emitExpr(*C.cond(), Body);
+    Body += "  if (" + Cv + ") {\n";
+    std::string Tv = emitExpr(*C.thenExpr(), Body);
+    Body += "  " + T + " = " + Tv + ";\n  } else {\n";
+    std::string Fv = emitExpr(*C.elseExpr(), Body);
+    Body += "  " + T + " = " + Fv + ";\n  }\n";
+    return T;
+  }
+  case Expr::Kind::Ref: {
+    const auto &R = *cast<RefExpr>(&E);
+    switch (R.refKind()) {
+    case RefKind::Eoi:
+      Body += "  " + T + " = F.eoi();\n";
+      return T;
+    case RefKind::Attr:
+      Body += "  if (!F.attr(" + cstr(name(R.attrName())) + ", " + T +
+              ")) return false;\n";
+      return T;
+    case RefKind::NtAttr:
+      Body += "  { Node *N2 = F.findNode(" + cstr(name(R.nt())) +
+              "); if (!N2 || !N2->get(" + cstr(name(R.attrName())) + ", " +
+              T + ")) return false; }\n";
+      return T;
+    case RefKind::NtElemAttr: {
+      std::string Idx = emitExpr(*R.index(), Body);
+      Body += "  { const std::vector<NodePtr> *A = F.findArray(" +
+              cstr(name(R.nt())) + "); if (!A || " + Idx + " < 0 || (size_t)" +
+              Idx + " >= A->size() || !(*A)[(size_t)" + Idx + "]->get(" +
+              cstr(name(R.attrName())) + ", " + T + ")) return false; }\n";
+      return T;
+    }
+    case RefKind::TermEnd:
+      Body += "  if (!F.TermEndSet[" + std::to_string(R.termIndex()) +
+              "]) return false;\n  " + T + " = F.TermEnd[" +
+              std::to_string(R.termIndex()) + "];\n";
+      return T;
+    }
+    return T;
+  }
+  case Expr::Kind::Exists: {
+    const auto &X = *cast<ExistsExpr>(&E);
+    // Find the scanned array the same way the engine does: the element
+    // reference indexed by the loop variable.
+    Symbol ArrayNT = InvalidSymbol;
+    forEachExpr(*X.cond(), [&](const Expr &Sub) {
+      if (ArrayNT != InvalidSymbol)
+        return;
+      const auto *Ref = dyn_cast<RefExpr>(&Sub);
+      if (!Ref || Ref->refKind() != RefKind::NtElemAttr || !Ref->index())
+        return;
+      const auto *Idx = dyn_cast<RefExpr>(Ref->index().get());
+      if (Idx && Idx->refKind() == RefKind::Attr &&
+          Idx->attrName() == X.loopVar())
+        ArrayNT = Ref->nt();
+    });
+    if (ArrayNT == InvalidSymbol) {
+      Err = Error::failure("exists does not scan any array");
+      return T;
+    }
+    unsigned CondFn = emitEvalFn(*X.cond());
+    unsigned ThenFn = emitEvalFn(*X.thenExpr());
+    unsigned ElseFn = emitEvalFn(*X.elseExpr());
+    std::string Var = cstr(name(X.loopVar()));
+    Body += "  { const std::vector<NodePtr> *A = F.findArray(" +
+            cstr(name(ArrayNT)) + "); if (!A) return false;\n"
+            "    bool Found = false; long long Saved = 0;\n"
+            "    bool HadSaved = F.N->get(" + Var + ", Saved);\n"
+            "    for (size_t K = 0; K < A->size(); ++K) {\n"
+            "      F.N->set(" + Var + ", (long long)K);\n"
+            "      long long C2 = 0;\n"
+            "      if (!eval_" + std::to_string(CondFn) +
+            "(F, C2)) return false;\n"
+            "      if (C2) { if (!eval_" + std::to_string(ThenFn) +
+            "(F, " + T + ")) return false; Found = true; break; }\n"
+            "    }\n"
+            "    if (HadSaved) F.N->set(" + Var + ", Saved);\n"
+            "    if (!Found && !eval_" + std::to_string(ElseFn) + "(F, " +
+            T + ")) return false; }\n";
+    return T;
+  }
+  case Expr::Kind::Read: {
+    const auto &R = *cast<ReadExpr>(&E);
+    std::string LoV = emitExpr(*R.lo(), Body);
+    std::string W = "1", BE = "false";
+    switch (R.readKind()) {
+    case ReadKind::U8:
+      break;
+    case ReadKind::U16Le:
+      W = "2";
+      break;
+    case ReadKind::U32Le:
+      W = "4";
+      break;
+    case ReadKind::U64Le:
+      W = "8";
+      break;
+    case ReadKind::U16Be:
+      W = "2";
+      BE = "true";
+      break;
+    case ReadKind::U32Be:
+      W = "4";
+      BE = "true";
+      break;
+    case ReadKind::BtoiLe:
+    case ReadKind::BtoiBe: {
+      std::string HiV = emitExpr(*R.hi(), Body);
+      W = HiV + " - " + LoV;
+      if (R.readKind() == ReadKind::BtoiBe)
+        BE = "true";
+      break;
+    }
+    }
+    Body += "  if (!F.read(" + LoV + ", " + W + ", " + BE + ", " + T +
+            ")) return false;\n";
+    return T;
+  }
+  }
+  return T;
+}
+
+unsigned Emitter::emitEvalFn(const Expr &E) {
+  unsigned Id = NextEval++;
+  std::string Body;
+  unsigned SavedTmp = NextTmp;
+  NextTmp = 0;
+  std::string Result = emitExpr(E, Body);
+  NextTmp = SavedTmp;
+  EvalFns += "static bool eval_" + std::to_string(Id) +
+             "(Frame &F, long long &Out) {\n" + Body + "  Out = " + Result +
+             ";\n  return true;\n}\n\n";
+  return Id;
+}
+
+void Emitter::emitChildParse(RuleId Target, const Interval &Iv, uint32_t TI,
+                             const char *ChildKind, std::string &Body) {
+  (void)ChildKind;
+  unsigned LoFn = emitEvalFn(*Iv.Lo);
+  unsigned HiFn = emitEvalFn(*Iv.Hi);
+  Body += "    { long long L = 0, H = 0;\n"
+          "      if (!eval_" + std::to_string(LoFn) + "(F, L) || !eval_" +
+          std::to_string(HiFn) + "(F, H)) return false;\n"
+          "      if (L < 0 || L > H || H > F.eoi()) return false;\n"
+          "      NodePtr Sub;\n"
+          "      if (!parseRule_" + std::to_string(Target) +
+          "(F.Base, F.Lo + (size_t)L, F.Lo + (size_t)H, " +
+          (G.rule(Target).IsLocal ? "&F" : "nullptr") +
+          ", F.Depth + 1, Sub)) return false;\n"
+          "      long long BS = 0, BE2 = 0;\n"
+          "      Sub->get(\"start\", BS); Sub->get(\"end\", BE2);\n"
+          "      Sub->set(\"start\", BS + L); Sub->set(\"end\", BE2 + L);\n"
+          "      updStartEnd(F.N, L + BS, L + BE2, BE2 != 0);\n"
+          "      F.N->Children.push_back(Sub);\n"
+          "      F.TermEnd[" + std::to_string(TI) + "] = L + BE2;\n"
+          "      F.TermEndSet[" + std::to_string(TI) + "] = true;\n"
+          "    }\n";
+}
+
+void Emitter::emitTerm(const Term &T, uint32_t TI, std::string &Body) {
+  switch (T.kind()) {
+  case Term::Kind::Nonterminal:
+    emitChildParse(cast<NTTerm>(&T)->Resolved, cast<NTTerm>(&T)->Iv, TI,
+                   "nt", Body);
+    return;
+  case Term::Kind::Terminal: {
+    const auto &S = *cast<TerminalTerm>(&T);
+    unsigned LoFn = emitEvalFn(*S.Iv.Lo);
+    unsigned HiFn = emitEvalFn(*S.Iv.Hi);
+    Body += "    { long long L = 0, H = 0;\n"
+            "      if (!eval_" + std::to_string(LoFn) + "(F, L) || !eval_" +
+            std::to_string(HiFn) + "(F, H)) return false;\n"
+            "      if (L < 0 || L > H || H > F.eoi()) return false;\n";
+    if (S.Wildcard) {
+      Body += "      updStartEnd(F.N, L, H, H > L);\n"
+              "      F.TermEnd[" + std::to_string(TI) + "] = H;\n";
+    } else {
+      Body += "      const long long Len = " +
+              std::to_string(S.Bytes.size()) + ";\n"
+              "      if (H - L < Len) return false;\n"
+              "      if (Len && std::memcmp(F.Base + F.Lo + L, " +
+              cstr(S.Bytes) + ", (size_t)Len)) return false;\n"
+              "      updStartEnd(F.N, L, L + Len, Len > 0);\n"
+              "      F.TermEnd[" + std::to_string(TI) + "] = L + Len;\n";
+    }
+    Body += "      F.TermEndSet[" + std::to_string(TI) + "] = true;\n"
+            "    }\n";
+    return;
+  }
+  case Term::Kind::AttrDef: {
+    const auto &D = *cast<AttrDefTerm>(&T);
+    unsigned Fn = emitEvalFn(*D.Value);
+    Body += "    { long long V = 0; if (!eval_" + std::to_string(Fn) +
+            "(F, V)) return false;\n      F.N->set(" + cstr(name(D.Name)) +
+            ", V); }\n";
+    return;
+  }
+  case Term::Kind::Predicate: {
+    unsigned Fn = emitEvalFn(*cast<PredicateTerm>(&T)->Cond);
+    Body += "    { long long V = 0; if (!eval_" + std::to_string(Fn) +
+            "(F, V) || !V) return false; }\n";
+    return;
+  }
+  case Term::Kind::Array: {
+    const auto &A = *cast<ArrayTerm>(&T);
+    unsigned FromFn = emitEvalFn(*A.From);
+    unsigned ToFn = emitEvalFn(*A.To);
+    unsigned LoFn = emitEvalFn(*A.Iv.Lo);
+    unsigned HiFn = emitEvalFn(*A.Iv.Hi);
+    std::string Var = cstr(name(A.LoopVar));
+    Body += "    { long long From = 0, To = 0;\n"
+            "      if (!eval_" + std::to_string(FromFn) +
+            "(F, From) || !eval_" + std::to_string(ToFn) +
+            "(F, To)) return false;\n"
+            "      long long Saved = 0; bool HadSaved = F.N->get(" + Var +
+            ", Saved);\n"
+            "      std::vector<NodePtr> Elems;\n"
+            "      bool Touched = false; long long MaxEnd = 0;\n"
+            "      for (long long K = From; K < To; ++K) {\n"
+            "        F.N->set(" + Var + ", K);\n"
+            "        long long L = 0, H = 0;\n"
+            "        if (!eval_" + std::to_string(LoFn) +
+            "(F, L) || !eval_" + std::to_string(HiFn) +
+            "(F, H)) return false;\n"
+            "        if (L < 0 || L > H || H > F.eoi()) return false;\n"
+            "        NodePtr Sub;\n"
+            "        if (!parseRule_" + std::to_string(A.Resolved) +
+            "(F.Base, F.Lo + (size_t)L, F.Lo + (size_t)H, " +
+            (G.rule(A.Resolved).IsLocal ? "&F" : "nullptr") +
+            ", F.Depth + 1, Sub)) return false;\n"
+            "        long long BS = 0, BE2 = 0;\n"
+            "        Sub->get(\"start\", BS); Sub->get(\"end\", BE2);\n"
+            "        Sub->set(\"start\", BS + L); Sub->set(\"end\", BE2 + L);\n"
+            "        updStartEnd(F.N, L + BS, L + BE2, BE2 != 0);\n"
+            "        if (BE2 != 0) { Touched = true; if (L + BE2 > MaxEnd) "
+            "MaxEnd = L + BE2; }\n"
+            "        Elems.push_back(Sub);\n"
+            "      }\n"
+            "      if (HadSaved) F.N->set(" + Var +
+            ", Saved); /* else leave; checker forbids later reads */\n"
+            "      F.N->Arrays.emplace_back(" + cstr(name(A.Elem)) +
+            ", std::move(Elems));\n"
+            "      if (Touched) { F.TermEnd[" + std::to_string(TI) +
+            "] = MaxEnd; F.TermEndSet[" + std::to_string(TI) +
+            "] = true; }\n"
+            "    }\n";
+    return;
+  }
+  case Term::Kind::Switch: {
+    const auto &Sw = *cast<SwitchTerm>(&T);
+    Body += "    {\n      bool Taken = false;\n";
+    for (const SwitchChoice &C : Sw.Choices) {
+      std::string Arm;
+      emitChildParse(C.Resolved, C.Iv, TI, "arm", Arm);
+      if (C.Cond) {
+        unsigned Fn = emitEvalFn(*C.Cond);
+        Body += "      if (!Taken) { long long V = 0;\n"
+                "        if (!eval_" + std::to_string(Fn) +
+                "(F, V)) return false;\n"
+                "        if (V) { Taken = true;\n" + Arm + "      } }\n";
+      } else {
+        Body += "      if (!Taken) { Taken = true;\n" + Arm + "      }\n";
+      }
+    }
+    Body += "      if (!Taken) return false;\n    }\n";
+    return;
+  }
+  case Term::Kind::Blackbox:
+    Err = Error::failure("generated parsers do not support blackbox terms");
+    return;
+  }
+}
+
+void Emitter::emitRule(const Rule &R) {
+  std::string Body;
+  Body += "static bool parseRule_" + std::to_string(R.Id) +
+          "(const uint8_t *Base, size_t AbsLo, size_t AbsHi, Frame *Lex, "
+          "int Depth, NodePtr &Out) {\n"
+          "  if (Depth > MaxDepth) return false;\n";
+  for (size_t AltIdx = 0; AltIdx < R.Alts.size(); ++AltIdx) {
+    const Alternative &Alt = R.Alts[AltIdx];
+    Body += "  { // alternative " + std::to_string(AltIdx) + "\n"
+            "    NodePtr N = std::make_shared<Node>();\n"
+            "    N->Name = " + cstr(name(R.Name)) + ";\n"
+            "    N->set(\"EOI\", (long long)(AbsHi - AbsLo));\n"
+            "    N->set(\"start\", (long long)(AbsHi - AbsLo));\n"
+            "    N->set(\"end\", 0);\n"
+            "    Frame F{Base, AbsLo, AbsHi, N.get(), " +
+            std::string(R.IsLocal ? "Lex" : "nullptr") + ", {}, {}, Depth};\n"
+            "    F.TermEnd.assign(" + std::to_string(Alt.Terms.size()) +
+            ", 0);\n"
+            "    F.TermEndSet.assign(" + std::to_string(Alt.Terms.size()) +
+            ", false);\n"
+            "    bool Ok = [&]() -> bool {\n";
+    size_t NumTerms = Alt.Terms.size();
+    for (size_t Step = 0; Step < NumTerms; ++Step) {
+      uint32_t TI = Alt.ExecOrder.empty() ? static_cast<uint32_t>(Step)
+                                          : Alt.ExecOrder[Step];
+      emitTerm(*Alt.Terms[TI], TI, Body);
+    }
+    Body += "    return true;\n    }();\n"
+            "    if (Ok) { Out = N; return true; }\n"
+            "  }\n";
+  }
+  Body += "  (void)Lex;\n  return false;\n}\n\n";
+  RuleFns += Body;
+}
+
+Expected<std::string> Emitter::run() {
+  // Forward declarations for mutual recursion.
+  std::string Decls;
+  for (size_t I = 0; I < G.numRules(); ++I)
+    Decls += "static bool parseRule_" + std::to_string(I) +
+             "(const uint8_t *, size_t, size_t, Frame *, int, NodePtr &);\n";
+  for (size_t I = 0; I < G.numRules(); ++I)
+    emitRule(G.rule(static_cast<RuleId>(I)));
+  if (Err)
+    return Expected<std::string>(std::move(Err));
+
+  std::string Preamble = RuntimePreamble;
+  size_t Pos = Preamble.find("%NS%");
+  Preamble.replace(Pos, 4, NS);
+
+  RuleId Start = G.findGlobal(G.startSymbol());
+  std::string Out;
+  Out += "// Generated by the IPG parser generator; do not edit.\n";
+  Out += Preamble + "\n" + Decls + "\n" + EvalFns + RuleFns;
+  Out += "bool parse(const uint8_t *Data, size_t Len, NodePtr &Out) {\n"
+         "  return parseRule_" + std::to_string(Start) +
+         "(Data, 0, Len, nullptr, 0, Out);\n}\n\n"
+         "} // namespace " + NS + "\n";
+  return Out;
+}
+
+} // namespace
+
+Expected<std::string> ipg::emitCppParser(const Grammar &G,
+                                         const std::string &Namespace) {
+  return Emitter(G, Namespace).run();
+}

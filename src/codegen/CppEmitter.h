@@ -1,0 +1,44 @@
+//===- codegen/CppEmitter.h - C++ parser generator --------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parser generator of Section 7: "generates C++ recursive descent
+/// parsers in a standard way — every nonterminal is translated to a C++
+/// function, which checks terminal strings and calls functions for other
+/// nonterminals according to its rule."
+///
+/// emitCppParser produces one standalone C++17 source file with no
+/// dependency on this library: a small embedded runtime (dynamic parse
+/// nodes + frames) plus one `parseRule_N` function per rule and one
+/// `eval_N` function per expression. The entry point is
+///
+///   bool NS::parse(const uint8_t *Data, size_t Len, NS::NodePtr &Out);
+///
+/// Limitations vs. the engine (documented, tested): no blackbox terms (the
+/// generated file has nowhere to resolve them from) and no memoization
+/// (plain recursive descent, as the paper's generator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_CODEGEN_CPPEMITTER_H
+#define IPG_CODEGEN_CPPEMITTER_H
+
+#include "grammar/Grammar.h"
+#include "support/Result.h"
+
+#include <string>
+
+namespace ipg {
+
+/// Emits a standalone recursive-descent parser for \p G (which must be
+/// completed + attribute-checked) into namespace \p Namespace.
+Expected<std::string> emitCppParser(const Grammar &G,
+                                    const std::string &Namespace);
+
+} // namespace ipg
+
+#endif // IPG_CODEGEN_CPPEMITTER_H

@@ -1,0 +1,218 @@
+//===- combinator/Combinator.h - Interval parser combinators ----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ port of the paper's monadic interval parser-combinator library
+/// (Appendix A.2). The monad state is a triple (l, r, c): the interval
+/// assigned to the parser and the current position, all in absolute
+/// offsets; `localInterval` (the paper's `%`) runs a parser confined to a
+/// sub-interval given in *relative* offsets — the combinator-level
+/// equivalent of attaching an interval to a nonterminal.
+///
+///   auto IntP = fix<int64_t>([](Parser<int64_t> Self) {
+///     return choice(
+///         bind(eoi(), [=](int64_t Eoi) {
+///           return bind(localInterval(Self, 0, Eoi - 1), [=](int64_t Hi) {
+///             return bind(localInterval(digitP(), Eoi - 1, Eoi),
+///                         [=](int64_t Lo) { return pure(Hi * 2 + Lo); });
+///           });
+///         }),
+///         localInterval(digitP(), 0, 1));
+///   });
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_COMBINATOR_COMBINATOR_H
+#define IPG_COMBINATOR_COMBINATOR_H
+
+#include "support/Bytes.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace ipg::comb {
+
+/// The monad state: interval [L, R) and current position C, absolute.
+struct State {
+  size_t L = 0;
+  size_t R = 0;
+  size_t C = 0;
+};
+
+struct Unit {};
+
+/// A parser of T: input + state -> (value, new state), or failure.
+template <typename T>
+using Parser =
+    std::function<std::optional<std::pair<T, State>>(ByteSpan, State)>;
+
+/// return: always succeeds with \p Value, state untouched.
+template <typename T> Parser<T> pure(T Value) {
+  return [Value](ByteSpan, State S) {
+    return std::make_optional(std::make_pair(Value, S));
+  };
+}
+
+/// Helper so bind can name the result type of a Parser.
+template <typename T> struct ParserTraits;
+template <typename T> struct ParserTraits<Parser<T>> {
+  using Value = T;
+};
+
+/// Monadic bind (the paper's >>=): Fn maps a T to a Parser<U>.
+template <typename T, typename F> auto bind(Parser<T> M, F Fn) {
+  using PU = std::invoke_result_t<F, T>;
+  using U = typename ParserTraits<PU>::Value;
+  return Parser<U>(
+      [M, Fn](ByteSpan In, State S) -> std::optional<std::pair<U, State>> {
+        auto R1 = M(In, S);
+        if (!R1)
+          return std::nullopt;
+        return Fn(std::move(R1->first))(In, R1->second);
+      });
+}
+
+/// Sequencing that drops the first result (the paper's $$).
+template <typename T, typename U> Parser<U> then(Parser<T> A, Parser<U> B) {
+  return [A, B](ByteSpan In, State S) -> std::optional<std::pair<U, State>> {
+    auto R1 = A(In, S);
+    if (!R1)
+      return std::nullopt;
+    return B(In, R1->second);
+  };
+}
+
+/// Biased choice (the paper's /): B runs only if A fails.
+template <typename T> Parser<T> choice(Parser<T> A, Parser<T> B) {
+  return [A, B](ByteSpan In, State S) {
+    auto R1 = A(In, S);
+    return R1 ? R1 : B(In, S);
+  };
+}
+
+/// Always fails.
+template <typename T> Parser<T> fail() {
+  return [](ByteSpan, State) -> std::optional<std::pair<T, State>> {
+    return std::nullopt;
+  };
+}
+
+// -- State access (the internal combinators of Figure 16) -----------------
+
+inline Parser<std::pair<size_t, size_t>> getInterval() {
+  return [](ByteSpan, State S) {
+    return std::make_optional(
+        std::make_pair(std::make_pair(S.L, S.R), S));
+  };
+}
+
+inline Parser<size_t> getPos() {
+  return [](ByteSpan, State S) {
+    return std::make_optional(std::make_pair(S.C, S));
+  };
+}
+
+/// End-of-input as a relative offset: the length of the local interval.
+inline Parser<int64_t> eoi() {
+  return [](ByteSpan, State S) {
+    return std::make_optional(
+        std::make_pair(static_cast<int64_t>(S.R - S.L), S));
+  };
+}
+
+// -- Interval confinement (the paper's %) ----------------------------------
+
+/// Runs \p P on the sub-interval [RelLo, RelHi) of the current interval;
+/// afterwards the interval is restored and the position moves to the end
+/// of the sub-interval — matching the IPG semantics of `A[el, er]`.
+template <typename T>
+Parser<T> localInterval(Parser<T> P, int64_t RelLo, int64_t RelHi) {
+  return [P, RelLo, RelHi](ByteSpan In,
+                           State S) -> std::optional<std::pair<T, State>> {
+    int64_t Len = static_cast<int64_t>(S.R - S.L);
+    if (RelLo < 0 || RelLo > RelHi || RelHi > Len)
+      return std::nullopt;
+    State Sub;
+    Sub.L = S.L + static_cast<size_t>(RelLo);
+    Sub.R = S.L + static_cast<size_t>(RelHi);
+    Sub.C = Sub.L;
+    auto R1 = P(In, Sub);
+    if (!R1)
+      return std::nullopt;
+    State Out = S;
+    Out.C = S.L + static_cast<size_t>(RelHi);
+    return std::make_pair(std::move(R1->first), Out);
+  };
+}
+
+// -- Leaf parsers -----------------------------------------------------------
+
+/// Matches one byte equal to \p Ch at the current position.
+inline Parser<char> charP(char Ch) {
+  return [Ch](ByteSpan In, State S) -> std::optional<std::pair<char, State>> {
+    if (S.C < S.L || S.C >= S.R || S.C >= In.size() ||
+        static_cast<char>(In[S.C]) != Ch)
+      return std::nullopt;
+    State S2 = S;
+    ++S2.C;
+    return std::make_pair(Ch, S2);
+  };
+}
+
+/// Matches any single byte, yielding its value.
+inline Parser<int64_t> anyByteP() {
+  return [](ByteSpan In, State S) -> std::optional<std::pair<int64_t, State>> {
+    if (S.C >= S.R || S.C >= In.size())
+      return std::nullopt;
+    State S2 = S;
+    ++S2.C;
+    return std::make_pair(static_cast<int64_t>(In[S.C]), S2);
+  };
+}
+
+/// Matches a literal string at the current position.
+inline Parser<Unit> strP(std::string Lit) {
+  return [Lit](ByteSpan In, State S) -> std::optional<std::pair<Unit, State>> {
+    if (S.C + Lit.size() > S.R || !In.matchesAt(S.C, Lit))
+      return std::nullopt;
+    State S2 = S;
+    S2.C += Lit.size();
+    return std::make_pair(Unit{}, S2);
+  };
+}
+
+// -- Recursion ---------------------------------------------------------------
+
+/// Ties the knot for recursive parsers: fix(f) passes the parser to its
+/// own definition.
+template <typename T>
+Parser<T> fix(std::function<Parser<T>(Parser<T>)> Fn) {
+  auto Cell = std::make_shared<Parser<T>>();
+  Parser<T> Self = [Cell](ByteSpan In, State S) { return (*Cell)(In, S); };
+  *Cell = Fn(Self);
+  return Self;
+}
+
+/// Runs a parser over a whole buffer.
+template <typename T>
+std::optional<T> runParser(const Parser<T> &P, ByteSpan In) {
+  State S;
+  S.L = 0;
+  S.R = In.size();
+  S.C = 0;
+  auto R = P(In, S);
+  if (!R)
+    return std::nullopt;
+  return std::move(R->first);
+}
+
+} // namespace ipg::comb
+
+#endif // IPG_COMBINATOR_COMBINATOR_H

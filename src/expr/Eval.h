@@ -1,0 +1,61 @@
+//===- expr/Eval.h - Expression evaluation ----------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation of IPG expressions against an abstract context. This is the
+/// sigma(E, Tr, e) function of the parsing semantics (Figure 8): the context
+/// supplies attribute values from the current environment E and from the
+/// parse trees Tr of earlier terms in the alternative.
+///
+/// Evaluation is partial: an undefined reference, division by zero, or an
+/// out-of-range builtin read yields std::nullopt, which the parser treats as
+/// failure of the enclosing term (attribute checking rules out undefined
+/// references statically; the dynamic check is belt-and-braces).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_EXPR_EVAL_H
+#define IPG_EXPR_EVAL_H
+
+#include "expr/Expr.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace ipg {
+
+/// What an expression may observe while being evaluated inside an
+/// alternative: the environment, sibling parse trees, the local input.
+class EvalContext {
+public:
+  virtual ~EvalContext();
+
+  /// Bare identifier (attribute of this alternative, or loop variable).
+  virtual std::optional<int64_t> attr(Symbol Id) const = 0;
+  /// `NT.Attr` on the most recent sibling node for NT (start/end included).
+  virtual std::optional<int64_t> ntAttr(Symbol NT, Symbol Attr) const = 0;
+  /// `NT(Index).Attr` on element Index of the sibling array of NTs.
+  virtual std::optional<int64_t> elemAttr(Symbol NT, int64_t Index,
+                                          Symbol Attr) const = 0;
+  /// Length of the sibling array of NTs (drives `exists`).
+  virtual std::optional<int64_t> arrayLength(Symbol NT) const = 0;
+  /// Length of the current local input.
+  virtual std::optional<int64_t> eoi() const = 0;
+  /// One past the rightmost input offset touched by term \p TermIdx.
+  virtual std::optional<int64_t> termEnd(uint32_t TermIdx) const = 0;
+  /// Builtin reader over the local input; \p Hi is meaningful only for the
+  /// btoi forms.
+  virtual std::optional<int64_t> readInput(ReadKind RK, int64_t Lo,
+                                           int64_t Hi) const = 0;
+};
+
+/// Evaluates \p E under \p Ctx; nullopt on any partiality.
+std::optional<int64_t> evaluate(const Expr &E, const EvalContext &Ctx);
+
+} // namespace ipg
+
+#endif // IPG_EXPR_EVAL_H

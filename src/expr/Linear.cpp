@@ -1,0 +1,122 @@
+//===- expr/Linear.cpp ----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Linear.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+
+uint32_t AtomTable::atom(const std::string &Key) {
+  auto It = Ids.find(Key);
+  if (It != Ids.end())
+    return It->second;
+  uint32_t Id = static_cast<uint32_t>(Keys.size());
+  Keys.push_back(Key);
+  Ids.emplace(Key, Id);
+  return Id;
+}
+
+LinExpr LinExpr::operator+(const LinExpr &O) const {
+  LinExpr R = *this;
+  R.Const = R.Const + O.Const;
+  for (const auto &[Id, C] : O.Coeffs) {
+    Rational Sum = R.Coeffs.count(Id) ? R.Coeffs[Id] + C : C;
+    if (Sum.isZero())
+      R.Coeffs.erase(Id);
+    else
+      R.Coeffs[Id] = Sum;
+  }
+  return R;
+}
+
+LinExpr LinExpr::operator-(const LinExpr &O) const {
+  return *this + O.scaled(Rational(-1));
+}
+
+LinExpr LinExpr::scaled(Rational Factor) const {
+  LinExpr R;
+  R.Const = Const * Factor;
+  if (Factor.isZero())
+    return R;
+  for (const auto &[Id, C] : Coeffs)
+    R.Coeffs[Id] = C * Factor;
+  return R;
+}
+
+std::string LinExpr::str(const AtomTable &Atoms) const {
+  std::string S;
+  for (const auto &[Id, C] : Coeffs) {
+    if (!S.empty())
+      S += " + ";
+    S += C.str() + "*" + Atoms.key(Id);
+  }
+  if (S.empty() || !Const.isZero()) {
+    if (!S.empty())
+      S += " + ";
+    S += Const.str();
+  }
+  return S;
+}
+
+LinExpr ipg::linearize(const Expr &E, AtomTable &Atoms,
+                       const std::string &Prefix,
+                       const StringInterner &Names) {
+  auto opaque = [&]() {
+    return LinExpr::atom(Atoms.atom(Prefix + "#" + E.str(Names)));
+  };
+
+  switch (E.kind()) {
+  case Expr::Kind::Num:
+    return LinExpr::constant(Rational(cast<NumExpr>(&E)->value()));
+  case Expr::Kind::Binary: {
+    const auto &B = *cast<BinaryExpr>(&E);
+    switch (B.op()) {
+    case BinOpKind::Add:
+      return linearize(*B.lhs(), Atoms, Prefix, Names) +
+             linearize(*B.rhs(), Atoms, Prefix, Names);
+    case BinOpKind::Sub:
+      return linearize(*B.lhs(), Atoms, Prefix, Names) -
+             linearize(*B.rhs(), Atoms, Prefix, Names);
+    case BinOpKind::Mul: {
+      LinExpr L = linearize(*B.lhs(), Atoms, Prefix, Names);
+      LinExpr R = linearize(*B.rhs(), Atoms, Prefix, Names);
+      if (L.isConstant())
+        return R.scaled(L.Const);
+      if (R.isConstant())
+        return L.scaled(R.Const);
+      return opaque();
+    }
+    case BinOpKind::Div: {
+      LinExpr L = linearize(*B.lhs(), Atoms, Prefix, Names);
+      LinExpr R = linearize(*B.rhs(), Atoms, Prefix, Names);
+      // Integer division only scales cleanly when the numerator is an
+      // exact multiple; be conservative and only fold constant/constant.
+      if (L.isConstant() && R.isConstant() && !R.Const.isZero()) {
+        Rational Q = L.Const / R.Const;
+        if (Q.den() == 1)
+          return LinExpr::constant(Q);
+      }
+      return opaque();
+    }
+    default:
+      return opaque();
+    }
+  }
+  case Expr::Kind::Ref: {
+    const auto &R = *cast<RefExpr>(&E);
+    if (R.refKind() == RefKind::Eoi)
+      return LinExpr::atom(Atoms.atom("EOI"));
+    return LinExpr::atom(Atoms.atom(Prefix + "#" + E.str(Names)));
+  }
+  case Expr::Kind::Cond:
+  case Expr::Kind::Exists:
+  case Expr::Kind::Read:
+    return opaque();
+  }
+  return opaque();
+}

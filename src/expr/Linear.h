@@ -1,0 +1,84 @@
+//===- expr/Linear.h - Lowering Exprs to linear forms -----------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The termination checker (paper Section 5) asks an SMT solver whether the
+/// conjunction  el_0 = 0 /\ er_0 = EOI /\ ... is satisfiable. We stand in
+/// for Z3 with a rational linear-arithmetic core; this file lowers interval
+/// expressions into linear combinations over "atoms".
+///
+/// Atoms are attribute references, loop variables, and any nonlinear
+/// subexpression (a product of two non-constants, a conditional, a builtin
+/// read, ...), which is treated as a fresh uninterpreted value. Treating
+/// nonlinear parts as opaque keeps the check sound (it can only make
+/// formulas *more* satisfiable, i.e. the checker more conservative).
+///
+/// Atoms are keyed by a caller-supplied prefix plus the printed expression,
+/// so the same `A.end` on two different cycle edges becomes two distinct
+/// unknowns, while the special symbol EOI is shared across the whole cycle
+/// exactly as in the paper's formula.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_EXPR_LINEAR_H
+#define IPG_EXPR_LINEAR_H
+
+#include "expr/Expr.h"
+#include "support/Rational.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+/// Names the unknowns of a linear system.
+class AtomTable {
+public:
+  /// Returns the id for \p Key, creating it on first use.
+  uint32_t atom(const std::string &Key);
+  const std::string &key(uint32_t Id) const { return Keys.at(Id); }
+  size_t size() const { return Keys.size(); }
+
+private:
+  std::vector<std::string> Keys;
+  std::map<std::string, uint32_t> Ids;
+};
+
+/// sum(Coeffs[a] * a) + Const.
+struct LinExpr {
+  std::map<uint32_t, Rational> Coeffs;
+  Rational Const;
+
+  static LinExpr constant(Rational C) {
+    LinExpr L;
+    L.Const = C;
+    return L;
+  }
+  static LinExpr atom(uint32_t Id) {
+    LinExpr L;
+    L.Coeffs[Id] = Rational(1);
+    return L;
+  }
+
+  LinExpr operator+(const LinExpr &O) const;
+  LinExpr operator-(const LinExpr &O) const;
+  LinExpr scaled(Rational Factor) const;
+  bool isConstant() const { return Coeffs.empty(); }
+
+  std::string str(const AtomTable &Atoms) const;
+};
+
+/// Lowers \p E into a LinExpr over \p Atoms. Context-dependent references
+/// get \p Prefix prepended to their atom key (one prefix per cycle edge);
+/// EOI is always the shared atom "EOI".
+LinExpr linearize(const Expr &E, AtomTable &Atoms, const std::string &Prefix,
+                  const StringInterner &Names);
+
+} // namespace ipg
+
+#endif // IPG_EXPR_LINEAR_H

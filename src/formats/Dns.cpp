@@ -1,0 +1,175 @@
+//===- formats/Dns.cpp ----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Dns.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+// The header's counts drive the record list; the record list is a chained
+// recursion whose count must equal the header's ANCOUNT. A name is either
+// a compression pointer (top two bits set) or a label chain ended by a
+// zero byte.
+const char ipg::formats::DnsGrammarText[] = R"IPG(
+DNS -> Hdr[12]
+       check(Hdr.qd = 1)
+       Name
+       QFix[4]
+       RRs
+       check(RRs.count = Hdr.an) ;
+
+Hdr -> raw[12]
+       {id = u16be(0)} {flags = u16be(2)} {qd = u16be(4)} {an = u16be(6)}
+       {ns = u16be(8)} {ar = u16be(10)} ;
+
+QFix -> raw[4] {qtype = u16be(0)} {qclass = u16be(2)} ;
+
+Name -> Label Name / End0 ;
+Label -> raw[1] {len = u8(0)} check(len > 0 && len < 64) raw[len] ;
+End0 -> "\x00" ;
+
+RRs -> RR RRs {count = RRs.count + 1}
+     / "" {count = 0} ;
+
+RR -> NamePart
+      {fixofs = NamePart.end}
+      raw[10]
+      {typ = u16be(fixofs)} {cls = u16be(fixofs + 2)}
+      {ttl = u32be(fixofs + 4)} {rdlen = u16be(fixofs + 8)}
+      raw[rdlen] ;
+
+NamePart -> Ptr[2] / Name ;
+
+Ptr -> {b0 = u8(0)} check(b0 >= 192) raw[2]
+       {target = btoibe(0, 2) - 49152} ;
+)IPG";
+
+Expected<LoadResult> ipg::formats::loadDnsGrammar() {
+  return loadGrammar(DnsGrammarText);
+}
+
+static void writeName(ByteWriter &W, const std::string &Dotted) {
+  size_t Start = 0;
+  while (Start <= Dotted.size()) {
+    size_t Dot = Dotted.find('.', Start);
+    if (Dot == std::string::npos)
+      Dot = Dotted.size();
+    size_t Len = Dot - Start;
+    if (Len > 0) {
+      W.u8(static_cast<uint8_t>(Len));
+      W.raw(std::string_view(Dotted).substr(Start, Len));
+    }
+    Start = Dot + 1;
+  }
+  W.u8(0);
+}
+
+std::vector<uint8_t> ipg::formats::synthesizeDns(const DnsSynthSpec &Spec,
+                                                 DnsModel *Model) {
+  ByteWriter W;
+  uint64_t Rng = Spec.Seed;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+  DnsModel Local;
+  DnsModel &M = Model ? *Model : Local;
+  M = DnsModel();
+
+  M.Id = static_cast<uint16_t>(Next());
+  W.u16be(M.Id);
+  W.u16be(0x8180); // standard response, recursion available
+  W.u16be(1);      // QDCOUNT
+  W.u16be(static_cast<uint16_t>(Spec.NumAnswers));
+  W.u16be(0); // NSCOUNT
+  W.u16be(0); // ARCOUNT
+
+  writeName(W, Spec.QName);
+  W.u16be(1); // QTYPE = A
+  W.u16be(1); // QCLASS = IN
+
+  for (size_t I = 0; I < Spec.NumAnswers; ++I) {
+    W.u16be(0xC00C); // pointer to offset 12 (the question name)
+    W.u16be(1);      // TYPE = A
+    W.u16be(1);      // CLASS = IN
+    W.u32be(300);    // TTL
+    W.u16be(static_cast<uint16_t>(Spec.RDataSize));
+    std::vector<uint8_t> RData;
+    for (size_t K = 0; K < Spec.RDataSize; ++K) {
+      uint8_t B = static_cast<uint8_t>(Next());
+      RData.push_back(B);
+      W.u8(B);
+    }
+    M.RData.push_back(std::move(RData));
+  }
+  M.AnswerCount = static_cast<uint16_t>(Spec.NumAnswers);
+  return W.take();
+}
+
+/// Reads a (possibly compressed) name at \p Pos into dotted form; used by
+/// the extractor to chase pointers the grammar validated structurally.
+static std::string decodeName(ByteSpan Packet, size_t Pos) {
+  std::string Out;
+  size_t Hops = 0;
+  while (Pos < Packet.size() && Hops < 16) {
+    uint8_t Len = Packet[Pos];
+    if (Len == 0)
+      break;
+    if ((Len & 0xC0) == 0xC0) {
+      if (Pos + 1 >= Packet.size())
+        break;
+      Pos = ((Len & 0x3F) << 8) | Packet[Pos + 1];
+      ++Hops;
+      continue;
+    }
+    if (Pos + 1 + Len > Packet.size())
+      break;
+    if (!Out.empty())
+      Out += '.';
+    for (size_t K = 0; K < Len; ++K)
+      Out += static_cast<char>(Packet[Pos + 1 + K]);
+    Pos += 1 + Len;
+  }
+  return Out;
+}
+
+Expected<DnsParsed> ipg::formats::extractDns(const TreePtr &Tree,
+                                             const Grammar &G,
+                                             ByteSpan Packet) {
+  const StringInterner &In = G.interner();
+  const auto *Root = dyn_cast<NodeTree>(Tree.get());
+  if (!Root)
+    return Expected<DnsParsed>::failure("DNS tree root is not a node");
+
+  DnsParsed P;
+  const NodeTree *Hdr = Root->childNode(In.lookup("Hdr"));
+  if (!Hdr)
+    return Expected<DnsParsed>::failure("missing DNS header");
+  P.Id = static_cast<uint16_t>(Hdr->attr(In.lookup("id")).value_or(0));
+  P.QdCount = static_cast<uint16_t>(Hdr->attr(In.lookup("qd")).value_or(0));
+  P.AnCount = static_cast<uint16_t>(Hdr->attr(In.lookup("an")).value_or(0));
+  P.QName = decodeName(Packet, 12);
+
+  Symbol RRsSym = In.lookup("RRs"), RRSym = In.lookup("RR");
+  const NodeTree *Chain = Root->childNode(RRsSym);
+  while (Chain) {
+    const NodeTree *RR = Chain->childNode(RRSym);
+    if (!RR)
+      break;
+    P.AnswerTypes.push_back(
+        static_cast<uint16_t>(RR->attr(In.lookup("typ")).value_or(0)));
+    P.RDataLengths.push_back(
+        static_cast<uint16_t>(RR->attr(In.lookup("rdlen")).value_or(0)));
+    Chain = Chain->childNode(RRsSym);
+  }
+  if (P.AnswerTypes.size() != P.AnCount)
+    return Expected<DnsParsed>::failure(
+        "answer chain length disagrees with header count");
+  return P;
+}

@@ -1,0 +1,67 @@
+//===- formats/Dns.h - DNS packets: grammar, synthesizer, extractor -*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DNS response packets (one of the two network formats of Section 7).
+/// Names are chains of length-prefixed labels; answer records may start
+/// with a compression pointer (0xC0-prefixed) instead of a literal name.
+/// The grammar parses one-hop pointers (the encoding our synthesizer — and
+/// virtually every single-question responder — emits: answers point at the
+/// question name); multi-hop pointer chasing is done in the extractor, as
+/// discussed in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_DNS_H
+#define IPG_FORMATS_DNS_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg::formats {
+
+extern const char DnsGrammarText[];
+
+struct DnsSynthSpec {
+  std::string QName = "www.example.com";
+  size_t NumAnswers = 4;
+  size_t RDataSize = 4; ///< bytes per answer rdata (4 = A record)
+  uint64_t Seed = 1;
+};
+
+struct DnsModel {
+  uint16_t Id = 0;
+  uint16_t AnswerCount = 0;
+  std::vector<std::vector<uint8_t>> RData;
+};
+
+std::vector<uint8_t> synthesizeDns(const DnsSynthSpec &Spec,
+                                   DnsModel *Model = nullptr);
+
+struct DnsParsed {
+  uint16_t Id = 0;
+  uint16_t QdCount = 0;
+  uint16_t AnCount = 0;
+  std::string QName; ///< dotted form
+  std::vector<uint16_t> AnswerTypes;
+  std::vector<uint16_t> RDataLengths;
+};
+
+Expected<DnsParsed> extractDns(const TreePtr &Tree, const Grammar &G,
+                               ByteSpan Packet);
+
+Expected<LoadResult> loadDnsGrammar();
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_DNS_H

@@ -1,0 +1,213 @@
+//===- formats/Elf.cpp ----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Elf.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+// Figure 9b, fleshed out for ELF64: the header holds the table offset
+// (e_shoff @40), entry size (@58) and count (@60); each section header
+// holds its section's type (@4), offset (@24) and size (@32). Sections are
+// dispatched on type: 6 = .dynamic (16-byte entries), 2 = .symtab (24-byte
+// entries), anything else = opaque bytes. The loop skips index 0 (the null
+// section), as in the paper.
+const char ipg::formats::ElfGrammarText[] = R"IPG(
+ELF -> H[64]
+       for i = 0 to H.num do SH[H.ofs + i * H.sz, H.ofs + (i + 1) * H.sz]
+       for i = 1 to H.num do Sec[SH(i).ofs, SH(i).ofs + SH(i).sz]
+    where {
+      Sec -> switch(SH(i).type = 6: DynSec
+                  / SH(i).type = 2: SymTab
+                  / OtherSec) ;
+    } ;
+
+H -> "\x7fELF" raw[60]
+     {ofs = u64le(40)} {sz = u16le(58)} {num = u16le(60)}
+     check(sz = 64) ;
+
+SH -> raw[64]
+      {nameofs = u32le(0)} {type = u32le(4)}
+      {ofs = u64le(24)} {sz = u64le(32)} ;
+
+DynSec -> check(EOI % 16 = 0)
+          for i = 0 to EOI / 16 do DynEnt[16 * i, 16 * (i + 1)] ;
+DynEnt -> raw[16] {tag = u64le(0)} {val = u64le(8)} ;
+
+SymTab -> check(EOI % 24 = 0)
+          for i = 0 to EOI / 24 do Sym[24 * i, 24 * (i + 1)] ;
+Sym -> raw[24] {nameofs = u32le(0)} {value = u64le(8)} {size = u64le(16)} ;
+
+OtherSec -> raw ;
+)IPG";
+
+Expected<LoadResult> ipg::formats::loadElfGrammar() {
+  return loadGrammar(ElfGrammarText);
+}
+
+std::vector<uint8_t> ipg::formats::synthesizeElf(const ElfSynthSpec &Spec,
+                                                 ElfModel *Model) {
+  ByteWriter W;
+  uint64_t Rng = Spec.Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+
+  ElfModel Local;
+  ElfModel &M = Model ? *Model : Local;
+  M = ElfModel();
+
+  // Header placeholder; e_shoff patched later.
+  W.raw("\x7f");
+  W.raw("ELF");
+  W.u8(2); // ELFCLASS64
+  W.u8(1); // little endian
+  W.u8(1); // version
+  W.fill(0, 9);
+  W.u16le(2);  // e_type = EXEC
+  W.u16le(62); // e_machine = x86-64
+  W.u32le(1);  // e_version
+  W.u64le(0x400000); // e_entry
+  W.u64le(0);  // e_phoff
+  size_t ShOffPatch = W.size();
+  W.u64le(0);  // e_shoff (patched)
+  W.u32le(0);  // e_flags
+  W.u16le(64); // e_ehsize
+  W.u16le(0);  // e_phentsize
+  W.u16le(0);  // e_phnum
+  W.u16le(64); // e_shentsize
+  size_t ShNumPatch = W.size();
+  W.u16le(0);  // e_shnum (patched)
+  W.u16le(4);  // e_shstrndx (.strtab)
+
+  struct Sec {
+    uint32_t Type;
+    uint64_t Off;
+    uint64_t Size;
+  };
+  std::vector<Sec> Secs;
+  Secs.push_back({0, 0, 0}); // null section
+
+  // .text
+  {
+    uint64_t Off = W.size();
+    for (size_t I = 0; I < Spec.TextSize; ++I)
+      W.u8(static_cast<uint8_t>(Next()));
+    Secs.push_back({1, Off, Spec.TextSize});
+  }
+  // .dynamic
+  {
+    uint64_t Off = W.size();
+    for (size_t I = 0; I < Spec.NumDynEntries; ++I) {
+      uint64_t Tag = 1 + (Next() % 30);
+      uint64_t Val = Next();
+      M.DynTags.push_back(Tag);
+      W.u64le(Tag);
+      W.u64le(Val);
+    }
+    Secs.push_back({6, Off, Spec.NumDynEntries * 16});
+  }
+  // .symtab
+  {
+    uint64_t Off = W.size();
+    for (size_t I = 0; I < Spec.NumSymbols; ++I) {
+      uint64_t Value = Next();
+      M.SymValues.push_back(Value);
+      W.u32le(static_cast<uint32_t>(I * 8)); // st_name
+      W.u32le(0);                            // st_info/st_other/st_shndx
+      W.u64le(Value);                        // st_value
+      W.u64le(Next() % 4096);                // st_size
+    }
+    Secs.push_back({2, Off, Spec.NumSymbols * 24});
+  }
+  // .strtab: NumSymbols fake names of 7 chars + NUL.
+  {
+    uint64_t Off = W.size();
+    for (size_t I = 0; I < Spec.NumSymbols; ++I) {
+      for (int K = 0; K < 7; ++K)
+        W.u8(static_cast<uint8_t>('a' + (Next() % 26)));
+      W.u8(0);
+    }
+    Secs.push_back({3, Off, Spec.NumSymbols * 8});
+  }
+
+  // Section header table.
+  uint64_t ShOff = W.size();
+  for (size_t I = 0; I < Secs.size(); ++I) {
+    W.u32le(static_cast<uint32_t>(I)); // sh_name
+    W.u32le(Secs[I].Type);
+    W.u64le(0);           // sh_flags
+    W.u64le(0);           // sh_addr
+    W.u64le(Secs[I].Off); // sh_offset
+    W.u64le(Secs[I].Size);
+    W.u32le(0); // sh_link
+    W.u32le(0); // sh_info
+    W.u64le(1); // sh_addralign
+    W.u64le(0); // sh_entsize
+  }
+  W.patchUnsigned(ShOffPatch, ShOff, 8, Endian::Little);
+  W.patchUnsigned(ShNumPatch, Secs.size(), 2, Endian::Little);
+
+  M.ShOff = ShOff;
+  M.ShNum = static_cast<uint16_t>(Secs.size());
+  for (const Sec &S : Secs)
+    M.Sections.push_back({S.Type, S.Off, S.Size});
+  return W.take();
+}
+
+Expected<ElfParsed> ipg::formats::extractElf(const TreePtr &Tree,
+                                             const Grammar &G) {
+  const StringInterner &In = G.interner();
+  const auto *Root = dyn_cast<NodeTree>(Tree.get());
+  if (!Root)
+    return Expected<ElfParsed>::failure("ELF tree root is not a node");
+
+  ElfParsed P;
+  const NodeTree *H = Root->childNode(In.lookup("H"));
+  if (!H)
+    return Expected<ElfParsed>::failure("missing ELF header node");
+  P.ShOff = static_cast<uint64_t>(H->attr(In.lookup("ofs")).value_or(0));
+  P.ShNum = static_cast<uint16_t>(H->attr(In.lookup("num")).value_or(0));
+
+  const ArrayTree *SHs = Root->childArray(In.lookup("SH"));
+  if (!SHs)
+    return Expected<ElfParsed>::failure("missing section header table");
+  for (size_t I = 0; I < SHs->size(); ++I) {
+    const NodeTree *SH = SHs->element(I);
+    ElfSectionModel S;
+    S.Type = static_cast<uint32_t>(SH->attr(In.lookup("type")).value_or(0));
+    S.Offset = static_cast<uint64_t>(SH->attr(In.lookup("ofs")).value_or(0));
+    S.Size = static_cast<uint64_t>(SH->attr(In.lookup("sz")).value_or(0));
+    P.Sections.push_back(S);
+  }
+
+  const ArrayTree *Secs = Root->childArray(In.lookup("Sec"));
+  if (!Secs)
+    return Expected<ElfParsed>::failure("missing sections array");
+  for (size_t I = 0; I < Secs->size(); ++I) {
+    const NodeTree *Sec = Secs->element(I);
+    if (const NodeTree *Dyn = Sec->childNode(In.lookup("DynSec"))) {
+      const ArrayTree *Ents = Dyn->childArray(In.lookup("DynEnt"));
+      if (!Ents)
+        return Expected<ElfParsed>::failure("dynamic section has no entries");
+      for (size_t K = 0; K < Ents->size(); ++K)
+        P.DynTags.push_back(static_cast<uint64_t>(
+            Ents->element(K)->attr(In.lookup("tag")).value_or(0)));
+    } else if (const NodeTree *SymT = Sec->childNode(In.lookup("SymTab"))) {
+      const ArrayTree *Syms = SymT->childArray(In.lookup("Sym"));
+      if (!Syms)
+        return Expected<ElfParsed>::failure("symtab has no entries");
+      for (size_t K = 0; K < Syms->size(); ++K)
+        P.SymValues.push_back(static_cast<uint64_t>(
+            Syms->element(K)->attr(In.lookup("value")).value_or(0)));
+    }
+  }
+  return P;
+}

@@ -1,0 +1,81 @@
+//===- formats/Elf.h - ELF format: grammar, synthesizer, extractor -*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ELF case study of Section 4.1 / Figure 9: the directory-based format
+/// par excellence. The grammar follows the paper's section view — header at
+/// offset 0, section header table located via e_shoff, sections located via
+/// each header's sh_offset/sh_size, with a switch dispatching dynamic
+/// sections (type 6) and symbol tables (type 2) to structured sub-grammars.
+///
+/// The synthesizer builds valid ELF64 little-endian images (null section,
+/// .text, .dynamic, .symtab, .strtab) with a ground-truth model, used by
+/// tests and by the Figure 12/13 benchmarks in place of the paper's
+/// real-application binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_ELF_H
+#define IPG_FORMATS_ELF_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg::formats {
+
+/// IPG grammar text for ELF64 (section view).
+extern const char ElfGrammarText[];
+
+struct ElfSynthSpec {
+  size_t TextSize = 128;      ///< bytes of .text
+  size_t NumDynEntries = 8;   ///< 16-byte entries in .dynamic
+  size_t NumSymbols = 16;     ///< 24-byte entries in .symtab
+  uint64_t Seed = 1;          ///< content seed
+};
+
+struct ElfSectionModel {
+  uint32_t Type = 0;
+  uint64_t Offset = 0;
+  uint64_t Size = 0;
+};
+
+struct ElfModel {
+  uint64_t ShOff = 0;
+  uint16_t ShNum = 0;
+  std::vector<ElfSectionModel> Sections; ///< including the null section
+  std::vector<uint64_t> DynTags;
+  std::vector<uint64_t> SymValues;
+};
+
+/// Builds a valid ELF image; fills \p Model with the ground truth.
+std::vector<uint8_t> synthesizeElf(const ElfSynthSpec &Spec,
+                                   ElfModel *Model = nullptr);
+
+/// What the extractor recovers from a parse tree.
+struct ElfParsed {
+  uint64_t ShOff = 0;
+  uint16_t ShNum = 0;
+  std::vector<ElfSectionModel> Sections;
+  std::vector<uint64_t> DynTags;
+  std::vector<uint64_t> SymValues;
+};
+
+/// Walks a parse tree produced by the ELF grammar back into structs.
+Expected<ElfParsed> extractElf(const TreePtr &Tree, const Grammar &G);
+
+/// Loads + checks the ELF grammar.
+Expected<LoadResult> loadElfGrammar();
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_ELF_H

@@ -1,0 +1,66 @@
+//===- formats/FormatRegistry.cpp -----------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/FormatRegistry.h"
+
+#include "formats/Dns.h"
+#include "formats/Elf.h"
+#include "formats/Gif.h"
+#include "formats/Ipv4Udp.h"
+#include "formats/MiniZlib.h"
+#include "formats/Pdf.h"
+#include "formats/Pe.h"
+#include "formats/Zip.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+const std::vector<FormatInfo> &ipg::formats::allFormats() {
+  static const std::vector<FormatInfo> Formats = {
+      {"zip", ZipGrammarText, true},
+      {"gif", GifGrammarText, false},
+      {"pe", PeGrammarText, false},
+      {"elf", ElfGrammarText, false},
+      {"pdf", PdfGrammarText, false},
+      {"ipv4udp", Ipv4UdpGrammarText, false},
+      {"dns", DnsGrammarText, false},
+  };
+  return Formats;
+}
+
+Expected<LoadResult>
+ipg::formats::loadFormatGrammar(const std::string &Name) {
+  for (const FormatInfo &F : allFormats())
+    if (F.Name == Name)
+      return loadGrammar(F.GrammarText);
+  return Expected<LoadResult>::failure("unknown format '" + Name + "'");
+}
+
+BlackboxRegistry ipg::formats::standardBlackboxes() {
+  BlackboxRegistry BB;
+  BB.add("inflate", miniZlibBlackbox);
+  return BB;
+}
+
+size_t ipg::formats::grammarLineCount(const char *Text) {
+  size_t Count = 0;
+  const char *P = Text;
+  while (*P) {
+    // Find the end of this line.
+    const char *End = P;
+    while (*End && *End != '\n')
+      ++End;
+    // Blank or comment-only lines do not count.
+    const char *Q = P;
+    while (Q != End && (*Q == ' ' || *Q == '\t'))
+      ++Q;
+    if (Q != End && !(Q + 1 < End && Q[0] == '/' && Q[1] == '/'))
+      ++Count;
+    P = *End ? End + 1 : End;
+  }
+  return Count;
+}

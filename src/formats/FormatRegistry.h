@@ -1,0 +1,47 @@
+//===- formats/FormatRegistry.h - All evaluated formats ---------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One registry over the seven formats of the paper's evaluation (ZIP, GIF,
+/// PE, ELF, PDF subset, IPv4+UDP, DNS), used by the spec-size and
+/// implicit-interval benchmarks (Tables 1 and 2) and by tests that sweep
+/// every format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_FORMATREGISTRY_H
+#define IPG_FORMATS_FORMATREGISTRY_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/Blackbox.h"
+
+#include <string>
+#include <vector>
+
+namespace ipg::formats {
+
+struct FormatInfo {
+  std::string Name;
+  const char *GrammarText;
+  bool NeedsBlackbox;
+};
+
+/// The seven formats, in Table 1's column order.
+const std::vector<FormatInfo> &allFormats();
+
+/// Loads and fully checks the named format's grammar.
+Expected<LoadResult> loadFormatGrammar(const std::string &Name);
+
+/// A registry with the standard blackboxes (the MiniZlib `inflate`).
+BlackboxRegistry standardBlackboxes();
+
+/// Non-comment, non-blank lines of a grammar text (Table 1's metric).
+size_t grammarLineCount(const char *Text);
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_FORMATREGISTRY_H

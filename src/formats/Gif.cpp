@@ -1,0 +1,157 @@
+//===- formats/Gif.cpp ----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Gif.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+// Section 4.2's structure. The LSD's packed flags byte selects the global
+// color table with its top bit and sizes it with the low three bits (the
+// paper's switch example); blocks are a recursive chained list ended by the
+// 0x3b trailer. Sub-block chains end at a zero length byte.
+const char ipg::formats::GifGrammarText[] = R"IPG(
+GIF -> "GIF89a" LSD Blocks Trailer {nblocks = Blocks.count} ;
+
+LSD -> raw[7]
+       {w = u16le(0)} {h = u16le(2)} {flags = u8(4)}
+       {gctsize = (flags >> 7) = 1 ? 3 * (2 << (flags & 7)) : 0}
+       switch((flags >> 7) = 1: GCT[gctsize] / Empty[0]) ;
+
+GCT -> raw ;
+Empty -> "" ;
+
+Blocks -> Block Blocks {count = Blocks.count + 1}
+        / "" {count = 0} ;
+
+Block -> Ext / Img ;
+
+Ext -> "\x21" {label = u8(1)} raw[1] SubBlocks ;
+
+Img -> "\x2c" raw[9]
+       {iflags = u8(9)}
+       {lctsize = (iflags >> 7) = 1 ? 3 * (2 << (iflags & 7)) : 0}
+       raw[lctsize]
+       raw[1]
+       {datalen = SubBlocks.count}
+       SubBlocks ;
+
+SubBlocks -> SubBlock SubBlocks {count = SubBlocks.count + SubBlock.len}
+           / "\x00" {count = 0} ;
+
+SubBlock -> raw[1] {len = u8(0)} check(len > 0) raw[len] ;
+
+Trailer -> "\x3b" ;
+)IPG";
+
+Expected<LoadResult> ipg::formats::loadGifGrammar() {
+  return loadGrammar(GifGrammarText);
+}
+
+std::vector<uint8_t> ipg::formats::synthesizeGif(const GifSynthSpec &Spec,
+                                                 GifModel *Model) {
+  ByteWriter W;
+  uint64_t Rng = Spec.Seed;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+  GifModel Local;
+  GifModel &M = Model ? *Model : Local;
+  M = GifModel();
+
+  W.raw("GIF89a");
+  W.u16le(Spec.Width);
+  W.u16le(Spec.Height);
+  uint8_t Flags = 0;
+  if (Spec.GlobalColorTable)
+    Flags = static_cast<uint8_t>(0x80 | (Spec.GctSizeLog & 7));
+  W.u8(Flags);
+  W.u8(0); // background color index
+  W.u8(0); // pixel aspect ratio
+  if (Spec.GlobalColorTable) {
+    M.HasGct = true;
+    M.GctBytes = 3u * (2u << (Spec.GctSizeLog & 7));
+    for (size_t I = 0; I < M.GctBytes; ++I)
+      W.u8(static_cast<uint8_t>(Next()));
+  }
+
+  auto WriteSubBlocks = [&](size_t Count, size_t Size) {
+    size_t Total = 0;
+    for (size_t B = 0; B < Count; ++B) {
+      size_t N = std::min<size_t>(Size, 255);
+      if (N == 0)
+        N = 1;
+      W.u8(static_cast<uint8_t>(N));
+      for (size_t K = 0; K < N; ++K)
+        W.u8(static_cast<uint8_t>(Next()));
+      Total += N;
+    }
+    W.u8(0); // terminator
+    return Total;
+  };
+
+  for (size_t E = 0; E < Spec.NumExtensions; ++E) {
+    W.u8(0x21);
+    W.u8(0xf9); // graphic control label
+    WriteSubBlocks(1, 4);
+    ++M.NumBlocks;
+  }
+  for (size_t I = 0; I < Spec.NumImages; ++I) {
+    W.u8(0x2c);
+    W.u16le(0); // left
+    W.u16le(0); // top
+    W.u16le(Spec.Width);
+    W.u16le(Spec.Height);
+    W.u8(0); // no local color table
+    W.u8(8); // LZW minimum code size
+    M.ImageDataSizes.push_back(
+        WriteSubBlocks(Spec.SubBlocksPerImage, Spec.SubBlockSize));
+    ++M.NumBlocks;
+  }
+  W.u8(0x3b); // trailer
+  return W.take();
+}
+
+Expected<GifParsed> ipg::formats::extractGif(const TreePtr &Tree,
+                                             const Grammar &G) {
+  const StringInterner &In = G.interner();
+  const auto *Root = dyn_cast<NodeTree>(Tree.get());
+  if (!Root)
+    return Expected<GifParsed>::failure("GIF tree root is not a node");
+
+  GifParsed P;
+  const NodeTree *LSD = Root->childNode(In.lookup("LSD"));
+  if (!LSD)
+    return Expected<GifParsed>::failure("missing LSD node");
+  P.Width = static_cast<uint16_t>(LSD->attr(In.lookup("w")).value_or(0));
+  P.Height = static_cast<uint16_t>(LSD->attr(In.lookup("h")).value_or(0));
+  P.GctBytes =
+      static_cast<size_t>(LSD->attr(In.lookup("gctsize")).value_or(0));
+  P.HasGct = P.GctBytes > 0;
+  P.NumBlocks =
+      static_cast<size_t>(Root->attr(In.lookup("nblocks")).value_or(0));
+
+  // Walk the block chain counting images and their data bytes.
+  Symbol BlocksSym = In.lookup("Blocks"), BlockSym = In.lookup("Block");
+  Symbol ImgSym = In.lookup("Img");
+  const NodeTree *Chain = Root->childNode(BlocksSym);
+  while (Chain) {
+    const NodeTree *Block = Chain->childNode(BlockSym);
+    if (!Block)
+      break;
+    if (const NodeTree *Img = Block->childNode(ImgSym)) {
+      ++P.NumImages;
+      P.ImageDataSizes.push_back(static_cast<size_t>(
+          Img->attr(In.lookup("datalen")).value_or(0)));
+    }
+    Chain = Chain->childNode(BlocksSym);
+  }
+  return P;
+}

@@ -1,0 +1,70 @@
+//===- formats/Gif.h - GIF format: grammar, synthesizer, extractor -*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GIF case study of Section 4.2: the chunk-based format. Header +
+/// logical screen descriptor (with an optional global color table selected
+/// by a flag bit — the switch-term example), then a recursively chained
+/// list of blocks (extensions and images, each a chain of length-prefixed
+/// sub-blocks), then the trailer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_GIF_H
+#define IPG_FORMATS_GIF_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg::formats {
+
+extern const char GifGrammarText[];
+
+struct GifSynthSpec {
+  uint16_t Width = 64;
+  uint16_t Height = 64;
+  bool GlobalColorTable = true;
+  uint8_t GctSizeLog = 1;    ///< table holds 2^(log+1) entries
+  size_t NumExtensions = 2;  ///< graphic-control style extension blocks
+  size_t NumImages = 1;      ///< image blocks
+  size_t SubBlockSize = 64;  ///< bytes per data sub-block
+  size_t SubBlocksPerImage = 4;
+  uint64_t Seed = 1;
+};
+
+struct GifModel {
+  bool HasGct = false;
+  size_t GctBytes = 0;
+  size_t NumBlocks = 0;
+  std::vector<size_t> ImageDataSizes; ///< total data bytes per image
+};
+
+std::vector<uint8_t> synthesizeGif(const GifSynthSpec &Spec,
+                                   GifModel *Model = nullptr);
+
+struct GifParsed {
+  uint16_t Width = 0;
+  uint16_t Height = 0;
+  bool HasGct = false;
+  size_t GctBytes = 0;
+  size_t NumBlocks = 0;
+  size_t NumImages = 0;
+  std::vector<size_t> ImageDataSizes;
+};
+
+Expected<GifParsed> extractGif(const TreePtr &Tree, const Grammar &G);
+
+Expected<LoadResult> loadGifGrammar();
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_GIF_H

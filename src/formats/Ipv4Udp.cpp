@@ -1,0 +1,113 @@
+//===- formats/Ipv4Udp.cpp ------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Ipv4Udp.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+const char ipg::formats::Ipv4UdpGrammarText[] = R"IPG(
+Pkt -> IP ;
+
+IP -> raw[1]
+      {vihl = u8(0)} {ver = vihl >> 4} {ihl = vihl & 15}
+      check(ver = 4 && ihl >= 5)
+      {hlen = ihl * 4}
+      raw[hlen - 1]
+      {tot = u16be(2)} {proto = u8(9)}
+      check(tot >= hlen && tot <= EOI)
+      switch(proto = 17: UDP[tot - hlen] / Opaque[tot - hlen]) ;
+
+UDP -> raw[8]
+       {sport = u16be(0)} {dport = u16be(2)} {len = u16be(4)}
+       {cksum = u16be(6)}
+       check(len = EOI)
+       Payload ;
+
+Opaque -> raw ;
+Payload -> raw ;
+)IPG";
+
+Expected<LoadResult> ipg::formats::loadIpv4UdpGrammar() {
+  return loadGrammar(Ipv4UdpGrammarText);
+}
+
+std::vector<uint8_t>
+ipg::formats::synthesizeIpv4Udp(const Ipv4SynthSpec &Spec,
+                                Ipv4Model *Model) {
+  ByteWriter W;
+  uint64_t Rng = Spec.Seed;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+  Ipv4Model Local;
+  Ipv4Model &M = Model ? *Model : Local;
+  M = Ipv4Model();
+
+  uint8_t Ihl = static_cast<uint8_t>(5 + Spec.OptionWords);
+  size_t HLen = Ihl * 4u;
+  size_t UdpLen = Spec.Udp ? 8 + Spec.PayloadSize : Spec.PayloadSize;
+  uint16_t Total = static_cast<uint16_t>(HLen + UdpLen);
+
+  W.u8(static_cast<uint8_t>(0x40 | Ihl)); // version 4 + IHL
+  W.u8(0);                                // DSCP/ECN
+  W.u16be(Total);
+  W.u16be(static_cast<uint16_t>(Next())); // identification
+  W.u16be(0x4000);                        // flags: don't fragment
+  W.u8(64);                               // TTL
+  W.u8(Spec.Udp ? 17 : 200);              // protocol
+  W.u16be(0);                             // header checksum (not validated)
+  W.u32be(0x0a000001);                    // src 10.0.0.1
+  W.u32be(0x0a000002);                    // dst 10.0.0.2
+  for (size_t I = 0; I < Spec.OptionWords; ++I)
+    W.u32be(static_cast<uint32_t>(Next()));
+
+  if (Spec.Udp) {
+    M.SrcPort = static_cast<uint16_t>(1024 + Next() % 60000);
+    M.DstPort = 53;
+    W.u16be(M.SrcPort);
+    W.u16be(M.DstPort);
+    W.u16be(static_cast<uint16_t>(8 + Spec.PayloadSize));
+    W.u16be(0); // checksum
+  }
+  for (size_t I = 0; I < Spec.PayloadSize; ++I)
+    W.u8(static_cast<uint8_t>(Next()));
+
+  M.Ihl = Ihl;
+  M.TotalLength = Total;
+  M.Protocol = Spec.Udp ? 17 : 200;
+  M.PayloadSize = Spec.PayloadSize;
+  return W.take();
+}
+
+Expected<Ipv4Parsed> ipg::formats::extractIpv4Udp(const TreePtr &Tree,
+                                                  const Grammar &G) {
+  const StringInterner &In = G.interner();
+  const auto *Root = dyn_cast<NodeTree>(Tree.get());
+  if (!Root)
+    return Expected<Ipv4Parsed>::failure("packet tree root is not a node");
+  const NodeTree *IP = Root->childNode(In.lookup("IP"));
+  if (!IP)
+    return Expected<Ipv4Parsed>::failure("missing IP node");
+
+  Ipv4Parsed P;
+  P.Ihl = static_cast<uint8_t>(IP->attr(In.lookup("ihl")).value_or(0));
+  P.TotalLength =
+      static_cast<uint16_t>(IP->attr(In.lookup("tot")).value_or(0));
+  P.Protocol = static_cast<uint8_t>(IP->attr(In.lookup("proto")).value_or(0));
+  if (const NodeTree *UDP = IP->childNode(In.lookup("UDP"))) {
+    P.HasUdp = true;
+    P.SrcPort = static_cast<uint16_t>(UDP->attr(In.lookup("sport")).value_or(0));
+    P.DstPort = static_cast<uint16_t>(UDP->attr(In.lookup("dport")).value_or(0));
+    P.UdpLength =
+        static_cast<uint16_t>(UDP->attr(In.lookup("len")).value_or(0));
+  }
+  return P;
+}

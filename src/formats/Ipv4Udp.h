@@ -1,0 +1,68 @@
+//===- formats/Ipv4Udp.h - IPv4+UDP packets ---------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IPv4 + UDP, the second network format of Section 7 and a clean instance
+/// of the type-length-value pattern: the IHL nibble sizes the header
+/// (options included), the total-length field bounds the datagram, and the
+/// protocol byte switches UDP vs. opaque payloads. Checksums are parsed but
+/// not validated, matching the paper's treatment (Section 7: checksums are
+/// semantic validation, not parsing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_IPV4UDP_H
+#define IPG_FORMATS_IPV4UDP_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg::formats {
+
+extern const char Ipv4UdpGrammarText[];
+
+struct Ipv4SynthSpec {
+  size_t PayloadSize = 64;
+  size_t OptionWords = 0; ///< extra 4-byte option words (IHL = 5 + this)
+  bool Udp = true;        ///< protocol 17; otherwise an opaque protocol
+  uint64_t Seed = 1;
+};
+
+struct Ipv4Model {
+  uint8_t Ihl = 5;
+  uint16_t TotalLength = 0;
+  uint8_t Protocol = 17;
+  uint16_t SrcPort = 0;
+  uint16_t DstPort = 0;
+  size_t PayloadSize = 0;
+};
+
+std::vector<uint8_t> synthesizeIpv4Udp(const Ipv4SynthSpec &Spec,
+                                       Ipv4Model *Model = nullptr);
+
+struct Ipv4Parsed {
+  uint8_t Ihl = 0;
+  uint16_t TotalLength = 0;
+  uint8_t Protocol = 0;
+  bool HasUdp = false;
+  uint16_t SrcPort = 0;
+  uint16_t DstPort = 0;
+  uint16_t UdpLength = 0;
+};
+
+Expected<Ipv4Parsed> extractIpv4Udp(const TreePtr &Tree, const Grammar &G);
+
+Expected<LoadResult> loadIpv4UdpGrammar();
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_IPV4UDP_H

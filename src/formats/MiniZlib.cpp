@@ -1,0 +1,146 @@
+//===- formats/MiniZlib.cpp -----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/MiniZlib.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+namespace {
+constexpr uint8_t OpLiteral = 0x00;
+constexpr uint8_t OpMatch = 0x01;
+constexpr uint8_t OpEnd = 0xFF;
+constexpr size_t MaxChunk = 255;
+constexpr size_t MaxDist = 0xFFFF;
+constexpr size_t MinMatch = 4;
+} // namespace
+
+std::vector<uint8_t>
+ipg::formats::miniZlibCompress(const std::vector<uint8_t> &Data) {
+  ByteWriter W;
+  W.raw("MZ1");
+  W.u32le(Data.size());
+
+  size_t I = 0;
+  std::vector<uint8_t> Pending; // literal run being accumulated
+  auto FlushLiterals = [&] {
+    size_t P = 0;
+    while (P < Pending.size()) {
+      size_t N = std::min(MaxChunk, Pending.size() - P);
+      W.u8(OpLiteral);
+      W.u8(static_cast<uint8_t>(N));
+      for (size_t K = 0; K < N; ++K)
+        W.u8(Pending[P + K]);
+      P += N;
+    }
+    Pending.clear();
+  };
+
+  while (I < Data.size()) {
+    // Greedy search for a back-reference: try the run-length case
+    // (dist 1..8) plus a small window of earlier positions.
+    size_t BestLen = 0, BestDist = 0;
+    size_t WindowStart = I > MaxDist ? I - MaxDist : 0;
+    // Probe a handful of candidate distances; full LZ77 search is not the
+    // point of this codec.
+    for (size_t Dist = 1; Dist <= 8 && Dist <= I; ++Dist) {
+      size_t Len = 0;
+      while (I + Len < Data.size() && Len < MaxChunk &&
+             Data[I + Len - Dist] == Data[I + Len])
+        ++Len;
+      if (Len > BestLen) {
+        BestLen = Len;
+        BestDist = Dist;
+      }
+    }
+    for (size_t Back = 64; Back <= 4096 && I >= Back; Back *= 4) {
+      size_t Cand = I - Back;
+      if (Cand < WindowStart)
+        break;
+      size_t Len = 0;
+      while (I + Len < Data.size() && Len < MaxChunk &&
+             Data[Cand + Len] == Data[I + Len])
+        ++Len;
+      if (Len > BestLen) {
+        BestLen = Len;
+        BestDist = Back;
+      }
+    }
+    if (BestLen >= MinMatch) {
+      FlushLiterals();
+      W.u8(OpMatch);
+      W.u8(static_cast<uint8_t>(BestLen));
+      W.u16le(BestDist);
+      I += BestLen;
+      continue;
+    }
+    Pending.push_back(Data[I]);
+    ++I;
+  }
+  FlushLiterals();
+  W.u8(OpEnd);
+  return W.take();
+}
+
+std::optional<std::vector<uint8_t>>
+ipg::formats::miniZlibDecompress(ByteSpan In, size_t &Consumed) {
+  if (In.size() < 8 || !In.matchesAt(0, "MZ1"))
+    return std::nullopt;
+  uint64_t ExpectSize = In.readUnsigned(3, 4, Endian::Little);
+  std::vector<uint8_t> Out;
+  Out.reserve(ExpectSize);
+  size_t I = 7;
+  for (;;) {
+    if (I >= In.size())
+      return std::nullopt; // ran off the stream without a terminator
+    uint8_t Op = In[I++];
+    if (Op == OpEnd)
+      break;
+    if (Op == OpLiteral) {
+      if (I >= In.size())
+        return std::nullopt;
+      size_t N = In[I++];
+      if (N == 0 || I + N > In.size())
+        return std::nullopt;
+      for (size_t K = 0; K < N; ++K)
+        Out.push_back(In[I + K]);
+      I += N;
+      continue;
+    }
+    if (Op == OpMatch) {
+      if (I + 3 > In.size())
+        return std::nullopt;
+      size_t Len = In[I];
+      size_t Dist = static_cast<size_t>(In.readUnsigned(I + 1, 2,
+                                                        Endian::Little));
+      I += 3;
+      if (Len == 0 || Dist == 0 || Dist > Out.size())
+        return std::nullopt;
+      for (size_t K = 0; K < Len; ++K)
+        Out.push_back(Out[Out.size() - Dist]);
+      continue;
+    }
+    return std::nullopt; // unknown opcode
+  }
+  if (Out.size() != ExpectSize)
+    return std::nullopt;
+  Consumed = I;
+  return Out;
+}
+
+BlackboxResult ipg::formats::miniZlibBlackbox(ByteSpan In) {
+  size_t Consumed = 0;
+  auto Out = miniZlibDecompress(In, Consumed);
+  if (!Out)
+    return BlackboxResult::failure();
+  BlackboxResult R;
+  R.Ok = true;
+  R.Value = static_cast<int64_t>(Out->size());
+  R.End = Consumed;
+  R.Output = std::move(*Out);
+  return R;
+}

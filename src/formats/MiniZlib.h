@@ -1,0 +1,50 @@
+//===- formats/MiniZlib.h - zlib-substitute blackbox codec ------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's ZIP case study reuses zlib as a blackbox parser
+/// (Sections 3.4 and 7). zlib is not available offline, so this module
+/// implements a small self-contained LZ77-style codec with the same
+/// blackbox shape: hand it an interval-confined slice, get back the
+/// decompressed bytes and the number of input bytes consumed. See DESIGN.md
+/// for the substitution argument.
+///
+/// Stream layout:
+///   "MZ1"  u32le(uncompressed size)  ops...  0xFF
+///   op 0x00: u8 len,   len literal bytes
+///   op 0x01: u8 len,   u16le dist — copy len bytes from `dist` back
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_MINIZLIB_H
+#define IPG_FORMATS_MINIZLIB_H
+
+#include "runtime/Blackbox.h"
+#include "support/Bytes.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ipg::formats {
+
+/// Compresses \p Data (greedy back-reference search, RLE-friendly).
+std::vector<uint8_t> miniZlibCompress(const std::vector<uint8_t> &Data);
+
+/// Decompresses one stream starting at \p In[0]. Returns the decoded bytes
+/// and sets \p Consumed to one past the terminator; nullopt on malformed
+/// input.
+std::optional<std::vector<uint8_t>>
+miniZlibDecompress(ByteSpan In, size_t &Consumed);
+
+/// The blackbox adapter: val = decompressed size, end = bytes consumed,
+/// Output = decompressed bytes.
+BlackboxResult miniZlibBlackbox(ByteSpan In);
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_MINIZLIB_H

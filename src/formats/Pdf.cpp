@@ -1,0 +1,126 @@
+//===- formats/Pdf.cpp ----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Pdf.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+// The backward number XNum is the paper's bNum: only where the number
+// *ends* is known (right before "\n%%EOF"), so it recurses on [0, EOI-1]
+// and collects digits from the right. Its synthesized `start` attribute
+// then locates the "startxref" keyword — and its value is the xref offset,
+// the random-access jump. Objects are re-parsed from xref entry offsets
+// with intervals that overlap the already-parsed regions (two-pass
+// parsing).
+const char ipg::formats::PdfGrammarText[] = R"IPG(
+PDF -> "%PDF-"
+       "%%EOF"[EOI - 5, EOI]
+       XNum[0, EOI - 6]
+       "startxref"[XNum.start - 10, XNum.start - 1]
+       {xofs = XNum.v}
+       "xref\n0 "[xofs, xofs + 7]
+       Cnt[5]
+       "\n"
+       {n = Cnt.v}
+       for i = 0 to n do XEnt[xofs + 13 + 20 * i, xofs + 13 + 20 * (i + 1)]
+       for i = 1 to n do Obj[XEnt(i).ofs, xofs] ;
+
+XNum -> XNum[0, EOI - 1] Digit[EOI - 1, EOI] {v = XNum.v * 10 + Digit.v}
+      / Digit[EOI - 1, EOI] {v = Digit.v} ;
+
+Digit -> "0"[0, 1] {v = 0} / "1"[0, 1] {v = 1} / "2"[0, 1] {v = 2}
+       / "3"[0, 1] {v = 3} / "4"[0, 1] {v = 4} / "5"[0, 1] {v = 5}
+       / "6"[0, 1] {v = 6} / "7"[0, 1] {v = 7} / "8"[0, 1] {v = 8}
+       / "9"[0, 1] {v = 9} ;
+
+Cnt -> raw[5]
+       {v = (u8(0) - 48) * 10000 + (u8(1) - 48) * 1000 + (u8(2) - 48) * 100
+          + (u8(3) - 48) * 10 + (u8(4) - 48)} ;
+
+XEnt -> raw[20]
+        {ofs = (u8(0) - 48) * 1000000000 + (u8(1) - 48) * 100000000
+             + (u8(2) - 48) * 10000000 + (u8(3) - 48) * 1000000
+             + (u8(4) - 48) * 100000 + (u8(5) - 48) * 10000
+             + (u8(6) - 48) * 1000 + (u8(7) - 48) * 100
+             + (u8(8) - 48) * 10 + (u8(9) - 48)}
+        {gen = (u8(11) - 48) * 10000 + (u8(12) - 48) * 1000
+             + (u8(13) - 48) * 100 + (u8(14) - 48) * 10 + (u8(15) - 48)}
+        {used = u8(17)} ;
+
+Obj -> {c = u8(0)} check(c >= 48 && c <= 57) Scan ;
+
+Scan -> "endobj" / raw[1] Scan ;
+)IPG";
+
+Expected<LoadResult> ipg::formats::loadPdfGrammar() {
+  return loadGrammar(PdfGrammarText);
+}
+
+std::vector<uint8_t> ipg::formats::synthesizePdf(const PdfSynthSpec &Spec,
+                                                 PdfModel *Model) {
+  ByteWriter W;
+  uint64_t Rng = Spec.Seed;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+  PdfModel Local;
+  PdfModel &M = Model ? *Model : Local;
+  M = PdfModel();
+
+  W.raw("%PDF-1.7\n");
+  for (size_t I = 1; I <= Spec.NumObjects; ++I) {
+    M.ObjectOffsets.push_back(W.size());
+    W.raw(std::to_string(I));
+    W.raw(" 0 obj\n<< /Type /Page /K ");
+    for (size_t K = 0; K < Spec.ObjectBodySize; ++K)
+      W.u8(static_cast<uint8_t>('a' + Next() % 26));
+    W.raw(" >>\nendobj\n");
+  }
+
+  size_t XrefOfs = W.size();
+  M.XrefOffset = XrefOfs;
+  size_t Count = Spec.NumObjects + 1; // entry 0 is the free entry
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "xref\n0 %05zu\n", Count);
+  W.raw(Buf);
+  // Free entry.
+  W.raw("0000000000 65535 f \n");
+  for (size_t I = 0; I < Spec.NumObjects; ++I) {
+    std::snprintf(Buf, sizeof(Buf), "%010zu 00000 n \n",
+                  M.ObjectOffsets[I]);
+    W.raw(Buf);
+  }
+  W.raw("startxref\n");
+  W.raw(std::to_string(XrefOfs));
+  W.raw("\n%%EOF");
+  return W.take();
+}
+
+Expected<PdfParsed> ipg::formats::extractPdf(const TreePtr &Tree,
+                                             const Grammar &G) {
+  const StringInterner &In = G.interner();
+  const auto *Root = dyn_cast<NodeTree>(Tree.get());
+  if (!Root)
+    return Expected<PdfParsed>::failure("PDF tree root is not a node");
+
+  PdfParsed P;
+  P.XrefOffset =
+      static_cast<size_t>(Root->attr(In.lookup("xofs")).value_or(0));
+  P.NumXrefEntries =
+      static_cast<size_t>(Root->attr(In.lookup("n")).value_or(0));
+  const ArrayTree *Ents = Root->childArray(In.lookup("XEnt"));
+  if (!Ents)
+    return Expected<PdfParsed>::failure("missing xref entry array");
+  for (size_t I = 1; I < Ents->size(); ++I)
+    P.ObjectOffsets.push_back(static_cast<size_t>(
+        Ents->element(I)->attr(In.lookup("ofs")).value_or(0)));
+  return P;
+}

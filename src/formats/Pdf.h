@@ -1,0 +1,67 @@
+//===- formats/Pdf.h - PDF subset: grammar, synthesizer, extractor -*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PDF subset of Section 4.3, exercising the two parsing patterns the
+/// paper singles out:
+///
+///   * backward parsing — the startxref offset is a decimal number of
+///     unknown length scanned backward from "%%EOF" (the bNum grammar),
+///     and its `start` attribute locates the "startxref" keyword; and
+///   * random access with overlapping intervals — the xref table's entries
+///     point back into regions of the file that are parsed again as
+///     objects (multi-pass parsing).
+///
+/// Simplifications vs. full PDF (as in the paper, which also only supports
+/// a subset): the xref count line is fixed-width, there is a single xref
+/// section, no incremental updates or linearization, and the trailer
+/// dictionary is skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_PDF_H
+#define IPG_FORMATS_PDF_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace ipg::formats {
+
+extern const char PdfGrammarText[];
+
+struct PdfSynthSpec {
+  size_t NumObjects = 8;
+  size_t ObjectBodySize = 64; ///< bytes of dictionary-ish content per object
+  uint64_t Seed = 1;
+};
+
+struct PdfModel {
+  size_t XrefOffset = 0;
+  std::vector<size_t> ObjectOffsets; ///< object i at ObjectOffsets[i]
+};
+
+std::vector<uint8_t> synthesizePdf(const PdfSynthSpec &Spec,
+                                   PdfModel *Model = nullptr);
+
+struct PdfParsed {
+  size_t XrefOffset = 0;
+  size_t NumXrefEntries = 0; ///< including the free entry 0
+  std::vector<size_t> ObjectOffsets;
+};
+
+Expected<PdfParsed> extractPdf(const TreePtr &Tree, const Grammar &G);
+
+Expected<LoadResult> loadPdfGrammar();
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_PDF_H

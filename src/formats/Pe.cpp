@@ -1,0 +1,150 @@
+//===- formats/Pe.cpp -----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "formats/Pe.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+using namespace ipg::formats;
+
+// PE32+ layout: "MZ" header whose e_lfanew (offset 60) points at the
+// "PE\0\0" signature, followed by the 20-byte COFF header, the optional
+// header (SizeOfOptionalHeader @16), the 40-byte section headers, and the
+// sections' raw data wherever PointerToRawData says.
+const char ipg::formats::PeGrammarText[] = R"IPG(
+PE -> DOS[64]
+      "PE\x00\x00"[DOS.lfanew, DOS.lfanew + 4]
+      COFF[20]
+      OptHdr[COFF.optsize]
+      {secofs = DOS.lfanew + 24 + COFF.optsize}
+      for i = 0 to COFF.nsec do SecHdr[secofs + 40 * i, secofs + 40 * (i + 1)]
+      for i = 0 to COFF.nsec do Sec[SecHdr(i).rawptr,
+                                    SecHdr(i).rawptr + SecHdr(i).rawsize] ;
+
+DOS -> "MZ" raw[62] {lfanew = u32le(60)} ;
+
+COFF -> raw[20]
+        {machine = u16le(0)} {nsec = u16le(2)} {optsize = u16le(16)} ;
+
+OptHdr -> raw {magic = u16le(0)} check(magic = 0x20b) ;
+
+SecHdr -> raw[40] {vsize = u32le(8)} {rawsize = u32le(16)}
+          {rawptr = u32le(20)} ;
+
+Sec -> raw ;
+)IPG";
+
+Expected<LoadResult> ipg::formats::loadPeGrammar() {
+  return loadGrammar(PeGrammarText);
+}
+
+std::vector<uint8_t> ipg::formats::synthesizePe(const PeSynthSpec &Spec,
+                                                PeModel *Model) {
+  ByteWriter W;
+  uint64_t Rng = Spec.Seed;
+  auto Next = [&Rng] {
+    Rng = Rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    return Rng >> 33;
+  };
+  PeModel Local;
+  PeModel &M = Model ? *Model : Local;
+  M = PeModel();
+
+  // DOS header (64 bytes), e_lfanew patched at offset 60.
+  W.raw("MZ");
+  W.fill(0x90, 58);
+  size_t LfaNewPatch = W.size();
+  W.u32le(0);
+  // DOS stub junk.
+  for (size_t I = 0; I < Spec.DosStubSize; ++I)
+    W.u8(static_cast<uint8_t>(Next()));
+
+  uint32_t LfaNew = static_cast<uint32_t>(W.size());
+  W.patchUnsigned(LfaNewPatch, LfaNew, 4, Endian::Little);
+  M.LfaNew = LfaNew;
+
+  // NT signature + COFF header.
+  W.raw("PE");
+  W.u8(0);
+  W.u8(0);
+  W.u16le(0x8664); // machine: x86-64
+  W.u16le(static_cast<uint16_t>(Spec.NumSections));
+  W.u32le(0);   // timestamp
+  W.u32le(0);   // symbol table ptr
+  W.u32le(0);   // num symbols
+  W.u16le(240); // optional header size (PE32+)
+  W.u16le(0x22); // characteristics
+
+  // Optional header: magic 0x20b then padding to 240 bytes.
+  W.u16le(0x20b);
+  W.fill(0, 238);
+
+  // Section headers (40 bytes each); raw pointers patched after layout.
+  size_t SecHdrBase = W.size();
+  for (size_t I = 0; I < Spec.NumSections; ++I) {
+    char Name[8] = {'.', 's', 'e', 'c',
+                    static_cast<char>('0' + I % 10), 0, 0, 0};
+    W.raw(std::string_view(Name, 8));
+    W.u32le(static_cast<uint32_t>(Spec.SectionSize)); // virtual size
+    W.u32le(0x1000 * static_cast<uint32_t>(I + 1));   // virtual address
+    W.u32le(0); // raw size (patched)
+    W.u32le(0); // raw ptr (patched)
+    W.u32le(0); // reloc ptr
+    W.u32le(0); // linenum ptr
+    W.u16le(0); // nreloc
+    W.u16le(0); // nlinenum
+    W.u32le(0x60000020); // characteristics
+  }
+  for (size_t I = 0; I < Spec.NumSections; ++I) {
+    uint32_t RawPtr = static_cast<uint32_t>(W.size());
+    for (size_t K = 0; K < Spec.SectionSize; ++K)
+      W.u8(static_cast<uint8_t>(Next()));
+    W.patchUnsigned(SecHdrBase + 40 * I + 16, Spec.SectionSize, 4,
+                    Endian::Little);
+    W.patchUnsigned(SecHdrBase + 40 * I + 20, RawPtr, 4, Endian::Little);
+    M.Sections.push_back(
+        {RawPtr, static_cast<uint32_t>(Spec.SectionSize)});
+  }
+  M.NumSections = static_cast<uint16_t>(Spec.NumSections);
+  return W.take();
+}
+
+Expected<PeParsed> ipg::formats::extractPe(const TreePtr &Tree,
+                                           const Grammar &G) {
+  const StringInterner &In = G.interner();
+  const auto *Root = dyn_cast<NodeTree>(Tree.get());
+  if (!Root)
+    return Expected<PeParsed>::failure("PE tree root is not a node");
+
+  PeParsed P;
+  const NodeTree *DOS = Root->childNode(In.lookup("DOS"));
+  const NodeTree *COFF = Root->childNode(In.lookup("COFF"));
+  const NodeTree *Opt = Root->childNode(In.lookup("OptHdr"));
+  if (!DOS || !COFF || !Opt)
+    return Expected<PeParsed>::failure("missing PE header nodes");
+  P.LfaNew = static_cast<uint32_t>(DOS->attr(In.lookup("lfanew")).value_or(0));
+  P.Machine =
+      static_cast<uint16_t>(COFF->attr(In.lookup("machine")).value_or(0));
+  P.NumSections =
+      static_cast<uint16_t>(COFF->attr(In.lookup("nsec")).value_or(0));
+  P.OptMagic =
+      static_cast<uint16_t>(Opt->attr(In.lookup("magic")).value_or(0));
+
+  const ArrayTree *Hdrs = Root->childArray(In.lookup("SecHdr"));
+  if (!Hdrs)
+    return Expected<PeParsed>::failure("missing section header array");
+  for (size_t I = 0; I < Hdrs->size(); ++I) {
+    const NodeTree *H = Hdrs->element(I);
+    PeSectionModel S;
+    S.RawPtr = static_cast<uint32_t>(H->attr(In.lookup("rawptr")).value_or(0));
+    S.RawSize =
+        static_cast<uint32_t>(H->attr(In.lookup("rawsize")).value_or(0));
+    P.Sections.push_back(S);
+  }
+  return P;
+}

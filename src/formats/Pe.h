@@ -1,0 +1,66 @@
+//===- formats/Pe.h - PE format: grammar, synthesizer, extractor -*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PE (Portable Executable), the second directory-based binary format the
+/// paper evaluates. Random access twice over: the DOS header's e_lfanew
+/// points at the NT headers, and each section header's PointerToRawData
+/// points at its section's raw bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FORMATS_PE_H
+#define IPG_FORMATS_PE_H
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ipg::formats {
+
+extern const char PeGrammarText[];
+
+struct PeSynthSpec {
+  size_t NumSections = 4;
+  size_t SectionSize = 512;
+  size_t DosStubSize = 64; ///< junk between the DOS header and NT headers
+  uint64_t Seed = 1;
+};
+
+struct PeSectionModel {
+  uint32_t RawPtr = 0;
+  uint32_t RawSize = 0;
+};
+
+struct PeModel {
+  uint32_t LfaNew = 0;
+  uint16_t NumSections = 0;
+  std::vector<PeSectionModel> Sections;
+};
+
+std::vector<uint8_t> synthesizePe(const PeSynthSpec &Spec,
+                                  PeModel *Model = nullptr);
+
+struct PeParsed {
+  uint32_t LfaNew = 0;
+  uint16_t Machine = 0;
+  uint16_t NumSections = 0;
+  uint16_t OptMagic = 0;
+  std::vector<PeSectionModel> Sections;
+};
+
+Expected<PeParsed> extractPe(const TreePtr &Tree, const Grammar &G);
+
+Expected<LoadResult> loadPeGrammar();
+
+} // namespace ipg::formats
+
+#endif // IPG_FORMATS_PE_H

@@ -1,0 +1,450 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ipg;
+
+const char *ipg::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::String:
+    return "string";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::Neq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwTo:
+    return "'to'";
+  case TokKind::KwDo:
+    return "'do'";
+  case TokKind::KwWhere:
+    return "'where'";
+  case TokKind::KwSwitch:
+    return "'switch'";
+  case TokKind::KwCheck:
+    return "'check'";
+  case TokKind::KwExists:
+    return "'exists'";
+  case TokKind::KwRaw:
+    return "'raw'";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Src) : Src(Src) {}
+
+  Expected<std::vector<Token>> run();
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  Error skipTrivia();
+  Expected<Token> lexString(Token Tok);
+  Token lexNumber(Token Tok);
+  Token lexIdent(Token Tok);
+
+  std::string located(const std::string &Msg) const {
+    return "line " + std::to_string(Line) + ":" + std::to_string(Col) + ": " +
+           Msg;
+  }
+};
+
+} // namespace
+
+Error Lexer::skipTrivia() {
+  for (;;) {
+    if (atEnd())
+      return Error::success();
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (atEnd())
+        return Error::failure(located("unterminated block comment"));
+      advance();
+      advance();
+      continue;
+    }
+    return Error::success();
+  }
+}
+
+Expected<Token> Lexer::lexString(Token Tok) {
+  Tok.Kind = TokKind::String;
+  advance(); // opening quote
+  std::string Bytes;
+  for (;;) {
+    if (atEnd())
+      return Expected<Token>::failure(located("unterminated string literal"));
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C != '\\') {
+      Bytes += C;
+      continue;
+    }
+    if (atEnd())
+      return Expected<Token>::failure(located("unterminated escape"));
+    char E = advance();
+    switch (E) {
+    case 'n':
+      Bytes += '\n';
+      break;
+    case 'r':
+      Bytes += '\r';
+      break;
+    case 't':
+      Bytes += '\t';
+      break;
+    case '0':
+      Bytes += '\0';
+      break;
+    case '\\':
+    case '"':
+      Bytes += E;
+      break;
+    case 'x': {
+      if (Pos + 1 >= Src.size() || !isxdigit(peek()) || !isxdigit(peek(1)))
+        return Expected<Token>::failure(
+            located("\\x escape requires two hex digits"));
+      auto Hex = [](char H) {
+        return H <= '9' ? H - '0' : (tolower(H) - 'a' + 10);
+      };
+      char Hi = advance(), LoC = advance();
+      Bytes += static_cast<char>(Hex(Hi) * 16 + Hex(LoC));
+      break;
+    }
+    default:
+      return Expected<Token>::failure(
+          located(std::string("unknown escape '\\") + E + "'"));
+    }
+  }
+  Tok.Text = std::move(Bytes);
+  return Tok;
+}
+
+Token Lexer::lexNumber(Token Tok) {
+  Tok.Kind = TokKind::Number;
+  int64_t V = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (isxdigit(peek())) {
+      char C = advance();
+      int D = C <= '9' ? C - '0' : (tolower(C) - 'a' + 10);
+      V = V * 16 + D;
+    }
+  } else {
+    while (isdigit(peek()))
+      V = V * 10 + (advance() - '0');
+  }
+  Tok.Number = V;
+  return Tok;
+}
+
+Token Lexer::lexIdent(Token Tok) {
+  std::string Name;
+  while (isalnum(peek()) || peek() == '_')
+    Name += advance();
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"for", TokKind::KwFor},       {"to", TokKind::KwTo},
+      {"do", TokKind::KwDo},         {"where", TokKind::KwWhere},
+      {"switch", TokKind::KwSwitch}, {"check", TokKind::KwCheck},
+      {"exists", TokKind::KwExists}, {"raw", TokKind::KwRaw},
+  };
+  auto It = Keywords.find(Name);
+  Tok.Kind = It == Keywords.end() ? TokKind::Ident : It->second;
+  Tok.Text = std::move(Name);
+  return Tok;
+}
+
+Expected<std::vector<Token>> Lexer::run() {
+  std::vector<Token> Toks;
+  for (;;) {
+    if (Error E = skipTrivia())
+      return Expected<std::vector<Token>>(std::move(E));
+    Token Tok;
+    Tok.Line = Line;
+    Tok.Col = Col;
+    if (atEnd()) {
+      Toks.push_back(Tok); // Eof
+      return Toks;
+    }
+    char C = peek();
+    if (C == '"') {
+      auto S = lexString(Tok);
+      if (!S)
+        return Expected<std::vector<Token>>(S.takeError());
+      Toks.push_back(*S);
+      continue;
+    }
+    if (isdigit(C)) {
+      Toks.push_back(lexNumber(Tok));
+      continue;
+    }
+    if (isalpha(C) || C == '_') {
+      Toks.push_back(lexIdent(Tok));
+      continue;
+    }
+
+    auto Two = [&](char Second, TokKind Long, TokKind Short) {
+      advance();
+      if (peek() == Second) {
+        advance();
+        Tok.Kind = Long;
+      } else {
+        Tok.Kind = Short;
+      }
+      Toks.push_back(Tok);
+    };
+
+    switch (C) {
+    case '-':
+      advance();
+      if (peek() == '>') {
+        advance();
+        Tok.Kind = TokKind::Arrow;
+      } else {
+        Tok.Kind = TokKind::Minus;
+      }
+      Toks.push_back(Tok);
+      break;
+    case '[':
+      advance();
+      Tok.Kind = TokKind::LBracket;
+      Toks.push_back(Tok);
+      break;
+    case ']':
+      advance();
+      Tok.Kind = TokKind::RBracket;
+      Toks.push_back(Tok);
+      break;
+    case '{':
+      advance();
+      Tok.Kind = TokKind::LBrace;
+      Toks.push_back(Tok);
+      break;
+    case '}':
+      advance();
+      Tok.Kind = TokKind::RBrace;
+      Toks.push_back(Tok);
+      break;
+    case '(':
+      advance();
+      Tok.Kind = TokKind::LParen;
+      Toks.push_back(Tok);
+      break;
+    case ')':
+      advance();
+      Tok.Kind = TokKind::RParen;
+      Toks.push_back(Tok);
+      break;
+    case ',':
+      advance();
+      Tok.Kind = TokKind::Comma;
+      Toks.push_back(Tok);
+      break;
+    case ';':
+      advance();
+      Tok.Kind = TokKind::Semi;
+      Toks.push_back(Tok);
+      break;
+    case '/':
+      advance();
+      Tok.Kind = TokKind::Slash;
+      Toks.push_back(Tok);
+      break;
+    case ':':
+      advance();
+      Tok.Kind = TokKind::Colon;
+      Toks.push_back(Tok);
+      break;
+    case '?':
+      advance();
+      Tok.Kind = TokKind::Question;
+      Toks.push_back(Tok);
+      break;
+    case '.':
+      advance();
+      Tok.Kind = TokKind::Dot;
+      Toks.push_back(Tok);
+      break;
+    case '=':
+      Two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '!':
+      advance();
+      if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::Neq;
+        Toks.push_back(Tok);
+        break;
+      }
+      return Expected<std::vector<Token>>::failure(
+          located("stray '!' (did you mean '!='?)"));
+    case '<':
+      advance();
+      if (peek() == '<') {
+        advance();
+        Tok.Kind = TokKind::Shl;
+      } else if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::Le;
+      } else {
+        Tok.Kind = TokKind::Lt;
+      }
+      Toks.push_back(Tok);
+      break;
+    case '>':
+      advance();
+      if (peek() == '>') {
+        advance();
+        Tok.Kind = TokKind::Shr;
+      } else if (peek() == '=') {
+        advance();
+        Tok.Kind = TokKind::Ge;
+      } else {
+        Tok.Kind = TokKind::Gt;
+      }
+      Toks.push_back(Tok);
+      break;
+    case '&':
+      Two('&', TokKind::AndAnd, TokKind::Amp);
+      break;
+    case '|':
+      advance();
+      if (peek() == '|') {
+        advance();
+        Tok.Kind = TokKind::OrOr;
+        Toks.push_back(Tok);
+        break;
+      }
+      return Expected<std::vector<Token>>::failure(
+          located("stray '|' (did you mean '||'?)"));
+    case '+':
+      advance();
+      Tok.Kind = TokKind::Plus;
+      Toks.push_back(Tok);
+      break;
+    case '*':
+      advance();
+      Tok.Kind = TokKind::Star;
+      Toks.push_back(Tok);
+      break;
+    case '%':
+      advance();
+      Tok.Kind = TokKind::Percent;
+      Toks.push_back(Tok);
+      break;
+    default:
+      return Expected<std::vector<Token>>::failure(
+          located(std::string("unexpected character '") + C + "'"));
+    }
+  }
+}
+
+Expected<std::vector<Token>> ipg::tokenize(std::string_view Src) {
+  return Lexer(Src).run();
+}

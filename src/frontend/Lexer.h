@@ -1,0 +1,98 @@
+//===- frontend/Lexer.h - IPG DSL lexer -------------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the IPG surface syntax. The concrete syntax used in this
+/// reproduction (ASCII rendering of the paper's notation):
+///
+///   S -> H[0, 8] Data[H.offset, H.offset + H.length] ;
+///   H -> {offset = u32le(0)} {length = u32le(4)} ;
+///   GIF -> Header[6] LSD Blocks Trailer ;          // implicit intervals
+///   check(EOI % 3 = 0)                             // predicate <e>
+///   for i = 0 to H.num do SH[ofs + i*sz, ofs + (i+1)*sz]
+///   switch(flag = 1: GlobalColorTable[size] / Empty[0, 1])
+///   ... where { Sec -> switch(SH(i).type = 6: DynSec / OtherSec) ; }
+///   blackbox inflate ;                             // declared blackboxes
+///
+/// Comments are `//` to end of line and `/* ... */`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FRONTEND_LEXER_H
+#define IPG_FRONTEND_LEXER_H
+
+#include "support/Result.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipg {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  Number,
+  String,
+  Arrow,    // ->
+  LBracket, // [
+  RBracket, // ]
+  LBrace,   // {
+  RBrace,   // }
+  LParen,   // (
+  RParen,   // )
+  Comma,
+  Semi,
+  Slash,
+  Colon,
+  Question,
+  Dot,
+  Assign, // = (also equality inside expressions)
+  EqEq,   // ==
+  Neq,    // !=
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  AndAnd,
+  OrOr,
+  Amp,
+  Plus,
+  Minus,
+  Star,
+  Percent,
+  Shl,
+  Shr,
+  KwFor,
+  KwTo,
+  KwDo,
+  KwWhere,
+  KwSwitch,
+  KwCheck,
+  KwExists,
+  KwRaw,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< identifier spelling or decoded string bytes
+  int64_t Number = 0; ///< value for TokKind::Number
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Human-readable name of a token kind (for diagnostics).
+const char *tokKindName(TokKind K);
+
+/// Tokenizes \p Src; fails with a located message on malformed input
+/// (unterminated string, bad escape, stray character).
+Expected<std::vector<Token>> tokenize(std::string_view Src);
+
+} // namespace ipg
+
+#endif // IPG_FRONTEND_LEXER_H

@@ -1,0 +1,36 @@
+//===- frontend/Parser.h - IPG DSL parser -----------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses IPG grammar text into a Grammar AST. The result still needs the
+/// analysis pipeline (completion, resolution, attribute checking) before it
+/// can be executed; `loadGrammar` in analysis/AttributeCheck.h runs the
+/// whole pipeline.
+///
+/// Top-level forms:
+///   blackbox NAME ;      declare a blackbox parser usable as a term
+///   start NAME ;         override the start symbol (default: first rule)
+///   NAME -> alts ;       a rule
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_FRONTEND_PARSER_H
+#define IPG_FRONTEND_PARSER_H
+
+#include "grammar/Grammar.h"
+#include "support/Result.h"
+
+#include <string_view>
+
+namespace ipg {
+
+/// Parses \p Src into an (unchecked, uncompleted) grammar.
+Expected<Grammar> parseGrammarText(std::string_view Src);
+
+} // namespace ipg
+
+#endif // IPG_FRONTEND_PARSER_H

@@ -1,0 +1,10 @@
+//===- grammar/Builder.cpp ------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+// GrammarBuilder is header-only; this TU anchors the library target.
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Builder.h"

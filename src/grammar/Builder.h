@@ -1,0 +1,109 @@
+//===- grammar/Builder.h - Programmatic grammar construction ----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small convenience layer for building grammars from C++ (tests and
+/// embedders that prefer not to go through the text front end). Names are
+/// plain strings; the builder interns them against the target grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_GRAMMAR_BUILDER_H
+#define IPG_GRAMMAR_BUILDER_H
+
+#include "grammar/Grammar.h"
+
+#include <initializer_list>
+#include <string_view>
+
+namespace ipg {
+
+class GrammarBuilder {
+public:
+  explicit GrammarBuilder(Grammar &G) : G(G) {}
+
+  // -- Expressions --------------------------------------------------------
+  ExprPtr num(int64_t V) const { return NumExpr::create(V); }
+  ExprPtr ref(std::string_view Id) const {
+    return RefExpr::attr(G.intern(Id));
+  }
+  ExprPtr ntAttr(std::string_view NT, std::string_view Attr) const {
+    return RefExpr::ntAttr(G.intern(NT), G.intern(Attr));
+  }
+  ExprPtr elemAttr(std::string_view NT, ExprPtr Index,
+                   std::string_view Attr) const {
+    return RefExpr::ntElemAttr(G.intern(NT), std::move(Index),
+                               G.intern(Attr));
+  }
+  ExprPtr eoi() const { return RefExpr::eoi(); }
+  ExprPtr bin(BinOpKind Op, ExprPtr L, ExprPtr R) const {
+    return BinaryExpr::create(Op, std::move(L), std::move(R));
+  }
+  ExprPtr add(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Add, std::move(L), std::move(R));
+  }
+  ExprPtr sub(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Sub, std::move(L), std::move(R));
+  }
+  ExprPtr mul(ExprPtr L, ExprPtr R) const {
+    return bin(BinOpKind::Mul, std::move(L), std::move(R));
+  }
+
+  // -- Terms ---------------------------------------------------------------
+  TermPtr nt(std::string_view Name, ExprPtr Lo, ExprPtr Hi) const {
+    return std::make_shared<NTTerm>(
+        G.intern(Name), Interval::explicitly(std::move(Lo), std::move(Hi)));
+  }
+  TermPtr nt(std::string_view Name) const {
+    return std::make_shared<NTTerm>(G.intern(Name), Interval::omitted());
+  }
+  TermPtr ntLen(std::string_view Name, ExprPtr Len) const {
+    return std::make_shared<NTTerm>(G.intern(Name),
+                                    Interval::lengthOnly(std::move(Len)));
+  }
+  TermPtr terminal(std::string_view Bytes, ExprPtr Lo, ExprPtr Hi) const {
+    return std::make_shared<TerminalTerm>(
+        std::string(Bytes),
+        Interval::explicitly(std::move(Lo), std::move(Hi)));
+  }
+  TermPtr terminal(std::string_view Bytes) const {
+    return std::make_shared<TerminalTerm>(std::string(Bytes),
+                                          Interval::omitted());
+  }
+  TermPtr attrDef(std::string_view Name, ExprPtr Value) const {
+    return std::make_shared<AttrDefTerm>(G.intern(Name), std::move(Value));
+  }
+  TermPtr predicate(ExprPtr Cond) const {
+    return std::make_shared<PredicateTerm>(std::move(Cond));
+  }
+  TermPtr array(std::string_view LoopVar, ExprPtr From, ExprPtr To,
+                std::string_view Elem, ExprPtr Lo, ExprPtr Hi) const {
+    return std::make_shared<ArrayTerm>(
+        G.intern(LoopVar), std::move(From), std::move(To), G.intern(Elem),
+        Interval::explicitly(std::move(Lo), std::move(Hi)));
+  }
+
+  // -- Rules ---------------------------------------------------------------
+  /// Adds a global rule with the given alternatives.
+  Rule &rule(std::string_view Name,
+             std::vector<std::vector<TermPtr>> Alts) const {
+    Rule &R = G.createRule(G.intern(Name), /*IsLocal=*/false);
+    for (auto &TermList : Alts) {
+      Alternative Alt;
+      Alt.Terms = std::move(TermList);
+      R.Alts.push_back(std::move(Alt));
+    }
+    return R;
+  }
+
+private:
+  Grammar &G;
+};
+
+} // namespace ipg
+
+#endif // IPG_GRAMMAR_BUILDER_H

@@ -1,0 +1,60 @@
+//===- runtime/Blackbox.h - Blackbox parser registry ------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blackbox parsers (paper Section 3.4): legacy parsers reused by handing
+/// them an interval-confined slice of the input. A blackbox reports
+/// success/failure, an integer value (surfaced as attribute `val`), how
+/// many bytes of the slice it consumed (drives the `end` attribute), and
+/// optional decoded output bytes (surfaced as a Leaf child) — e.g. the ZIP
+/// decompressor of Section 7.
+///
+/// Blackboxes are assumed to be pure functions of their slice and to
+/// terminate; both assumptions mirror the paper's treatment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_RUNTIME_BLACKBOX_H
+#define IPG_RUNTIME_BLACKBOX_H
+
+#include "support/Bytes.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+struct BlackboxResult {
+  bool Ok = false;
+  int64_t Value = 0;
+  size_t End = 0; ///< one past the last consumed byte, relative to the slice
+  std::vector<uint8_t> Output; ///< decoded bytes, if any
+
+  static BlackboxResult failure() { return BlackboxResult(); }
+};
+
+using BlackboxFn = std::function<BlackboxResult(ByteSpan)>;
+
+class BlackboxRegistry {
+public:
+  void add(std::string Name, BlackboxFn Fn) {
+    Fns[std::move(Name)] = std::move(Fn);
+  }
+  const BlackboxFn *find(const std::string &Name) const {
+    auto It = Fns.find(Name);
+    return It == Fns.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::map<std::string, BlackboxFn> Fns;
+};
+
+} // namespace ipg
+
+#endif // IPG_RUNTIME_BLACKBOX_H

@@ -1,0 +1,10 @@
+//===- runtime/Env.cpp ----------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Env is header-only; this TU anchors the library target.
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Env.h"

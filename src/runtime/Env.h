@@ -1,0 +1,67 @@
+//===- runtime/Env.h - Attribute environments -------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The environment E of the parsing semantics: a map from attribute names
+/// to integer values. Environments are tiny (EOI/start/end plus a handful
+/// of user attributes), so a flat vector with linear search beats a hash
+/// map here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_RUNTIME_ENV_H
+#define IPG_RUNTIME_ENV_H
+
+#include "support/Interner.h"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ipg {
+
+class Env {
+public:
+  std::optional<int64_t> get(Symbol S) const {
+    for (const auto &[Key, Value] : Slots)
+      if (Key == S)
+        return Value;
+    return std::nullopt;
+  }
+
+  /// Inserts or overwrites.
+  void set(Symbol S, int64_t V) {
+    for (auto &[Key, Value] : Slots)
+      if (Key == S) {
+        Value = V;
+        return;
+      }
+    Slots.emplace_back(S, V);
+  }
+
+  /// Removes the binding; returns whether it existed.
+  bool erase(Symbol S) {
+    for (size_t I = 0; I < Slots.size(); ++I)
+      if (Slots[I].first == S) {
+        Slots.erase(Slots.begin() + I);
+        return true;
+      }
+    return false;
+  }
+
+  size_t size() const { return Slots.size(); }
+  auto begin() const { return Slots.begin(); }
+  auto end() const { return Slots.end(); }
+
+private:
+  std::vector<std::pair<Symbol, int64_t>> Slots;
+};
+
+} // namespace ipg
+
+#endif // IPG_RUNTIME_ENV_H

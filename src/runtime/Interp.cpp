@@ -1,0 +1,545 @@
+//===- runtime/Interp.cpp -------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interp.h"
+
+#include "expr/Eval.h"
+#include "support/Casting.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ipg;
+
+namespace {
+
+struct MemoKey {
+  RuleId Rule;
+  size_t Lo, Hi;
+  bool operator==(const MemoKey &O) const {
+    return Rule == O.Rule && Lo == O.Lo && Hi == O.Hi;
+  }
+};
+
+struct MemoKeyHash {
+  size_t operator()(const MemoKey &K) const {
+    size_t H = K.Rule;
+    H = H * 0x9e3779b97f4a7c15ULL + K.Lo;
+    H = H * 0x9e3779b97f4a7c15ULL + K.Hi;
+    return H;
+  }
+};
+
+/// Per-alternative execution state: the environment E, the parse trees of
+/// already-executed terms, and per-term touch records for TermEnd.
+struct Frame {
+  ByteSpan Input;
+  Env E;
+  std::vector<TreePtr> Children;
+  std::vector<uint32_t> ChildTermIdx;
+
+  struct TermRec {
+    bool HasEnd = false;
+    int64_t Start = 0;
+    int64_t End = 0;
+  };
+  std::vector<TermRec> Recs;
+
+  /// Enclosing frame for where-clause rules (null for global rules).
+  const Frame *Lexical = nullptr;
+};
+
+/// EvalContext view of a Frame (sigma of Figure 8).
+class FrameCtx : public EvalContext {
+public:
+  FrameCtx(const Frame &F, const Grammar &G) : F(F), G(G) {}
+
+  std::optional<int64_t> attr(Symbol Id) const override {
+    for (const Frame *L = &F; L; L = L->Lexical)
+      if (auto V = L->E.get(Id))
+        return V;
+    return std::nullopt;
+  }
+
+  std::optional<int64_t> ntAttr(Symbol NT, Symbol Attr) const override {
+    for (const Frame *L = &F; L; L = L->Lexical)
+      for (size_t I = L->Children.size(); I-- > 0;)
+        if (const auto *N = dyn_cast<NodeTree>(L->Children[I].get()))
+          if (N->name() == NT)
+            return N->attr(Attr);
+    return std::nullopt;
+  }
+
+  std::optional<int64_t> elemAttr(Symbol NT, int64_t Index,
+                                  Symbol Attr) const override {
+    const ArrayTree *A = findArray(NT);
+    if (!A || Index < 0 || static_cast<size_t>(Index) >= A->size())
+      return std::nullopt;
+    const NodeTree *N = A->element(static_cast<size_t>(Index));
+    return N ? N->attr(Attr) : std::nullopt;
+  }
+
+  std::optional<int64_t> arrayLength(Symbol NT) const override {
+    const ArrayTree *A = findArray(NT);
+    if (!A)
+      return std::nullopt;
+    return static_cast<int64_t>(A->size());
+  }
+
+  std::optional<int64_t> eoi() const override {
+    return static_cast<int64_t>(F.Input.size());
+  }
+
+  std::optional<int64_t> termEnd(uint32_t TermIdx) const override {
+    if (TermIdx >= F.Recs.size() || !F.Recs[TermIdx].HasEnd)
+      return std::nullopt;
+    return F.Recs[TermIdx].End;
+  }
+
+  std::optional<int64_t> readInput(ReadKind RK, int64_t Lo,
+                                   int64_t Hi) const override {
+    int64_t Size = static_cast<int64_t>(F.Input.size());
+    size_t Width = 1;
+    Endian E = Endian::Little;
+    switch (RK) {
+    case ReadKind::U8:
+      Width = 1;
+      break;
+    case ReadKind::U16Le:
+      Width = 2;
+      break;
+    case ReadKind::U32Le:
+      Width = 4;
+      break;
+    case ReadKind::U64Le:
+      Width = 8;
+      break;
+    case ReadKind::U16Be:
+      Width = 2;
+      E = Endian::Big;
+      break;
+    case ReadKind::U32Be:
+      Width = 4;
+      E = Endian::Big;
+      break;
+    case ReadKind::BtoiLe:
+    case ReadKind::BtoiBe: {
+      if (RK == ReadKind::BtoiBe)
+        E = Endian::Big;
+      if (Lo < 0 || Hi < Lo + 1 || Hi - Lo > 8 || Hi > Size)
+        return std::nullopt;
+      return static_cast<int64_t>(F.Input.readUnsigned(
+          static_cast<size_t>(Lo), static_cast<size_t>(Hi - Lo), E));
+    }
+    }
+    if (Lo < 0 || Lo + static_cast<int64_t>(Width) > Size)
+      return std::nullopt;
+    return static_cast<int64_t>(
+        F.Input.readUnsigned(static_cast<size_t>(Lo), Width, E));
+  }
+
+private:
+  const Frame &F;
+  const Grammar &G;
+
+  const ArrayTree *findArray(Symbol NT) const {
+    for (const Frame *L = &F; L; L = L->Lexical)
+      for (size_t I = L->Children.size(); I-- > 0;)
+        if (const auto *A = dyn_cast<ArrayTree>(L->Children[I].get()))
+          if (A->elemName() == NT)
+            return A;
+    return nullptr;
+  }
+};
+
+/// One parse() invocation: owns the memo table and recursion bookkeeping.
+class Runner {
+public:
+  Runner(const Grammar &G, const BlackboxRegistry *Blackboxes,
+         const InterpOptions &Opts, InterpStats &Stats)
+      : G(G), Blackboxes(Blackboxes), Opts(Opts), Stats(Stats) {}
+
+  Expected<TreePtr> run(ByteSpan Input, RuleId Start) {
+    auto Node = parseRule(Start, Input, nullptr);
+    if (Hard)
+      return Expected<TreePtr>(std::move(Hard));
+    if (!Node)
+      return Expected<TreePtr>::failure(
+          "parse failed: input rejected by rule '" +
+          std::string(G.interner().name(G.rule(Start).Name)) + "'");
+    return Expected<TreePtr>(TreePtr(std::move(Node)));
+  }
+
+private:
+  const Grammar &G;
+  const BlackboxRegistry *Blackboxes;
+  const InterpOptions &Opts;
+  InterpStats &Stats;
+  Error Hard = Error::success();
+  size_t Depth = 0;
+  std::unordered_map<MemoKey, std::shared_ptr<const NodeTree>, MemoKeyHash>
+      Memo;
+  std::unordered_set<MemoKey, MemoKeyHash> InProgress;
+
+  /// updStartEnd of Figure 8.
+  void updStartEnd(Env &E, int64_t Lo, int64_t Hi, bool Touched) {
+    if (!Touched)
+      return;
+    auto S = E.get(G.symStart());
+    auto En = E.get(G.symEnd());
+    E.set(G.symStart(), std::min(S.value_or(Lo), Lo));
+    E.set(G.symEnd(), std::max(En.value_or(Hi), Hi));
+  }
+
+  /// Evaluates an interval; false means evaluation failed (term fails).
+  bool evalInterval(const Frame &F, const Interval &Iv, int64_t &Lo,
+                    int64_t &Hi) {
+    FrameCtx Ctx(F, G);
+    if (!Iv.Lo || !Iv.Hi) {
+      Hard = Error::failure("internal: interval not completed (run "
+                            "completeIntervals before parsing)");
+      return false;
+    }
+    auto L = evaluate(*Iv.Lo, Ctx);
+    if (!L)
+      return false;
+    auto H = evaluate(*Iv.Hi, Ctx);
+    if (!H)
+      return false;
+    Lo = *L;
+    Hi = *H;
+    return true;
+  }
+
+  /// Parses a child nonterminal (shared by NT terms, array elements and
+  /// switch arms). Returns false on Fail; records into the frame on
+  /// success.
+  bool parseChildNT(Frame &F, uint32_t TermIdx, RuleId Target,
+                    const Interval &Iv) {
+    int64_t Lo, Hi;
+    if (!evalInterval(F, Iv, Lo, Hi) || Hard)
+      return false;
+    int64_t Size = static_cast<int64_t>(F.Input.size());
+    if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
+      return false;
+    auto Sub = parseRule(Target, F.Input.slice(static_cast<size_t>(Lo),
+                                               static_cast<size_t>(Hi)),
+                         &F);
+    if (Hard || !Sub)
+      return false;
+    int64_t BStart = Sub->attr(G.symStart()).value_or(Hi - Lo);
+    int64_t BEnd = Sub->attr(G.symEnd()).value_or(0);
+    auto Adjusted = Sub->withShiftedStartEnd(Lo, G.symStart(), G.symEnd());
+    updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
+    F.Children.push_back(Adjusted);
+    F.ChildTermIdx.push_back(TermIdx);
+    F.Recs[TermIdx] = {true, Lo + BStart, Lo + BEnd};
+    return true;
+  }
+
+  bool execTerm(Frame &F, const Alternative &Alt, uint32_t TI) {
+    ++Stats.TermsExecuted;
+    const Term &T = *Alt.Terms[TI];
+    switch (T.kind()) {
+    case Term::Kind::Nonterminal: {
+      const auto &N = *cast<NTTerm>(&T);
+      if (N.Resolved == InvalidRuleId) {
+        Hard = Error::failure("internal: unresolved nonterminal '" +
+                              std::string(G.interner().name(N.Name)) +
+                              "' (run checkAttributes before parsing)");
+        return false;
+      }
+      return parseChildNT(F, TI, N.Resolved, N.Iv);
+    }
+
+    case Term::Kind::Terminal: {
+      const auto &S = *cast<TerminalTerm>(&T);
+      int64_t Lo, Hi;
+      if (!evalInterval(F, S.Iv, Lo, Hi) || Hard)
+        return false;
+      int64_t Size = static_cast<int64_t>(F.Input.size());
+      if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
+        return false;
+      if (S.Wildcard) {
+        // `raw` matches the whole interval without reading or copying it.
+        updStartEnd(F.E, Lo, Hi, Hi > Lo);
+        F.Children.push_back(
+            LeafTree::opaque(Lo, static_cast<size_t>(Hi - Lo)));
+        F.ChildTermIdx.push_back(TI);
+        F.Recs[TI] = {true, Lo, Hi};
+        return true;
+      }
+      int64_t Len = static_cast<int64_t>(S.Bytes.size());
+      if (Hi - Lo < Len)
+        return false;
+      if (!F.Input.matchesAt(static_cast<size_t>(Lo), S.Bytes))
+        return false;
+      updStartEnd(F.E, Lo, Lo + Len, Len > 0);
+      F.Children.push_back(std::make_shared<LeafTree>(S.Bytes, Lo));
+      F.ChildTermIdx.push_back(TI);
+      F.Recs[TI] = {true, Lo, Lo + Len};
+      return true;
+    }
+
+    case Term::Kind::AttrDef: {
+      const auto &D = *cast<AttrDefTerm>(&T);
+      FrameCtx Ctx(F, G);
+      auto V = evaluate(*D.Value, Ctx);
+      if (!V)
+        return false;
+      F.E.set(D.Name, *V);
+      return true;
+    }
+
+    case Term::Kind::Predicate: {
+      const auto &P = *cast<PredicateTerm>(&T);
+      FrameCtx Ctx(F, G);
+      auto V = evaluate(*P.Cond, Ctx);
+      return V && *V != 0;
+    }
+
+    case Term::Kind::Array:
+      return execArray(F, *cast<ArrayTerm>(&T), TI);
+
+    case Term::Kind::Switch: {
+      const auto &Sw = *cast<SwitchTerm>(&T);
+      FrameCtx Ctx(F, G);
+      for (const SwitchChoice &C : Sw.Choices) {
+        if (C.Cond) {
+          auto V = evaluate(*C.Cond, Ctx);
+          if (!V)
+            return false;
+          if (*V == 0)
+            continue;
+        }
+        if (C.Resolved == InvalidRuleId) {
+          Hard = Error::failure("internal: unresolved switch arm");
+          return false;
+        }
+        return parseChildNT(F, TI, C.Resolved, C.Iv);
+      }
+      return false; // no arm matched
+    }
+
+    case Term::Kind::Blackbox:
+      return execBlackbox(F, *cast<BlackboxTerm>(&T), TI);
+    }
+    return false;
+  }
+
+  bool execArray(Frame &F, const ArrayTerm &A, uint32_t TI) {
+    FrameCtx Ctx(F, G);
+    auto From = evaluate(*A.From, Ctx);
+    auto To = evaluate(*A.To, Ctx);
+    if (!From || !To)
+      return false;
+    if (A.Resolved == InvalidRuleId) {
+      Hard = Error::failure("internal: unresolved array element");
+      return false;
+    }
+
+    // Save any outer binding of the loop variable and bind it per element;
+    // the binding is visible to el/er and (through the lexical chain) to
+    // local element rules, matching T-ArraySucc's E[id -> k].
+    auto Saved = F.E.get(A.LoopVar);
+    std::vector<TreePtr> Elems;
+    bool AnyTouched = false;
+    int64_t MaxEnd = 0;
+    bool Failed = false;
+
+    for (int64_t K = *From; K < *To; ++K) {
+      F.E.set(A.LoopVar, K);
+      int64_t Lo, Hi;
+      if (!evalInterval(F, A.Iv, Lo, Hi) || Hard) {
+        Failed = true;
+        break;
+      }
+      int64_t Size = static_cast<int64_t>(F.Input.size());
+      if (!(0 <= Lo && Lo <= Hi && Hi <= Size)) {
+        Failed = true;
+        break;
+      }
+      auto Sub = parseRule(A.Resolved,
+                           F.Input.slice(static_cast<size_t>(Lo),
+                                         static_cast<size_t>(Hi)),
+                           &F);
+      if (Hard || !Sub) {
+        Failed = true;
+        break;
+      }
+      int64_t BStart = Sub->attr(G.symStart()).value_or(Hi - Lo);
+      int64_t BEnd = Sub->attr(G.symEnd()).value_or(0);
+      Elems.push_back(Sub->withShiftedStartEnd(Lo, G.symStart(), G.symEnd()));
+      updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
+      if (BEnd != 0) {
+        AnyTouched = true;
+        MaxEnd = std::max(MaxEnd, Lo + BEnd);
+      }
+    }
+
+    if (Saved)
+      F.E.set(A.LoopVar, *Saved);
+    else
+      F.E.erase(A.LoopVar);
+    if (Failed)
+      return false;
+
+    F.Children.push_back(
+        std::make_shared<ArrayTree>(A.Elem, std::move(Elems)));
+    F.ChildTermIdx.push_back(TI);
+    if (AnyTouched)
+      F.Recs[TI] = {true, 0, MaxEnd};
+    return true;
+  }
+
+  bool execBlackbox(Frame &F, const BlackboxTerm &B, uint32_t TI) {
+    int64_t Lo, Hi;
+    if (!evalInterval(F, B.Iv, Lo, Hi) || Hard)
+      return false;
+    int64_t Size = static_cast<int64_t>(F.Input.size());
+    if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
+      return false;
+
+    std::string Name(G.interner().name(B.Name));
+    const BlackboxFn *Fn =
+        Blackboxes ? Blackboxes->find(Name) : nullptr;
+    if (!Fn) {
+      Hard = Error::failure("blackbox parser '" + Name +
+                            "' is not registered");
+      return false;
+    }
+    ByteSpan Slice = F.Input.slice(static_cast<size_t>(Lo),
+                                   static_cast<size_t>(Hi));
+    BlackboxResult Res = (*Fn)(Slice);
+    if (!Res.Ok)
+      return false;
+    if (Res.End > Slice.size()) {
+      Hard = Error::failure("blackbox parser '" + Name +
+                            "' consumed past its interval");
+      return false;
+    }
+
+    Env E;
+    E.set(G.symVal(), Res.Value);
+    if (Res.End > 0) {
+      E.set(G.symStart(), Lo);
+      E.set(G.symEnd(), Lo + static_cast<int64_t>(Res.End));
+    } else {
+      E.set(G.symStart(), Hi - Lo);
+      E.set(G.symEnd(), Lo);
+    }
+    std::vector<TreePtr> Kids;
+    std::vector<uint32_t> KidIdx;
+    if (!Res.Output.empty()) {
+      Kids.push_back(std::make_shared<LeafTree>(
+          std::string(Res.Output.begin(), Res.Output.end()), 0));
+      KidIdx.push_back(0);
+    }
+    auto Node = std::make_shared<NodeTree>(B.Name, InvalidRuleId,
+                                           std::move(E), std::move(Kids),
+                                           std::move(KidIdx));
+    ++Stats.NodesCreated;
+    updStartEnd(F.E, Lo, Lo + static_cast<int64_t>(Res.End), Res.End > 0);
+    F.Children.push_back(std::move(Node));
+    F.ChildTermIdx.push_back(TI);
+    F.Recs[TI] = {true, Lo, Lo + static_cast<int64_t>(Res.End)};
+    return true;
+  }
+
+  std::shared_ptr<const NodeTree> parseRule(RuleId Id, ByteSpan Input,
+                                            const Frame *Lexical) {
+    if (Hard)
+      return nullptr;
+    if (Depth >= Opts.MaxDepth) {
+      Hard = Error::failure(
+          "recursion depth limit exceeded while parsing rule '" +
+          std::string(G.interner().name(G.rule(Id).Name)) +
+          "' (likely a non-terminating grammar; see termination checking)");
+      return nullptr;
+    }
+    ++Depth;
+    Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
+
+    const Rule &R = G.rule(Id);
+    bool Memoize = Opts.UseMemo && !R.IsLocal;
+    MemoKey Key{Id, Input.absBase(), Input.absBase() + Input.size()};
+    if (Memoize) {
+      auto It = Memo.find(Key);
+      if (It != Memo.end()) {
+        ++Stats.MemoHits;
+        --Depth;
+        return It->second;
+      }
+      ++Stats.MemoMisses;
+    }
+    bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
+    if (TrackReentry && !InProgress.insert(Key).second) {
+      --Depth;
+      return nullptr; // packrat-style: in-progress re-entry fails
+    }
+
+    std::shared_ptr<const NodeTree> Result;
+    for (const Alternative &Alt : R.Alts) {
+      Frame F;
+      F.Input = Input;
+      F.Lexical = R.IsLocal ? Lexical : nullptr;
+      F.E.set(G.symEoi(), static_cast<int64_t>(Input.size()));
+      F.E.set(G.symStart(), static_cast<int64_t>(Input.size()));
+      F.E.set(G.symEnd(), 0);
+      F.Recs.resize(Alt.Terms.size());
+
+      bool Ok = true;
+      size_t NumTerms = Alt.Terms.size();
+      for (size_t Step = 0; Step < NumTerms; ++Step) {
+        uint32_t TI = Alt.ExecOrder.empty()
+                          ? static_cast<uint32_t>(Step)
+                          : Alt.ExecOrder[Step];
+        if (!execTerm(F, Alt, TI)) {
+          Ok = false;
+          break;
+        }
+      }
+      if (Hard)
+        break;
+      if (Ok) {
+        Result = std::make_shared<NodeTree>(R.Name, Id, std::move(F.E),
+                                            std::move(F.Children),
+                                            std::move(F.ChildTermIdx));
+        ++Stats.NodesCreated;
+        break;
+      }
+    }
+
+    if (TrackReentry)
+      InProgress.erase(Key);
+    if (Memoize && !Hard)
+      Memo[Key] = Result;
+    --Depth;
+    return Hard ? nullptr : Result;
+  }
+};
+
+} // namespace
+
+Interp::Interp(const Grammar &G, const BlackboxRegistry *Blackboxes,
+               InterpOptions Opts)
+    : G(G), Blackboxes(Blackboxes), Opts(Opts) {}
+
+Expected<TreePtr> Interp::parse(ByteSpan Input) {
+  return parse(Input, G.startSymbol());
+}
+
+Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
+  RuleId Start = G.findGlobal(StartNT);
+  if (Start == InvalidRuleId)
+    return Expected<TreePtr>::failure(
+        "start nonterminal '" +
+        std::string(G.interner().name(StartNT)) + "' has no rule");
+  Stats = InterpStats();
+  Runner R(G, Blackboxes, Opts, Stats);
+  return R.run(Input, Start);
+}

@@ -1,0 +1,85 @@
+//===- runtime/Interp.h - IPG parsing engine --------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recursive-descent parsing engine implementing the big-step semantics
+/// of Figures 8 and 15: biased choice over alternatives, interval-confined
+/// subparsers, the start/end/EOI special attributes, arrays, predicates,
+/// and the full-language features (switch, local rules, existentials,
+/// blackboxes).
+///
+/// Memoization keys on (rule, absolute slice) as described in Section 3.3,
+/// giving the O(n^2) bound; it can be disabled for ablation. Local
+/// (where-clause) rules are never memoized because their meaning depends on
+/// the enclosing frame.
+///
+/// Nontermination handling: the formal semantics simply diverges on
+/// grammars that fail termination checking; a practical engine cannot. Two
+/// guards exist: MaxDepth aborts the whole parse with a hard error, and
+/// (optionally) DetectReentry treats re-entering the same (rule, slice)
+/// while it is still being parsed as failure, packrat-style. Both are off
+/// the semantics' happy path and covered by dedicated tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_RUNTIME_INTERP_H
+#define IPG_RUNTIME_INTERP_H
+
+#include "grammar/Grammar.h"
+#include "runtime/Blackbox.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+namespace ipg {
+
+struct InterpOptions {
+  /// Packrat memoization of (rule, slice) results (Section 3.3).
+  bool UseMemo = true;
+  /// Treat re-entry of an in-progress (rule, slice) as failure instead of
+  /// recursing; off by default for fidelity to the formal semantics.
+  bool DetectReentry = false;
+  /// Hard limit on parseRule recursion depth.
+  size_t MaxDepth = 8192;
+};
+
+struct InterpStats {
+  size_t NodesCreated = 0;
+  size_t TermsExecuted = 0;
+  size_t MemoHits = 0;
+  size_t MemoMisses = 0;
+  size_t PeakDepth = 0;
+};
+
+/// One engine instance per (grammar, options); parse() may be called many
+/// times and is internally stateless across calls (the memo table is per
+/// call).
+class Interp {
+public:
+  explicit Interp(const Grammar &G, const BlackboxRegistry *Blackboxes = nullptr,
+                  InterpOptions Opts = InterpOptions());
+
+  /// Parses from the grammar's start symbol.
+  Expected<TreePtr> parse(ByteSpan Input);
+  /// Parses from an explicit (global) start nonterminal.
+  Expected<TreePtr> parse(ByteSpan Input, Symbol StartNT);
+
+  /// Statistics of the most recent parse() call.
+  const InterpStats &stats() const { return Stats; }
+
+  const Grammar &grammar() const { return G; }
+
+private:
+  const Grammar &G;
+  const BlackboxRegistry *Blackboxes;
+  InterpOptions Opts;
+  InterpStats Stats;
+};
+
+} // namespace ipg
+
+#endif // IPG_RUNTIME_INTERP_H

@@ -1,0 +1,119 @@
+//===- runtime/ParseTree.cpp ----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ParseTree.h"
+
+#include "support/Casting.h"
+
+using namespace ipg;
+
+ParseTree::~ParseTree() = default;
+
+const NodeTree *NodeTree::childNode(Symbol ChildName) const {
+  for (size_t I = Children.size(); I-- > 0;)
+    if (const auto *N = dyn_cast<NodeTree>(Children[I].get()))
+      if (N->name() == ChildName)
+        return N;
+  return nullptr;
+}
+
+const ArrayTree *NodeTree::childArray(Symbol ElemName) const {
+  for (size_t I = Children.size(); I-- > 0;)
+    if (const auto *A = dyn_cast<ArrayTree>(Children[I].get()))
+      if (A->elemName() == ElemName)
+        return A;
+  return nullptr;
+}
+
+std::shared_ptr<const NodeTree>
+NodeTree::withShiftedStartEnd(int64_t Delta, Symbol SymStart,
+                              Symbol SymEnd) const {
+  Env E2 = E;
+  if (auto S = E2.get(SymStart))
+    E2.set(SymStart, *S + Delta);
+  if (auto En = E2.get(SymEnd))
+    E2.set(SymEnd, *En + Delta);
+  return std::make_shared<NodeTree>(Name, Rule, std::move(E2), Children,
+                                    ChildTermIdx);
+}
+
+const NodeTree *ArrayTree::element(size_t I) const {
+  if (I >= Elems.size())
+    return nullptr;
+  return dyn_cast<NodeTree>(Elems[I].get());
+}
+
+size_t ipg::treeSize(const ParseTree &T) {
+  switch (T.kind()) {
+  case ParseTree::Kind::Leaf:
+    return 1;
+  case ParseTree::Kind::Node: {
+    size_t N = 1;
+    for (const TreePtr &C : cast<NodeTree>(&T)->children())
+      N += treeSize(*C);
+    return N;
+  }
+  case ParseTree::Kind::Array: {
+    size_t N = 1;
+    for (const TreePtr &C : cast<ArrayTree>(&T)->elements())
+      N += treeSize(*C);
+    return N;
+  }
+  }
+  return 1;
+}
+
+std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
+                              int Indent) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  switch (T.kind()) {
+  case ParseTree::Kind::Leaf: {
+    const auto &L = *cast<LeafTree>(&T);
+    std::string S = Pad + "Leaf@" + std::to_string(L.offset()) + " \"";
+    for (unsigned char C : L.bytes()) {
+      if (C >= 0x20 && C < 0x7f) {
+        S += static_cast<char>(C);
+      } else {
+        static const char *Hex = "0123456789abcdef";
+        S += "\\x";
+        S += Hex[C >> 4];
+        S += Hex[C & 0xf];
+      }
+      if (S.size() > Pad.size() + 48) {
+        S += "...";
+        break;
+      }
+    }
+    return S + "\"\n";
+  }
+  case ParseTree::Kind::Node: {
+    const auto &N = *cast<NodeTree>(&T);
+    std::string S = Pad + "Node " + std::string(Names.name(N.name())) + " {";
+    bool First = true;
+    for (const auto &[Key, Value] : N.env()) {
+      if (!First)
+        S += ", ";
+      First = false;
+      S += std::string(Names.name(Key)) + "=" + std::to_string(Value);
+    }
+    S += "}\n";
+    for (const TreePtr &C : N.children())
+      S += treeToString(*C, Names, Indent + 1);
+    return S;
+  }
+  case ParseTree::Kind::Array: {
+    const auto &A = *cast<ArrayTree>(&T);
+    std::string S = Pad + "Array of " +
+                    std::string(Names.name(A.elemName())) + " x" +
+                    std::to_string(A.size()) + "\n";
+    for (const TreePtr &C : A.elements())
+      S += treeToString(*C, Names, Indent + 1);
+    return S;
+  }
+  }
+  return Pad + "?\n";
+}

@@ -1,0 +1,150 @@
+//===- runtime/ParseTree.h - IPG parse trees --------------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parse trees of the paper's semantics:
+///
+///   Tr ::= Node(A, E, Trs) | Array(Trs) | Leaf(s)
+///
+/// Nodes carry the rule's attribute environment (including the special
+/// start/end attributes, already shifted into the parent's coordinate
+/// system by rule T-NTSucc). Children are stored in execution order, each
+/// tagged with the index of the originating term so tools can navigate by
+/// grammar position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_RUNTIME_PARSETREE_H
+#define IPG_RUNTIME_PARSETREE_H
+
+#include "grammar/Grammar.h"
+#include "runtime/Env.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+class ParseTree;
+using TreePtr = std::shared_ptr<const ParseTree>;
+
+class ParseTree {
+public:
+  enum class Kind { Node, Array, Leaf };
+
+  Kind kind() const { return K; }
+  virtual ~ParseTree();
+
+protected:
+  explicit ParseTree(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+class NodeTree;
+class ArrayTree;
+class LeafTree;
+
+/// Node(A, E, Trs): a successful parse of one nonterminal (or blackbox).
+class NodeTree : public ParseTree {
+public:
+  NodeTree(Symbol Name, RuleId Rule, Env E, std::vector<TreePtr> Children,
+           std::vector<uint32_t> ChildTermIdx)
+      : ParseTree(Kind::Node), Name(Name), Rule(Rule), E(std::move(E)),
+        Children(std::move(Children)),
+        ChildTermIdx(std::move(ChildTermIdx)) {}
+  static bool classof(const ParseTree *T) { return T->kind() == Kind::Node; }
+
+  Symbol name() const { return Name; }
+  RuleId rule() const { return Rule; }
+  const Env &env() const { return E; }
+  const std::vector<TreePtr> &children() const { return Children; }
+  const std::vector<uint32_t> &childTermIndices() const {
+    return ChildTermIdx;
+  }
+
+  std::optional<int64_t> attr(Symbol S) const { return E.get(S); }
+
+  /// The most recent child node named \p ChildName (nullptr if none).
+  const NodeTree *childNode(Symbol ChildName) const;
+  /// The most recent child array whose elements are named \p ElemName.
+  const ArrayTree *childArray(Symbol ElemName) const;
+
+  /// Shallow copy with start/end shifted by \p Delta (rule T-NTSucc).
+  std::shared_ptr<const NodeTree> withShiftedStartEnd(int64_t Delta,
+                                                      Symbol SymStart,
+                                                      Symbol SymEnd) const;
+
+private:
+  Symbol Name;
+  RuleId Rule;
+  Env E;
+  std::vector<TreePtr> Children;
+  std::vector<uint32_t> ChildTermIdx;
+};
+
+/// Array(Trs): the result of a for-term; elements are NodeTrees.
+class ArrayTree : public ParseTree {
+public:
+  ArrayTree(Symbol Elem, std::vector<TreePtr> Elems)
+      : ParseTree(Kind::Array), Elem(Elem), Elems(std::move(Elems)) {}
+  static bool classof(const ParseTree *T) {
+    return T->kind() == Kind::Array;
+  }
+
+  Symbol elemName() const { return Elem; }
+  const std::vector<TreePtr> &elements() const { return Elems; }
+  size_t size() const { return Elems.size(); }
+  const NodeTree *element(size_t I) const;
+
+private:
+  Symbol Elem;
+  std::vector<TreePtr> Elems;
+};
+
+/// Leaf(s): a matched terminal string (or blackbox output bytes). Offset is
+/// relative to the enclosing node's local input. A wildcard (`raw`) match
+/// is recorded as an *opaque* leaf: Length is set but the bytes are not
+/// copied out of the input — the zero-copy behaviour Section 7 credits for
+/// the ZIP result.
+class LeafTree : public ParseTree {
+public:
+  LeafTree(std::string Bytes, int64_t Offset)
+      : ParseTree(Kind::Leaf), Bytes(std::move(Bytes)), Offset(Offset) {
+    Length = this->Bytes.size();
+  }
+  /// Opaque (wildcard) leaf covering [Offset, Offset + Length).
+  static std::shared_ptr<LeafTree> opaque(int64_t Offset, size_t Length) {
+    auto L = std::make_shared<LeafTree>(std::string(), Offset);
+    L->Length = Length;
+    return L;
+  }
+  static bool classof(const ParseTree *T) { return T->kind() == Kind::Leaf; }
+
+  const std::string &bytes() const { return Bytes; }
+  int64_t offset() const { return Offset; }
+  size_t length() const { return Length; }
+  bool isOpaque() const { return Bytes.size() != Length; }
+
+private:
+  std::string Bytes;
+  int64_t Offset;
+  size_t Length;
+};
+
+/// Total number of tree objects under \p T (diagnostics / benchmarks).
+size_t treeSize(const ParseTree &T);
+
+/// Multi-line debug rendering.
+std::string treeToString(const ParseTree &T, const StringInterner &Names,
+                         int Indent = 0);
+
+} // namespace ipg
+
+#endif // IPG_RUNTIME_PARSETREE_H

@@ -1,0 +1,131 @@
+//===- solver/LinearSystem.cpp --------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/LinearSystem.h"
+
+#include <cassert>
+#include <set>
+
+using namespace ipg;
+
+namespace {
+
+enum class CKind { Eq, Le, Lt };
+
+struct C {
+  LinExpr L;
+  CKind K;
+};
+
+/// Substitutes Var := Repl into L.
+LinExpr substitute(const LinExpr &L, uint32_t Var, const LinExpr &Repl) {
+  auto It = L.Coeffs.find(Var);
+  if (It == L.Coeffs.end())
+    return L;
+  Rational Coef = It->second;
+  LinExpr R = L;
+  R.Coeffs.erase(Var);
+  return R + Repl.scaled(Coef);
+}
+
+} // namespace
+
+LinearSystem::Result LinearSystem::check() const {
+  std::vector<C> Work;
+  Work.reserve(Constraints.size());
+  for (const Constraint &Cn : Constraints) {
+    CKind K = Cn.K == Kind::Eq   ? CKind::Eq
+              : Cn.K == Kind::Le ? CKind::Le
+                                 : CKind::Lt;
+    Work.push_back({Cn.L, K});
+  }
+
+  // Phase 1: eliminate equalities by substitution (Gaussian elimination).
+  for (;;) {
+    int Pick = -1;
+    for (size_t I = 0; I < Work.size(); ++I)
+      if (Work[I].K == CKind::Eq && !Work[I].L.Coeffs.empty()) {
+        Pick = static_cast<int>(I);
+        break;
+      }
+    if (Pick < 0)
+      break;
+    LinExpr Eq = Work[Pick].L;
+    auto [Var, Coef] = *Eq.Coeffs.begin();
+    // Var = -(Eq - Coef*Var) / Coef
+    LinExpr Rest = Eq;
+    Rest.Coeffs.erase(Var);
+    LinExpr Repl = Rest.scaled(Rational(-1) / Coef);
+    Work.erase(Work.begin() + Pick);
+    for (C &Cn : Work)
+      Cn.L = substitute(Cn.L, Var, Repl);
+  }
+
+  // Constant equalities must hold.
+  for (auto It = Work.begin(); It != Work.end();) {
+    if (It->K == CKind::Eq) {
+      assert(It->L.Coeffs.empty() && "unsubstituted equality");
+      if (!It->L.Const.isZero())
+        return Result::Unsat;
+      It = Work.erase(It);
+      continue;
+    }
+    ++It;
+  }
+
+  // Phase 2: Fourier-Motzkin elimination over the inequalities.
+  for (;;) {
+    // Find a variable still mentioned.
+    uint32_t Var = ~0u;
+    for (const C &Cn : Work)
+      if (!Cn.L.Coeffs.empty()) {
+        Var = Cn.L.Coeffs.begin()->first;
+        break;
+      }
+    if (Var == ~0u)
+      break;
+
+    std::vector<C> Lower, Upper, Rest;
+    for (const C &Cn : Work) {
+      auto It = Cn.L.Coeffs.find(Var);
+      if (It == Cn.L.Coeffs.end()) {
+        Rest.push_back(Cn);
+        continue;
+      }
+      // Cn.L (cmp) 0 with coefficient c for Var:
+      //   c > 0:  Var <= -(rest)/c   (upper bound)
+      //   c < 0:  Var >= -(rest)/c   (lower bound)
+      LinExpr Bound = Cn.L;
+      Bound.Coeffs.erase(Var);
+      Bound = Bound.scaled(Rational(-1) / It->second);
+      if (It->second.isPositive())
+        Upper.push_back({std::move(Bound), Cn.K});
+      else
+        Lower.push_back({std::move(Bound), Cn.K});
+    }
+    // Combine every lower bound with every upper bound: Lo <= Var <= Up
+    // implies Lo - Up <= 0 (strict if either side is strict).
+    for (const C &Lo : Lower)
+      for (const C &Up : Upper) {
+        C NewC;
+        NewC.L = Lo.L - Up.L;
+        NewC.K = (Lo.K == CKind::Lt || Up.K == CKind::Lt) ? CKind::Lt
+                                                          : CKind::Le;
+        Rest.push_back(std::move(NewC));
+      }
+    Work = std::move(Rest);
+  }
+
+  // Only constants remain.
+  for (const C &Cn : Work) {
+    if (Cn.K == CKind::Le && Cn.L.Const.isPositive())
+      return Result::Unsat;
+    if (Cn.K == CKind::Lt && !Cn.L.Const.isNegative())
+      return Result::Unsat;
+  }
+  return Result::MaybeSat;
+}

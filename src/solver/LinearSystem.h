@@ -1,0 +1,58 @@
+//===- solver/LinearSystem.h - Rational LA satisfiability -------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Z3 substitute (see DESIGN.md): satisfiability of conjunctions of
+/// linear constraints over the rationals, decided by Gaussian elimination
+/// of equalities followed by Fourier-Motzkin elimination of inequalities.
+///
+/// Soundness direction: if the rational relaxation is UNSAT then the
+/// integer formula is UNSAT, so `Result::Unsat` is a genuine proof — which
+/// is exactly what the termination checker needs (it passes a cycle only
+/// on UNSAT). `MaybeSat` makes the checker conservatively reject.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SOLVER_LINEARSYSTEM_H
+#define IPG_SOLVER_LINEARSYSTEM_H
+
+#include "expr/Linear.h"
+
+#include <vector>
+
+namespace ipg {
+
+class LinearSystem {
+public:
+  /// Adds the constraint L == 0.
+  void addEq(LinExpr L) { Constraints.push_back({std::move(L), Kind::Eq}); }
+  /// Adds the constraint L <= 0.
+  void addLe(LinExpr L) { Constraints.push_back({std::move(L), Kind::Le}); }
+  /// Adds the constraint L < 0.
+  void addLt(LinExpr L) { Constraints.push_back({std::move(L), Kind::Lt}); }
+
+  enum class Result {
+    Unsat,    ///< proven unsatisfiable over the rationals (hence integers)
+    MaybeSat, ///< rationally satisfiable (or solver gave up)
+  };
+
+  Result check() const;
+
+  size_t size() const { return Constraints.size(); }
+
+private:
+  enum class Kind { Eq, Le, Lt };
+  struct Constraint {
+    LinExpr L;
+    Kind K;
+  };
+  std::vector<Constraint> Constraints;
+};
+
+} // namespace ipg
+
+#endif // IPG_SOLVER_LINEARSYSTEM_H

@@ -1,0 +1,52 @@
+//===- support/Bytes.cpp --------------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bytes.h"
+
+#include <cstring>
+
+using namespace ipg;
+
+bool ByteSpan::matchesAt(size_t Off, std::string_view Str) const {
+  if (Off > Length || Str.size() > Length - Off)
+    return false;
+  return std::memcmp(Data + Off, Str.data(), Str.size()) == 0;
+}
+
+uint64_t ByteSpan::readUnsigned(size_t Off, size_t NumBytes, Endian E) const {
+  assert(NumBytes >= 1 && NumBytes <= 8 && "unsupported integer width");
+  assert(Off <= Length && NumBytes <= Length - Off && "read out of range");
+  uint64_t V = 0;
+  if (E == Endian::Little) {
+    for (size_t I = NumBytes; I-- > 0;)
+      V = (V << 8) | Data[Off + I];
+  } else {
+    for (size_t I = 0; I < NumBytes; ++I)
+      V = (V << 8) | Data[Off + I];
+  }
+  return V;
+}
+
+void ByteWriter::unsignedInt(uint64_t V, size_t NumBytes, Endian E) {
+  assert(NumBytes >= 1 && NumBytes <= 8 && "unsupported integer width");
+  if (E == Endian::Little) {
+    for (size_t I = 0; I < NumBytes; ++I)
+      Buffer.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  } else {
+    for (size_t I = NumBytes; I-- > 0;)
+      Buffer.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+}
+
+void ByteWriter::patchUnsigned(size_t Off, uint64_t V, size_t NumBytes,
+                               Endian E) {
+  assert(Off + NumBytes <= Buffer.size() && "patch out of range");
+  for (size_t I = 0; I < NumBytes; ++I) {
+    size_t Shift = E == Endian::Little ? I : NumBytes - 1 - I;
+    Buffer[Off + I] = static_cast<uint8_t>(V >> (8 * Shift));
+  }
+}

@@ -1,0 +1,117 @@
+//===- support/Bytes.h - Byte spans and builders ----------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ByteSpan is the "local input" of the IPG semantics: a non-owning window
+/// over a base buffer. Every subparser receives a slice of its parent's
+/// span (rule T-NTSucc parses s[l, r)); the span also remembers its
+/// absolute offset within the root input so memoization can key on
+/// (nonterminal, absolute lo, absolute hi).
+///
+/// ByteWriter is the little builder the synthetic file generators use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_BYTES_H
+#define IPG_SUPPORT_BYTES_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipg {
+
+enum class Endian { Little, Big };
+
+/// A non-owning [0, size) window over a byte buffer. Offsets passed to the
+/// accessors are relative to the window; absBase() recovers the absolute
+/// offset of window position 0 within the root input.
+class ByteSpan {
+public:
+  ByteSpan() : Data(nullptr), Length(0), AbsBase(0) {}
+  ByteSpan(const uint8_t *Data, size_t Length, size_t AbsBase = 0)
+      : Data(Data), Length(Length), AbsBase(AbsBase) {}
+
+  /// Views an entire owning buffer (absolute base 0).
+  static ByteSpan of(const std::vector<uint8_t> &Buffer) {
+    return ByteSpan(Buffer.data(), Buffer.size(), 0);
+  }
+  static ByteSpan of(std::string_view Buffer) {
+    return ByteSpan(reinterpret_cast<const uint8_t *>(Buffer.data()),
+                    Buffer.size(), 0);
+  }
+
+  size_t size() const { return Length; }
+  bool empty() const { return Length == 0; }
+  const uint8_t *data() const { return Data; }
+  size_t absBase() const { return AbsBase; }
+
+  uint8_t operator[](size_t I) const {
+    assert(I < Length && "ByteSpan index out of range");
+    return Data[I];
+  }
+
+  /// The sub-window [Lo, Hi); this is how intervals confine subparsers.
+  ByteSpan slice(size_t Lo, size_t Hi) const {
+    assert(Lo <= Hi && Hi <= Length && "invalid slice bounds");
+    return ByteSpan(Data + Lo, Hi - Lo, AbsBase + Lo);
+  }
+
+  /// True when the bytes at [Off, Off + Str.size()) equal \p Str.
+  bool matchesAt(size_t Off, std::string_view Str) const;
+
+  /// Reads an \p NumBytes-byte unsigned integer at \p Off. \p NumBytes must
+  /// be in [1, 8] and the read must be in bounds (asserted).
+  uint64_t readUnsigned(size_t Off, size_t NumBytes, Endian E) const;
+
+  /// Copies the window into an owned string (for diagnostics / leaves).
+  std::string toString() const {
+    return std::string(reinterpret_cast<const char *>(Data), Length);
+  }
+
+private:
+  const uint8_t *Data;
+  size_t Length;
+  size_t AbsBase;
+};
+
+/// An append-only byte builder with patch-back support, used by the format
+/// synthesizers (e.g. write a header, then patch the table offset in later).
+class ByteWriter {
+public:
+  size_t size() const { return Buffer.size(); }
+  const std::vector<uint8_t> &bytes() const { return Buffer; }
+  std::vector<uint8_t> take() { return std::move(Buffer); }
+
+  void u8(uint8_t V) { Buffer.push_back(V); }
+  void unsignedInt(uint64_t V, size_t NumBytes, Endian E);
+  void u16le(uint64_t V) { unsignedInt(V, 2, Endian::Little); }
+  void u32le(uint64_t V) { unsignedInt(V, 4, Endian::Little); }
+  void u64le(uint64_t V) { unsignedInt(V, 8, Endian::Little); }
+  void u16be(uint64_t V) { unsignedInt(V, 2, Endian::Big); }
+  void u32be(uint64_t V) { unsignedInt(V, 4, Endian::Big); }
+  void raw(std::string_view Str) {
+    Buffer.insert(Buffer.end(), Str.begin(), Str.end());
+  }
+  void raw(const std::vector<uint8_t> &Bytes) {
+    Buffer.insert(Buffer.end(), Bytes.begin(), Bytes.end());
+  }
+  void fill(uint8_t V, size_t Count) { Buffer.insert(Buffer.end(), Count, V); }
+
+  /// Overwrites \p NumBytes at \p Off with \p V (for deferred offsets).
+  void patchUnsigned(size_t Off, uint64_t V, size_t NumBytes, Endian E);
+
+private:
+  std::vector<uint8_t> Buffer;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_BYTES_H

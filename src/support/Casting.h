@@ -1,0 +1,54 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's hand-rolled RTTI templates. A class
+/// opts in by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_CASTING_H
+#define IPG_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace ipg {
+
+/// Returns true if \p Val is an instance of \p To (or of one of \p Tos).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked cast: asserts that \p Val really is a \p To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checking cast: returns null when \p Val is not a \p To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_CASTING_H

@@ -1,0 +1,25 @@
+//===- support/Interner.cpp -----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+using namespace ipg;
+
+Symbol StringInterner::intern(std::string_view Name) {
+  auto It = Ids.find(std::string(Name));
+  if (It != Ids.end())
+    return It->second;
+  Symbol S = static_cast<Symbol>(Names.size());
+  Names.emplace_back(Name);
+  Ids.emplace(std::string(Name), S);
+  return S;
+}
+
+Symbol StringInterner::lookup(std::string_view Name) const {
+  auto It = Ids.find(std::string(Name));
+  return It == Ids.end() ? InvalidSymbol : It->second;
+}

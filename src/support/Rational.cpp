@@ -1,0 +1,54 @@
+//===- support/Rational.cpp -----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+using namespace ipg;
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = std::gcd(N < 0 ? -N : N, D);
+  if (G == 0)
+    G = 1;
+  Num = N / G;
+  Den = D / G;
+}
+
+Rational Rational::operator+(const Rational &O) const {
+  return Rational(Num * O.Den + O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator-(const Rational &O) const {
+  return Rational(Num * O.Den - O.Num * Den, Den * O.Den);
+}
+
+Rational Rational::operator*(const Rational &O) const {
+  return Rational(Num * O.Num, Den * O.Den);
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  assert(!O.isZero() && "rational division by zero");
+  return Rational(Num * O.Den, Den * O.Num);
+}
+
+bool Rational::operator<(const Rational &O) const {
+  return Num * O.Den < O.Num * Den;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

@@ -1,0 +1,63 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over int64 numerator/denominator, used by the
+/// Fourier-Motzkin satisfiability core that stands in for Z3 in the
+/// termination checker (paper Section 5). Values in termination formulas are
+/// tiny (interval endpoints, small multipliers), so int64 components with
+/// overflow assertions are sufficient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_RATIONAL_H
+#define IPG_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace ipg {
+
+/// A normalized rational: denominator > 0, gcd(|num|, den) == 1.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isPositive() const { return Num > 0; }
+
+  Rational operator+(const Rational &O) const;
+  Rational operator-(const Rational &O) const;
+  Rational operator*(const Rational &O) const;
+  Rational operator/(const Rational &O) const;
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const;
+  bool operator<=(const Rational &O) const { return *this < O || *this == O; }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  std::string str() const;
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_RATIONAL_H

@@ -1,0 +1,106 @@
+//===- support/Result.h - Error and Expected<T> -----------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable-error plumbing in the spirit of llvm::Error / llvm::Expected,
+/// without exceptions. The library never aborts on malformed grammars or
+/// malformed input files; every fallible entry point returns Error or
+/// Expected<T> carrying a diagnostic message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_RESULT_H
+#define IPG_SUPPORT_RESULT_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ipg {
+
+/// A success-or-diagnostic value. Unlike llvm::Error this does not enforce
+/// the checked-before-destruction discipline; it is a plain value type.
+class Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure carrying \p Msg (error-message style: lowercase
+  /// first letter, no trailing period).
+  static Error failure(std::string Msg) {
+    Error E;
+    E.Msg = std::move(Msg);
+    return E;
+  }
+
+  /// True when this is a failure.
+  explicit operator bool() const { return Msg.has_value(); }
+
+  /// The diagnostic; only valid on failure.
+  const std::string &message() const {
+    assert(Msg && "message() on a success value");
+    return *Msg;
+  }
+
+private:
+  std::optional<std::string> Msg;
+};
+
+/// A value of type T or a diagnostic message. Mirrors llvm::Expected's
+/// conventions: boolean conversion is true on success, takeError() /
+/// message() gives the failure.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Error E) {
+    assert(E && "constructing Expected<T> from a success Error");
+    Msg = E.message();
+  }
+
+  /// Failure constructor from a raw message.
+  static Expected<T> failure(std::string Msg) {
+    return Expected<T>(Error::failure(std::move(Msg)));
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing a failed Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing a failed Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(Value && "dereferencing a failed Expected");
+    return &*Value;
+  }
+
+  const std::string &message() const {
+    assert(Msg && "message() on a success value");
+    return *Msg;
+  }
+
+  Error takeError() const {
+    return Value ? Error::success() : Error::failure(*Msg);
+  }
+
+private:
+  Expected() = default;
+  std::optional<T> Value;
+  std::optional<std::string> Msg;
+};
+
+} // namespace ipg
+
+#endif // IPG_SUPPORT_RESULT_H

@@ -1,0 +1,128 @@
+//===- tests/combinator_test.cpp - interval combinator tests --------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Appendix A.2 combinator library: the binary-number parser written
+/// with combinators must agree with the grammar-based Figure 3 parser, and
+/// the interval-confinement combinator must enforce the same slice
+/// semantics as the engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "combinator/Combinator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+using namespace ipg::comb;
+
+namespace {
+
+Parser<int64_t> digitP() {
+  return choice(bind(charP('0'), [](char) { return pure<int64_t>(0); }),
+                bind(charP('1'), [](char) { return pure<int64_t>(1); }));
+}
+
+/// The appendix's intP: recursive, interval-shrinking, value-building.
+Parser<int64_t> intP() {
+  return fix<int64_t>(std::function<Parser<int64_t>(Parser<int64_t>)>(
+      [](Parser<int64_t> Self) {
+        Parser<int64_t> Rec = bind(eoi(), [Self](int64_t Eoi) {
+          return bind(
+              localInterval(Self, 0, Eoi - 1), [Eoi](int64_t Hi) {
+                return bind(localInterval(digitP(), Eoi - 1, Eoi),
+                            [Hi](int64_t Lo) {
+                              return pure<int64_t>(Hi * 2 + Lo);
+                            });
+              });
+        });
+        return choice(Rec, localInterval(digitP(), 0, 1));
+      }));
+}
+
+} // namespace
+
+TEST(CombinatorTest, PureAndBind) {
+  auto P = bind(pure<int64_t>(20),
+                [](int64_t V) { return pure<int64_t>(V * 2 + 2); });
+  auto R = runParser(P, ByteSpan::of(std::string_view("")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, 42);
+}
+
+TEST(CombinatorTest, CharAndStrRespectInterval) {
+  auto In = std::string_view("abc");
+  EXPECT_TRUE(runParser(charP('a'), ByteSpan::of(In)).has_value());
+  EXPECT_FALSE(runParser(charP('b'), ByteSpan::of(In)).has_value());
+  EXPECT_TRUE(runParser(strP("abc"), ByteSpan::of(In)).has_value());
+  EXPECT_FALSE(runParser(strP("abcd"), ByteSpan::of(In)).has_value());
+}
+
+TEST(CombinatorTest, ChoiceIsBiased) {
+  auto P = choice(bind(strP("ab"), [](Unit) { return pure<int64_t>(1); }),
+                  bind(strP("a"), [](Unit) { return pure<int64_t>(2); }));
+  auto R = runParser(P, ByteSpan::of(std::string_view("ab")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, 1);
+  auto R2 = runParser(P, ByteSpan::of(std::string_view("ax")));
+  ASSERT_TRUE(R2.has_value());
+  EXPECT_EQ(*R2, 2);
+}
+
+TEST(CombinatorTest, LocalIntervalConfines) {
+  // Parse "bb" only within [2, 4) of "aabbcc".
+  auto In = std::string_view("aabbcc");
+  auto P = localInterval(strP("bb"), 2, 4);
+  EXPECT_TRUE(runParser(P, ByteSpan::of(In)).has_value());
+  auto Wrong = localInterval(strP("bb"), 1, 3);
+  EXPECT_FALSE(runParser(Wrong, ByteSpan::of(In)).has_value());
+  // Out-of-range intervals fail cleanly.
+  auto Oob = localInterval(strP("bb"), 4, 9);
+  EXPECT_FALSE(runParser(Oob, ByteSpan::of(In)).has_value());
+}
+
+TEST(CombinatorTest, PositionMovesPastLocalInterval) {
+  // After a local interval, the position is its right endpoint: "aaZZbb"
+  // with "aa", then [2,4) confined, then "bb".
+  auto P = bind(strP("aa"), [](Unit) {
+    return bind(localInterval(strP("ZZ"), 2, 4),
+                [](Unit) { return strP("bb"); });
+  });
+  EXPECT_TRUE(
+      runParser(P, ByteSpan::of(std::string_view("aaZZbb"))).has_value());
+  EXPECT_FALSE(
+      runParser(P, ByteSpan::of(std::string_view("aaZZxx"))).has_value());
+}
+
+TEST(CombinatorTest, BinaryNumberMatchesFig3) {
+  auto P = intP();
+  for (int V = 0; V < 64; ++V) {
+    std::string Bits;
+    for (int B = 5; B >= 0; --B)
+      Bits += ((V >> B) & 1) ? '1' : '0';
+    auto R = runParser(P, ByteSpan::of(Bits));
+    ASSERT_TRUE(R.has_value()) << Bits;
+    EXPECT_EQ(*R, V) << Bits;
+  }
+  EXPECT_FALSE(runParser(P, ByteSpan::of(std::string_view(""))).has_value());
+  EXPECT_FALSE(
+      runParser(P, ByteSpan::of(std::string_view("x1"))).has_value());
+}
+
+TEST(CombinatorTest, EoiIsLocalLength) {
+  auto P = localInterval(eoi(), 1, 4);
+  auto R = runParser(P, ByteSpan::of(std::string_view("abcdef")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, 3);
+}
+
+TEST(CombinatorTest, AnyByteYieldsValue) {
+  auto P = bind(anyByteP(), [](int64_t B) { return pure<int64_t>(B + 1); });
+  auto R = runParser(P, ByteSpan::of(std::string_view("A")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(*R, 'A' + 1);
+}

@@ -1,0 +1,279 @@
+//===- tests/expr_test.cpp - expression AST / eval / linearize tests ------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Eval.h"
+#include "expr/Expr.h"
+#include "expr/Linear.h"
+#include "support/Bytes.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace ipg;
+
+namespace {
+
+/// A programmable context for expression tests.
+class TestCtx : public EvalContext {
+public:
+  std::map<Symbol, int64_t> Attrs;
+  std::map<std::pair<Symbol, Symbol>, int64_t> NtAttrs;
+  std::map<std::tuple<Symbol, int64_t, Symbol>, int64_t> Elems;
+  std::map<Symbol, int64_t> ArrayLens;
+  int64_t Eoi = 0;
+  std::vector<uint8_t> Input;
+
+  std::optional<int64_t> attr(Symbol Id) const override {
+    auto It = Attrs.find(Id);
+    if (It == Attrs.end())
+      return std::nullopt;
+    return It->second;
+  }
+  std::optional<int64_t> ntAttr(Symbol NT, Symbol Attr) const override {
+    auto It = NtAttrs.find({NT, Attr});
+    if (It == NtAttrs.end())
+      return std::nullopt;
+    return It->second;
+  }
+  std::optional<int64_t> elemAttr(Symbol NT, int64_t Index,
+                                  Symbol Attr) const override {
+    auto It = Elems.find({NT, Index, Attr});
+    if (It == Elems.end())
+      return std::nullopt;
+    return It->second;
+  }
+  std::optional<int64_t> arrayLength(Symbol NT) const override {
+    auto It = ArrayLens.find(NT);
+    if (It == ArrayLens.end())
+      return std::nullopt;
+    return It->second;
+  }
+  std::optional<int64_t> eoi() const override { return Eoi; }
+  std::optional<int64_t> termEnd(uint32_t) const override {
+    return std::nullopt;
+  }
+  std::optional<int64_t> readInput(ReadKind RK, int64_t Lo,
+                                   int64_t Hi) const override {
+    ByteSpan S = ByteSpan::of(Input);
+    if (RK == ReadKind::BtoiLe) {
+      if (Lo < 0 || Hi <= Lo || Hi > (int64_t)S.size() || Hi - Lo > 8)
+        return std::nullopt;
+      return (int64_t)S.readUnsigned(Lo, Hi - Lo, Endian::Little);
+    }
+    if (RK == ReadKind::U8) {
+      if (Lo < 0 || Lo + 1 > (int64_t)S.size())
+        return std::nullopt;
+      return (int64_t)S.readUnsigned(Lo, 1, Endian::Little);
+    }
+    return std::nullopt;
+  }
+};
+
+ExprPtr num(int64_t V) { return NumExpr::create(V); }
+ExprPtr bin(BinOpKind Op, ExprPtr L, ExprPtr R) {
+  return BinaryExpr::create(Op, std::move(L), std::move(R));
+}
+
+} // namespace
+
+TEST(ExprTest, KindsAndCasting) {
+  ExprPtr N = num(7);
+  EXPECT_TRUE(isa<NumExpr>(N.get()));
+  EXPECT_FALSE(isa<BinaryExpr>(N.get()));
+  EXPECT_EQ(cast<NumExpr>(N.get())->value(), 7);
+  EXPECT_EQ(dyn_cast<BinaryExpr>(N.get()), nullptr);
+}
+
+TEST(ExprEvalTest, Arithmetic) {
+  TestCtx Ctx;
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Add, num(2), num(3)), Ctx), 5);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Sub, num(2), num(3)), Ctx), -1);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Mul, num(4), num(3)), Ctx), 12);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Div, num(7), num(2)), Ctx), 3);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Mod, num(7), num(2)), Ctx), 1);
+}
+
+TEST(ExprEvalTest, DivisionByZeroIsPartial) {
+  TestCtx Ctx;
+  EXPECT_FALSE(evaluate(*bin(BinOpKind::Div, num(7), num(0)), Ctx));
+  EXPECT_FALSE(evaluate(*bin(BinOpKind::Mod, num(7), num(0)), Ctx));
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  TestCtx Ctx;
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Eq, num(2), num(2)), Ctx), 1);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Eq, num(2), num(3)), Ctx), 0);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Ne, num(2), num(3)), Ctx), 1);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Lt, num(2), num(3)), Ctx), 1);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Gt, num(2), num(3)), Ctx), 0);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Le, num(3), num(3)), Ctx), 1);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Ge, num(2), num(3)), Ctx), 0);
+}
+
+TEST(ExprEvalTest, ShiftAndBitAnd) {
+  TestCtx Ctx;
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Shl, num(2), num(3)), Ctx), 16);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Shr, num(0xff), num(4)), Ctx), 0xf);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::BitAnd, num(0b1100), num(0b1010)), Ctx),
+            0b1000);
+  EXPECT_FALSE(evaluate(*bin(BinOpKind::Shl, num(1), num(200)), Ctx));
+}
+
+TEST(ExprEvalTest, LogicalShortCircuit) {
+  TestCtx Ctx;
+  // RHS would fail (division by zero), but LHS short-circuits.
+  ExprPtr Bad = bin(BinOpKind::Div, num(1), num(0));
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::And, num(0), Bad), Ctx), 0);
+  EXPECT_EQ(*evaluate(*bin(BinOpKind::Or, num(5), Bad), Ctx), 1);
+  EXPECT_FALSE(evaluate(*bin(BinOpKind::And, num(1), Bad), Ctx));
+}
+
+TEST(ExprEvalTest, Conditional) {
+  TestCtx Ctx;
+  ExprPtr C = CondExpr::create(num(1), num(10), num(20));
+  EXPECT_EQ(*evaluate(*C, Ctx), 10);
+  ExprPtr C2 = CondExpr::create(num(0), num(10), num(20));
+  EXPECT_EQ(*evaluate(*C2, Ctx), 20);
+}
+
+TEST(ExprEvalTest, References) {
+  StringInterner In;
+  Symbol X = In.intern("x"), H = In.intern("H"), Ofs = In.intern("ofs");
+  TestCtx Ctx;
+  Ctx.Attrs[X] = 11;
+  Ctx.NtAttrs[{H, Ofs}] = 64;
+  Ctx.Eoi = 100;
+  EXPECT_EQ(*evaluate(*RefExpr::attr(X), Ctx), 11);
+  EXPECT_EQ(*evaluate(*RefExpr::ntAttr(H, Ofs), Ctx), 64);
+  EXPECT_EQ(*evaluate(*RefExpr::eoi(), Ctx), 100);
+  EXPECT_FALSE(evaluate(*RefExpr::attr(In.intern("missing")), Ctx));
+}
+
+TEST(ExprEvalTest, ElementReference) {
+  StringInterner In;
+  Symbol SH = In.intern("SH"), Ofs = In.intern("ofs");
+  TestCtx Ctx;
+  Ctx.Elems[{SH, 2, Ofs}] = 512;
+  ExprPtr E = RefExpr::ntElemAttr(SH, num(2), Ofs);
+  EXPECT_EQ(*evaluate(*E, Ctx), 512);
+  ExprPtr Missing = RefExpr::ntElemAttr(SH, num(3), Ofs);
+  EXPECT_FALSE(evaluate(*Missing, Ctx));
+}
+
+TEST(ExprEvalTest, ExistsFindsFirstMatch) {
+  // The paper's example: array Num, Num(0).val = 1, Num(1).val = 0;
+  // exists j . Num(j).val = 0 ? j : 0  evaluates to 1.
+  StringInterner In;
+  Symbol NumNT = In.intern("Num"), Val = In.intern("val"),
+         J = In.intern("j");
+  TestCtx Ctx;
+  Ctx.ArrayLens[NumNT] = 2;
+  Ctx.Elems[{NumNT, 0, Val}] = 1;
+  Ctx.Elems[{NumNT, 1, Val}] = 0;
+  ExprPtr Cond = bin(BinOpKind::Eq,
+                     RefExpr::ntElemAttr(NumNT, RefExpr::attr(J), Val),
+                     num(0));
+  ExprPtr E = ExistsExpr::create(J, Cond, RefExpr::attr(J), num(0));
+  EXPECT_EQ(*evaluate(*E, Ctx), 1);
+}
+
+TEST(ExprEvalTest, ExistsFallsBackToElse) {
+  StringInterner In;
+  Symbol NumNT = In.intern("Num"), Val = In.intern("val"),
+         J = In.intern("j");
+  TestCtx Ctx;
+  Ctx.ArrayLens[NumNT] = 2;
+  Ctx.Elems[{NumNT, 0, Val}] = 5;
+  Ctx.Elems[{NumNT, 1, Val}] = 6;
+  ExprPtr Cond = bin(BinOpKind::Eq,
+                     RefExpr::ntElemAttr(NumNT, RefExpr::attr(J), Val),
+                     num(0));
+  ExprPtr E = ExistsExpr::create(J, Cond, RefExpr::attr(J), num(777));
+  EXPECT_EQ(*evaluate(*E, Ctx), 777);
+}
+
+TEST(ExprEvalTest, BuiltinReads) {
+  TestCtx Ctx;
+  Ctx.Input = {0x34, 0x12, 0xff};
+  ExprPtr Btoi = ReadExpr::btoi(ReadKind::BtoiLe, num(0), num(2));
+  EXPECT_EQ(*evaluate(*Btoi, Ctx), 0x1234);
+  ExprPtr U8 = ReadExpr::fixed(ReadKind::U8, num(2));
+  EXPECT_EQ(*evaluate(*U8, Ctx), 0xff);
+  ExprPtr OutOfRange = ReadExpr::btoi(ReadKind::BtoiLe, num(1), num(9));
+  EXPECT_FALSE(evaluate(*OutOfRange, Ctx));
+}
+
+TEST(ExprPrintTest, RendersSurfaceSyntax) {
+  StringInterner In;
+  Symbol H = In.intern("H"), Ofs = In.intern("ofs");
+  ExprPtr E = bin(BinOpKind::Add, RefExpr::ntAttr(H, Ofs), num(8));
+  EXPECT_EQ(E->str(In), "(H.ofs + 8)");
+  EXPECT_EQ(RefExpr::eoi()->str(In), "EOI");
+}
+
+TEST(LinearizeTest, ConstantsFold) {
+  StringInterner In;
+  AtomTable Atoms;
+  ExprPtr E = bin(BinOpKind::Add, bin(BinOpKind::Mul, num(3), num(4)),
+                  num(5));
+  LinExpr L = linearize(*E, Atoms, "e0", In);
+  EXPECT_TRUE(L.isConstant());
+  EXPECT_EQ(L.Const, Rational(17));
+}
+
+TEST(LinearizeTest, EoiIsSharedAcrossPrefixes) {
+  StringInterner In;
+  AtomTable Atoms;
+  LinExpr A = linearize(*RefExpr::eoi(), Atoms, "e0", In);
+  LinExpr B = linearize(*RefExpr::eoi(), Atoms, "e1", In);
+  ASSERT_EQ(A.Coeffs.size(), 1u);
+  ASSERT_EQ(B.Coeffs.size(), 1u);
+  EXPECT_EQ(A.Coeffs.begin()->first, B.Coeffs.begin()->first);
+}
+
+TEST(LinearizeTest, AttrsDistinctPerPrefix) {
+  StringInterner In;
+  Symbol X = In.intern("x");
+  AtomTable Atoms;
+  LinExpr A = linearize(*RefExpr::attr(X), Atoms, "e0", In);
+  LinExpr B = linearize(*RefExpr::attr(X), Atoms, "e1", In);
+  EXPECT_NE(A.Coeffs.begin()->first, B.Coeffs.begin()->first);
+}
+
+TEST(LinearizeTest, LinearCombination) {
+  StringInterner In;
+  AtomTable Atoms;
+  // EOI - 1
+  ExprPtr E = bin(BinOpKind::Sub, RefExpr::eoi(), num(1));
+  LinExpr L = linearize(*E, Atoms, "e0", In);
+  EXPECT_EQ(L.Const, Rational(-1));
+  ASSERT_EQ(L.Coeffs.size(), 1u);
+  EXPECT_EQ(L.Coeffs.begin()->second, Rational(1));
+}
+
+TEST(LinearizeTest, NonlinearBecomesOpaqueAtom) {
+  StringInterner In;
+  Symbol X = In.intern("x");
+  AtomTable Atoms;
+  // x * EOI is nonlinear.
+  ExprPtr E = bin(BinOpKind::Mul, RefExpr::attr(X), RefExpr::eoi());
+  LinExpr L = linearize(*E, Atoms, "e0", In);
+  EXPECT_EQ(L.Coeffs.size(), 1u);
+  EXPECT_TRUE(L.Const.isZero());
+}
+
+TEST(ForEachExprTest, VisitsAllSubexpressions) {
+  StringInterner In;
+  Symbol X = In.intern("x");
+  ExprPtr E = CondExpr::create(bin(BinOpKind::Lt, RefExpr::attr(X), num(3)),
+                               num(1), RefExpr::eoi());
+  int Count = 0;
+  forEachExpr(*E, [&](const Expr &) { ++Count; });
+  EXPECT_EQ(Count, 6); // cond, lt, ref, 3, 1, EOI
+}

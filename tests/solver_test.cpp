@@ -1,0 +1,152 @@
+//===- tests/solver_test.cpp - linear system satisfiability tests ---------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/LinearSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+
+namespace {
+
+LinExpr atom(AtomTable &Atoms, const std::string &Key, Rational C = 1) {
+  return LinExpr::atom(Atoms.atom(Key)).scaled(C);
+}
+
+} // namespace
+
+TEST(LinearSystemTest, EmptySystemIsSat) {
+  LinearSystem Sys;
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::MaybeSat);
+}
+
+TEST(LinearSystemTest, TrivialContradiction) {
+  // 1 = 0 is unsat.
+  LinearSystem Sys;
+  Sys.addEq(LinExpr::constant(Rational(1)));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+}
+
+TEST(LinearSystemTest, EqualitySubstitution) {
+  // x = 3 and x = 4 -> unsat.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addEq(atom(Atoms, "x") - LinExpr::constant(Rational(3)));
+  Sys.addEq(atom(Atoms, "x") - LinExpr::constant(Rational(4)));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+}
+
+TEST(LinearSystemTest, ConsistentEqualities) {
+  // x = 3, y = x + 1 is satisfiable.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addEq(atom(Atoms, "x") - LinExpr::constant(Rational(3)));
+  Sys.addEq(atom(Atoms, "y") - atom(Atoms, "x") -
+            LinExpr::constant(Rational(1)));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::MaybeSat);
+}
+
+TEST(LinearSystemTest, TerminationShapeEoiMinusOne) {
+  // The binary-number cycle Int -> Int with interval [0, EOI-1]:
+  //   0 = 0  and  EOI - 1 = EOI  ==>  -1 = 0, unsat.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addEq(LinExpr::constant(Rational(0)));
+  Sys.addEq(atom(Atoms, "EOI") - LinExpr::constant(Rational(1)) -
+            atom(Atoms, "EOI"));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+}
+
+TEST(LinearSystemTest, TerminationShapeSameInterval) {
+  // The looping cycle A -> B -> A with intervals [0, EOI]: satisfiable.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addEq(LinExpr::constant(Rational(0)));
+  Sys.addEq(atom(Atoms, "EOI") - atom(Atoms, "EOI"));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::MaybeSat);
+}
+
+TEST(LinearSystemTest, EndPositivityExtension) {
+  // Blocks -> Blocks[Block.end, EOI]: formula Block.end = 0 with the
+  // extension Block.end > 0 is unsat.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addEq(atom(Atoms, "Block.end"));
+  Sys.addLt(atom(Atoms, "Block.end", Rational(-1))); // -end < 0, i.e. end > 0
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+}
+
+TEST(LinearSystemTest, FourierMotzkinChain) {
+  // x <= y, y <= z, z <= x - 1 -> unsat.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addLe(atom(Atoms, "x") - atom(Atoms, "y"));
+  Sys.addLe(atom(Atoms, "y") - atom(Atoms, "z"));
+  Sys.addLe(atom(Atoms, "z") - atom(Atoms, "x") +
+            LinExpr::constant(Rational(1)));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+}
+
+TEST(LinearSystemTest, FourierMotzkinSatChain) {
+  // x <= y, y <= z, z <= x is satisfiable (all equal).
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addLe(atom(Atoms, "x") - atom(Atoms, "y"));
+  Sys.addLe(atom(Atoms, "y") - atom(Atoms, "z"));
+  Sys.addLe(atom(Atoms, "z") - atom(Atoms, "x"));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::MaybeSat);
+}
+
+TEST(LinearSystemTest, StrictVsNonStrict) {
+  // x <= 0 and x >= 0 is sat (x = 0) but x < 0 and x >= 0 is unsat.
+  {
+    AtomTable Atoms;
+    LinearSystem Sys;
+    Sys.addLe(atom(Atoms, "x"));
+    Sys.addLe(atom(Atoms, "x", Rational(-1)));
+    EXPECT_EQ(Sys.check(), LinearSystem::Result::MaybeSat);
+  }
+  {
+    AtomTable Atoms;
+    LinearSystem Sys;
+    Sys.addLt(atom(Atoms, "x"));
+    Sys.addLe(atom(Atoms, "x", Rational(-1)));
+    EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+  }
+}
+
+TEST(LinearSystemTest, RationalCoefficients) {
+  // x/2 = 1 and x = 3 -> unsat; x/2 = 1 and x = 2 -> sat.
+  {
+    AtomTable Atoms;
+    LinearSystem Sys;
+    Sys.addEq(atom(Atoms, "x", Rational(1, 2)) -
+              LinExpr::constant(Rational(1)));
+    Sys.addEq(atom(Atoms, "x") - LinExpr::constant(Rational(3)));
+    EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+  }
+  {
+    AtomTable Atoms;
+    LinearSystem Sys;
+    Sys.addEq(atom(Atoms, "x", Rational(1, 2)) -
+              LinExpr::constant(Rational(1)));
+    Sys.addEq(atom(Atoms, "x") - LinExpr::constant(Rational(2)));
+    EXPECT_EQ(Sys.check(), LinearSystem::Result::MaybeSat);
+  }
+}
+
+TEST(LinearSystemTest, ManyVariablesEliminate) {
+  // a = b, b = c, c = d, d = a + 1 -> unsat.
+  AtomTable Atoms;
+  LinearSystem Sys;
+  Sys.addEq(atom(Atoms, "a") - atom(Atoms, "b"));
+  Sys.addEq(atom(Atoms, "b") - atom(Atoms, "c"));
+  Sys.addEq(atom(Atoms, "c") - atom(Atoms, "d"));
+  Sys.addEq(atom(Atoms, "d") - atom(Atoms, "a") -
+            LinExpr::constant(Rational(1)));
+  EXPECT_EQ(Sys.check(), LinearSystem::Result::Unsat);
+}

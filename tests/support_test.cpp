@@ -1,0 +1,139 @@
+//===- tests/support_test.cpp - support library tests ---------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bytes.h"
+#include "support/Interner.h"
+#include "support/Rational.h"
+#include "support/Result.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipg;
+
+TEST(ByteSpanTest, BasicAccess) {
+  std::vector<uint8_t> Buf = {1, 2, 3, 4, 5};
+  ByteSpan S = ByteSpan::of(Buf);
+  EXPECT_EQ(S.size(), 5u);
+  EXPECT_EQ(S[0], 1);
+  EXPECT_EQ(S[4], 5);
+  EXPECT_EQ(S.absBase(), 0u);
+}
+
+TEST(ByteSpanTest, SliceTracksAbsoluteBase) {
+  std::vector<uint8_t> Buf = {1, 2, 3, 4, 5, 6, 7, 8};
+  ByteSpan S = ByteSpan::of(Buf);
+  ByteSpan Sub = S.slice(2, 6);
+  EXPECT_EQ(Sub.size(), 4u);
+  EXPECT_EQ(Sub.absBase(), 2u);
+  EXPECT_EQ(Sub[0], 3);
+  ByteSpan SubSub = Sub.slice(1, 3);
+  EXPECT_EQ(SubSub.absBase(), 3u);
+  EXPECT_EQ(SubSub.size(), 2u);
+  EXPECT_EQ(SubSub[0], 4);
+}
+
+TEST(ByteSpanTest, EmptySliceIsValid) {
+  std::vector<uint8_t> Buf = {1, 2, 3};
+  ByteSpan S = ByteSpan::of(Buf);
+  ByteSpan E = S.slice(1, 1);
+  EXPECT_TRUE(E.empty());
+  EXPECT_EQ(E.absBase(), 1u);
+}
+
+TEST(ByteSpanTest, MatchesAt) {
+  ByteSpan S = ByteSpan::of(std::string_view("hello world"));
+  EXPECT_TRUE(S.matchesAt(0, "hello"));
+  EXPECT_TRUE(S.matchesAt(6, "world"));
+  EXPECT_FALSE(S.matchesAt(6, "worlds")); // runs past the end
+  EXPECT_TRUE(S.matchesAt(11, ""));       // empty match at EOI
+  EXPECT_FALSE(S.matchesAt(12, ""));      // past EOI
+}
+
+TEST(ByteSpanTest, ReadUnsignedLittleAndBig) {
+  std::vector<uint8_t> Buf = {0x78, 0x56, 0x34, 0x12};
+  ByteSpan S = ByteSpan::of(Buf);
+  EXPECT_EQ(S.readUnsigned(0, 4, Endian::Little), 0x12345678u);
+  EXPECT_EQ(S.readUnsigned(0, 4, Endian::Big), 0x78563412u);
+  EXPECT_EQ(S.readUnsigned(1, 2, Endian::Little), 0x3456u);
+  EXPECT_EQ(S.readUnsigned(3, 1, Endian::Little), 0x12u);
+}
+
+TEST(ByteWriterTest, RoundTripsIntegers) {
+  ByteWriter W;
+  W.u32le(0xdeadbeef);
+  W.u16be(0x1234);
+  W.u8(0x7f);
+  ByteSpan S = ByteSpan::of(W.bytes());
+  EXPECT_EQ(S.readUnsigned(0, 4, Endian::Little), 0xdeadbeefu);
+  EXPECT_EQ(S.readUnsigned(4, 2, Endian::Big), 0x1234u);
+  EXPECT_EQ(S.readUnsigned(6, 1, Endian::Little), 0x7fu);
+}
+
+TEST(ByteWriterTest, PatchBack) {
+  ByteWriter W;
+  W.u32le(0); // placeholder
+  W.raw("payload");
+  W.patchUnsigned(0, W.size(), 4, Endian::Little);
+  ByteSpan S = ByteSpan::of(W.bytes());
+  EXPECT_EQ(S.readUnsigned(0, 4, Endian::Little), W.size());
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  StringInterner In;
+  Symbol A = In.intern("alpha");
+  Symbol B = In.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(In.intern("alpha"), A);
+  EXPECT_EQ(In.name(A), "alpha");
+  EXPECT_EQ(In.lookup("beta"), B);
+  EXPECT_EQ(In.lookup("gamma"), InvalidSymbol);
+}
+
+TEST(InternerTest, InvalidSymbolReserved) {
+  StringInterner In;
+  EXPECT_NE(In.intern("x"), InvalidSymbol);
+}
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational R(6, -4);
+  EXPECT_EQ(R.num(), -3);
+  EXPECT_EQ(R.den(), 2);
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ((Half + Third), Rational(5, 6));
+  EXPECT_EQ((Half - Third), Rational(1, 6));
+  EXPECT_EQ((Half * Third), Rational(1, 6));
+  EXPECT_EQ((Half / Third), Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(0), Rational(-1, 7));
+  EXPECT_EQ(Rational(4, 2), Rational(2));
+}
+
+TEST(ResultTest, ErrorAndExpected) {
+  Error Ok = Error::success();
+  EXPECT_FALSE(Ok);
+  Error Bad = Error::failure("something broke");
+  EXPECT_TRUE(Bad);
+  EXPECT_EQ(Bad.message(), "something broke");
+
+  Expected<int> V(42);
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 42);
+  Expected<int> E = Expected<int>::failure("nope");
+  ASSERT_FALSE(E);
+  EXPECT_EQ(E.message(), "nope");
+  EXPECT_TRUE(E.takeError());
+  EXPECT_FALSE(V.takeError());
+}
