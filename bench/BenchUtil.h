@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <functional>
 #include <string>

@@ -22,6 +22,11 @@
 
 #include "BenchUtil.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
 using namespace ipg;
 using namespace ipg::bench;
 using namespace ipg::formats;

@@ -24,7 +24,12 @@
 
 #include "BenchUtil.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::bench;

@@ -32,6 +32,8 @@
 
 #include "BenchUtil.h"
 
+#include <cstddef>
+
 using namespace ipg;
 using namespace ipg::bench;
 using namespace ipg::baselines;

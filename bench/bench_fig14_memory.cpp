@@ -23,7 +23,9 @@
 #include "BenchUtil.h"
 
 #include <atomic>
+#include <cstddef>
 #include <cstdlib>
+#include <functional>
 #include <new>
 
 using namespace ipg;

@@ -19,6 +19,10 @@
 #include "runtime/Interp.h"
 
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::formats;

@@ -20,6 +20,8 @@
 
 #include "BenchUtil.h"
 
+#include <cstddef>
+
 using namespace ipg;
 using namespace ipg::bench;
 using namespace ipg::formats;

@@ -14,7 +14,10 @@
 
 #include "combinator/Combinator.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <string_view>
 
 using namespace ipg;
 using namespace ipg::comb;

@@ -15,6 +15,8 @@
 #include "formats/Dns.h"
 #include "runtime/Interp.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 
 using namespace ipg;

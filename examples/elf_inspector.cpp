@@ -16,8 +16,11 @@
 #include "formats/Elf.h"
 #include "runtime/Interp.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::formats;

@@ -16,6 +16,7 @@
 #include "formats/Pdf.h"
 #include "runtime/Interp.h"
 
+#include <cstddef>
 #include <cstdio>
 
 using namespace ipg;

@@ -17,7 +17,10 @@
 #include "formats/Zip.h"
 #include "runtime/Interp.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::formats;

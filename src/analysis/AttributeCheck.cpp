@@ -10,8 +10,15 @@
 #include "frontend/Parser.h"
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <set>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

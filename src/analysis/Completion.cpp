@@ -9,6 +9,11 @@
 
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
 using namespace ipg;
 
 namespace {

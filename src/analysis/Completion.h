@@ -33,6 +33,8 @@
 #include "grammar/Grammar.h"
 #include "support/Result.h"
 
+#include <cstddef>
+
 namespace ipg {
 
 /// Table-2 statistics gathered while completing one grammar.

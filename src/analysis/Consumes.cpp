@@ -11,6 +11,10 @@
 #include "solver/LinearSystem.h"
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 using namespace ipg;
 
 /// A wildcard (`raw`) touches its whole interval, so it surely consumes

@@ -8,6 +8,9 @@
 #include "analysis/Cycles.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace ipg;
 

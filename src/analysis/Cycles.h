@@ -18,6 +18,8 @@
 
 #include "analysis/NTGraph.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ipg {

@@ -9,6 +9,10 @@
 
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
 using namespace ipg;
 
 NTGraph ipg::buildNTGraph(const Grammar &G) {

@@ -19,6 +19,8 @@
 
 #include "grammar/Grammar.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ipg {

@@ -14,6 +14,11 @@
 #include "solver/LinearSystem.h"
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
 using namespace ipg;
 
 namespace {

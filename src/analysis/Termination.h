@@ -30,6 +30,7 @@
 
 #include "grammar/Grammar.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

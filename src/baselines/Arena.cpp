@@ -7,6 +7,11 @@
 
 #include "baselines/Arena.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
 using namespace ipg::baselines;
 
 void *Arena::allocate(size_t Bytes, size_t Align) {

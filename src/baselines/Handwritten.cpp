@@ -9,8 +9,14 @@
 
 #include "formats/MiniZlib.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::baselines;

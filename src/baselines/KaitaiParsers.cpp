@@ -7,6 +7,12 @@
 
 #include "baselines/KaitaiParsers.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 using namespace ipg::baselines;
 
 bool KaitaiElf::parse(KaitaiStream &Io) {

@@ -19,8 +19,10 @@
 
 #include "baselines/KaitaiStream.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ipg::baselines {

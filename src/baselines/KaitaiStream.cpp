@@ -7,7 +7,11 @@
 
 #include "baselines/KaitaiStream.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <string_view>
+#include <vector>
 
 using namespace ipg::baselines;
 

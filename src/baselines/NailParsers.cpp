@@ -7,6 +7,8 @@
 
 #include "baselines/NailParsers.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 using namespace ipg::baselines;

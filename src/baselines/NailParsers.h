@@ -18,6 +18,7 @@
 
 #include "baselines/Arena.h"
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ipg::baselines {

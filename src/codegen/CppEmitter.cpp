@@ -15,10 +15,13 @@ namespace {
 
 /// The runtime preamble embedded into every generated parser.
 const char RuntimePreamble[] = R"CPP(
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace %NS% {

@@ -31,10 +31,12 @@
 
 #include "support/Bytes.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 namespace ipg::comb {

@@ -9,6 +9,9 @@
 
 #include "support/Casting.h"
 
+#include <cstdint>
+#include <optional>
+
 using namespace ipg;
 
 EvalContext::~EvalContext() = default;

@@ -9,6 +9,9 @@
 
 #include "support/Casting.h"
 
+#include <functional>
+#include <string>
+
 using namespace ipg;
 
 Expr::~Expr() = default;

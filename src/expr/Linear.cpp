@@ -9,6 +9,9 @@
 
 #include "support/Casting.h"
 
+#include <cstdint>
+#include <string>
+
 using namespace ipg;
 
 uint32_t AtomTable::atom(const std::string &Key) {

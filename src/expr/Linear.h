@@ -30,6 +30,8 @@
 #include "expr/Expr.h"
 #include "support/Rational.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>

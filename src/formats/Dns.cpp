@@ -9,6 +9,13 @@
 
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

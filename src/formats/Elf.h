@@ -27,6 +27,7 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -16,6 +16,10 @@
 #include "formats/Pe.h"
 #include "formats/Zip.h"
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

@@ -19,6 +19,7 @@
 #include "analysis/AttributeCheck.h"
 #include "runtime/Blackbox.h"
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

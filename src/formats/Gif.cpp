@@ -9,6 +9,11 @@
 
 #include "support/Casting.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

@@ -9,6 +9,10 @@
 
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

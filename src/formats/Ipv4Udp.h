@@ -23,6 +23,7 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

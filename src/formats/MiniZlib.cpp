@@ -7,6 +7,13 @@
 
 #include "formats/MiniZlib.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

@@ -26,6 +26,7 @@
 #include "runtime/Blackbox.h"
 #include "support/Bytes.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

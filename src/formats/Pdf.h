@@ -31,6 +31,8 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -9,6 +9,11 @@
 
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

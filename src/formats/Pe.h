@@ -21,6 +21,7 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

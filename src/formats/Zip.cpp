@@ -10,6 +10,12 @@
 #include "formats/MiniZlib.h"
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
 using namespace ipg;
 using namespace ipg::formats;
 

@@ -8,7 +8,13 @@
 #include "frontend/Lexer.h"
 
 #include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

@@ -10,6 +10,13 @@
 #include "frontend/Lexer.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

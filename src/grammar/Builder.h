@@ -17,8 +17,13 @@
 
 #include "grammar/Grammar.h"
 
+#include <cstdint>
 #include <initializer_list>
+#include <memory>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ipg {
 

@@ -10,6 +10,10 @@
 #include "support/Casting.h"
 
 #include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
 
 using namespace ipg;
 

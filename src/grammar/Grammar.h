@@ -34,10 +34,15 @@
 #include "expr/Expr.h"
 #include "support/Interner.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ipg {

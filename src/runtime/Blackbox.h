@@ -23,9 +23,12 @@
 
 #include "support/Bytes.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ipg {

@@ -18,6 +18,7 @@
 
 #include "support/Interner.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <utility>

@@ -10,8 +10,16 @@
 #include "expr/Eval.h"
 #include "support/Casting.h"
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

@@ -35,6 +35,8 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <cstddef>
+
 namespace ipg {
 
 struct InterpOptions {

@@ -9,6 +9,12 @@
 
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
 using namespace ipg;
 
 ParseTree::~ParseTree() = default;

@@ -24,8 +24,12 @@
 #include "grammar/Grammar.h"
 #include "runtime/Env.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ipg {

@@ -8,7 +8,11 @@
 #include "solver/LinearSystem.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <set>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

@@ -22,6 +22,8 @@
 
 #include "expr/Linear.h"
 
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace ipg {

@@ -7,7 +7,11 @@
 
 #include "support/Bytes.h"
 
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <string_view>
 
 using namespace ipg;
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ipg {
@@ -97,9 +98,20 @@ public:
   void u64le(uint64_t V) { unsignedInt(V, 8, Endian::Little); }
   void u16be(uint64_t V) { unsignedInt(V, 2, Endian::Big); }
   void u32be(uint64_t V) { unsignedInt(V, 4, Endian::Big); }
+// GCC 12 at -O2 reports a spurious -Wstringop-overflow ("writing 1 or more
+// bytes into a region of size 0") from vector reallocation inlined into
+// some raw() callers; the insert is bounds-correct by construction.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#endif
   void raw(std::string_view Str) {
-    Buffer.insert(Buffer.end(), Str.begin(), Str.end());
+    const auto *P = reinterpret_cast<const uint8_t *>(Str.data());
+    Buffer.insert(Buffer.end(), P, P + Str.size());
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   void raw(const std::vector<uint8_t> &Bytes) {
     Buffer.insert(Buffer.end(), Bytes.begin(), Bytes.end());
   }

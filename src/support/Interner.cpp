@@ -7,6 +7,9 @@
 
 #include "support/Interner.h"
 
+#include <string>
+#include <string_view>
+
 using namespace ipg;
 
 Symbol StringInterner::intern(std::string_view Name) {

@@ -14,6 +14,7 @@
 #ifndef IPG_SUPPORT_INTERNER_H
 #define IPG_SUPPORT_INTERNER_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>

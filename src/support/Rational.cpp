@@ -8,8 +8,10 @@
 #include "support/Rational.h"
 
 #include <cassert>
+#include <cstdint>
 #include <cstdlib>
 #include <numeric>
+#include <string>
 
 using namespace ipg;
 

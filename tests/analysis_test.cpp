@@ -14,7 +14,12 @@
 #include "runtime/Interp.h"
 #include "support/Casting.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
 
 using namespace ipg;
 

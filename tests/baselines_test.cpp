@@ -26,9 +26,13 @@
 #include "formats/Zip.h"
 #include "runtime/Interp.h"
 
-#include <gtest/gtest.h>
-
+#include <cstddef>
+#include <cstdint>
 #include <cstring>
+#include <gtest/gtest.h>
+#include <map>
+#include <string>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::baselines;

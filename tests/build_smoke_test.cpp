@@ -1,0 +1,108 @@
+//===- tests/build_smoke_test.cpp - end-to-end pipeline smoke test --------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CI canary: drives one trivial grammar through every pipeline stage
+/// explicitly — Lexer -> Parser -> interval completion -> attribute check
+/// -> Interp — plus the same pipeline entered via GrammarBuilder instead of
+/// text. If any stage's API or behavior regresses, this fails loudly and
+/// first. Kept intentionally small; the real coverage lives in the
+/// per-layer suites.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AttributeCheck.h"
+#include "analysis/Completion.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "grammar/Builder.h"
+#include "runtime/Interp.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <string_view>
+#include <vector>
+
+using namespace ipg;
+
+namespace {
+
+// A two-byte message: a length byte followed by that many payload bytes.
+constexpr std::string_view TrivialSrc = R"(
+  S -> L[0, 1] Body[1, 1 + L.n] {n = L.n} ;
+  L -> raw[1] {n = u8(0)} ;
+  Body -> raw[EOI] ;
+)";
+
+} // namespace
+
+TEST(BuildSmokeTest, LexerProducesTokens) {
+  auto Toks = tokenize(TrivialSrc);
+  ASSERT_TRUE(Toks) << Toks.message();
+  // Sanity floor only: rule arrows, brackets, and a terminating Eof.
+  ASSERT_GT(Toks->size(), 10u);
+  EXPECT_EQ(Toks->back().Kind, TokKind::Eof);
+}
+
+TEST(BuildSmokeTest, ParserBuildsGrammar) {
+  auto G = parseGrammarText(TrivialSrc);
+  ASSERT_TRUE(G) << G.message();
+  EXPECT_EQ(G->numRules(), 3u);
+}
+
+TEST(BuildSmokeTest, AnalysisPassesAccept) {
+  auto G = parseGrammarText(TrivialSrc);
+  ASSERT_TRUE(G) << G.message();
+  auto Stats = completeIntervals(*G);
+  ASSERT_TRUE(Stats) << Stats.message();
+  Error E = checkAttributes(*G);
+  EXPECT_FALSE(E) << E.message();
+}
+
+TEST(BuildSmokeTest, InterpParsesFromText) {
+  auto Loaded = loadGrammar(TrivialSrc);
+  ASSERT_TRUE(Loaded) << Loaded.message();
+  Grammar &G = Loaded->G;
+
+  std::vector<uint8_t> Input = {3, 'a', 'b', 'c'};
+  Interp I(G);
+  auto Tree = I.parse(ByteSpan::of(Input));
+  ASSERT_TRUE(Tree) << Tree.message();
+  const auto *Root = cast<NodeTree>(Tree->get());
+  EXPECT_EQ(Root->attr(G.intern("n")).value_or(-1), 3);
+
+  // A length byte past end-of-input must fail cleanly, not crash.
+  std::vector<uint8_t> Bad = {9, 'a'};
+  EXPECT_FALSE(I.parse(ByteSpan::of(Bad)));
+}
+
+TEST(BuildSmokeTest, InterpParsesFromBuilder) {
+  // The same message grammar assembled programmatically: GrammarBuilder is
+  // the embedder entry point and must stay in sync with the text front end.
+  Grammar G;
+  GrammarBuilder B(G);
+  B.rule("S", {{B.nt("L", B.num(0), B.num(1)),
+                B.nt("Body", B.num(1),
+                     B.add(B.num(1), B.ntAttr("L", "n"))),
+                B.attrDef("n", B.ntAttr("L", "n"))}});
+  B.rule("L", {{B.terminal("\x02", B.num(0), B.num(1)),
+                B.attrDef("n", B.num(2))}});
+  B.rule("Body", {{B.nt("Raw", B.num(0), B.eoi())}});
+  B.rule("Raw", {{B.terminal("xy", B.num(0), B.eoi())}});
+
+  auto Stats = completeIntervals(G);
+  ASSERT_TRUE(Stats) << Stats.message();
+  Error E = checkAttributes(G);
+  ASSERT_FALSE(E) << E.message();
+
+  std::vector<uint8_t> Input = {2, 'x', 'y'};
+  Interp I(G);
+  auto Tree = I.parse(ByteSpan::of(Input));
+  ASSERT_TRUE(Tree) << Tree.message();
+  EXPECT_EQ(cast<NodeTree>(Tree->get())->attr(G.intern("n")).value_or(-1), 2);
+}

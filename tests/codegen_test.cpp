@@ -19,11 +19,14 @@
 #include "formats/Elf.h"
 #include "runtime/Interp.h"
 
-#include <gtest/gtest.h>
-
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

@@ -15,7 +15,11 @@
 
 #include "combinator/Combinator.h"
 
+#include <cstdint>
+#include <functional>
 #include <gtest/gtest.h>
+#include <string>
+#include <string_view>
 
 using namespace ipg;
 using namespace ipg::comb;

@@ -11,9 +11,13 @@
 #include "support/Bytes.h"
 #include "support/Casting.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
-
 #include <map>
+#include <optional>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

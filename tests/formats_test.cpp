@@ -25,7 +25,13 @@
 #include "formats/Zip.h"
 #include "runtime/Interp.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::formats;

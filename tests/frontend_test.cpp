@@ -10,6 +10,8 @@
 #include "support/Casting.h"
 
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 using namespace ipg;
 

@@ -31,7 +31,14 @@
 #include "runtime/Interp.h"
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 using namespace ipg::formats;

@@ -19,7 +19,13 @@
 #include "runtime/Interp.h"
 #include "support/Casting.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 using namespace ipg;
 

@@ -8,6 +8,7 @@
 #include "solver/LinearSystem.h"
 
 #include <gtest/gtest.h>
+#include <string>
 
 using namespace ipg;
 

@@ -10,7 +10,10 @@
 #include "support/Rational.h"
 #include "support/Result.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string_view>
+#include <vector>
 
 using namespace ipg;
 

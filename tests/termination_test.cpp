@@ -10,6 +10,8 @@
 #include "runtime/Interp.h"
 
 #include <gtest/gtest.h>
+#include <string>
+#include <string_view>
 
 using namespace ipg;
 
