@@ -1,4 +1,4 @@
-//===- bench/BenchUtil.h - timing/table helpers -----------------*- C++ -*-===//
+//===- bench/BenchUtil.h - timing/table/JSON helpers ------------*- C++ -*-===//
 //
 // Part of the IPG reproduction of "Interval Parsing Grammars for File Format
 // Parsing" (PLDI 2023). MIT license.
@@ -8,7 +8,17 @@
 /// \file
 /// Shared helpers for the table/figure benchmarks: repeated timing with
 /// mean and standard deviation (the paper reports averages of 1000 runs
-/// with variance), and fixed-width table printing.
+/// with variance), fixed-width table printing, and one JSON emitter shared
+/// by every driver so all BENCH_*.json artifacts have a uniform schema:
+///
+///   { "bench": "<name>", "schema": "ipg-bench-v1",
+///     "entries": [ { "name": "<series/case>",
+///                    "metrics": { "<metric>": <number>, ... } }, ... ] }
+///
+/// Drivers that define IPG_BENCH_COUNT_ALLOCS before including this header
+/// additionally get global operator new/delete replacements that count heap
+/// allocations (read via allocCount()), which is how the throughput driver
+/// measures the arena's allocation-avoidance.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,10 +28,18 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace ipg::bench {
 
@@ -78,6 +96,226 @@ inline void note(const std::string &Text) {
   std::printf("%s\n", Text.c_str());
 }
 
+/// Peak resident set size in bytes (0 where unsupported).
+inline uint64_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(RU.ru_maxrss); // bytes on macOS
+#else
+  return static_cast<uint64_t>(RU.ru_maxrss) * 1024; // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Uniform BENCH_*.json emission.
+//===----------------------------------------------------------------------===//
+
+/// Accumulates named (entry, metric, value) triples and renders them in the
+/// shared ipg-bench-v1 schema. Every driver funnels its JSON output through
+/// this class; nothing else in the tree writes BENCH_*.json.
+class BenchReport {
+public:
+  explicit BenchReport(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  /// Records \p Value under \p Metric for \p Entry (created on first use).
+  /// Entries keep insertion order so artifacts diff cleanly run-to-run.
+  void add(const std::string &Entry, const std::string &Metric,
+           double Value) {
+    for (auto &E : Entries)
+      if (E.first == Entry) {
+        E.second.emplace_back(Metric, Value);
+        return;
+      }
+    Entries.emplace_back(Entry,
+                         std::vector<std::pair<std::string, double>>{
+                             {Metric, Value}});
+  }
+
+  std::string toJson() const {
+    std::string S = "{\n  \"bench\": \"" + escape(Name) +
+                    "\",\n  \"schema\": \"ipg-bench-v1\",\n  \"entries\": [";
+    bool FirstE = true;
+    for (const auto &[EntryName, Metrics] : Entries) {
+      if (!FirstE)
+        S += ",";
+      FirstE = false;
+      S += "\n    { \"name\": \"" + escape(EntryName) +
+           "\", \"metrics\": { ";
+      bool FirstM = true;
+      for (const auto &[Key, Value] : Metrics) {
+        if (!FirstM)
+          S += ", ";
+        FirstM = false;
+        S += "\"" + escape(Key) + "\": " + number(Value);
+      }
+      S += " } }";
+    }
+    S += "\n  ]\n}\n";
+    return S;
+  }
+
+  /// Writes the report to \p Path; returns false (with a note on stderr) on
+  /// I/O failure so drivers can exit nonzero from CI.
+  bool writeFile(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   Path.c_str());
+      return false;
+    }
+    std::string S = toJson();
+    size_t Written = std::fwrite(S.data(), 1, S.size(), F);
+    std::fclose(F);
+    if (Written != S.size()) {
+      std::fprintf(stderr, "error: short write to %s\n", Path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu entries)\n", Path.c_str(), Entries.size());
+    return true;
+  }
+
+private:
+  static std::string escape(const std::string &In) {
+    std::string Out;
+    for (char C : In) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (static_cast<unsigned char>(C) < 0x20) {
+        Out += ' ';
+        continue;
+      }
+      Out += C;
+    }
+    return Out;
+  }
+
+  /// JSON has no NaN/Inf; integers render without a fraction so artifact
+  /// diffs of counters stay exact. The int64 range check must precede the
+  /// cast — casting a finite double beyond int64 range is UB.
+  static std::string number(double V) {
+    if (!std::isfinite(V))
+      return "0";
+    if (V >= -9.2e18 && V <= 9.2e18 &&
+        V == static_cast<double>(static_cast<int64_t>(V))) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(V));
+      return Buf;
+    }
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    return Buf;
+  }
+
+  std::string Name;
+  std::vector<
+      std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      Entries;
+};
+
+/// The artifact path for a driver: argv[1] if given, else BENCH_<name>.json
+/// in the working directory.
+inline std::string benchJsonPath(int Argc, char **Argv,
+                                 const std::string &DefaultName) {
+  if (Argc > 1)
+    return Argv[1];
+  return "BENCH_" + DefaultName + ".json";
+}
+
 } // namespace ipg::bench
+
+//===----------------------------------------------------------------------===//
+// Optional heap-allocation counting (define IPG_BENCH_COUNT_ALLOCS before
+// including this header from exactly one translation unit).
+//===----------------------------------------------------------------------===//
+
+#ifdef IPG_BENCH_COUNT_ALLOCS
+
+namespace ipg::bench {
+namespace detail {
+inline uint64_t &allocCounterStorage() {
+  static uint64_t Count = 0; // benches are single-threaded
+  return Count;
+}
+} // namespace detail
+
+/// aligned_alloc requires the size to be a multiple of the alignment.
+inline std::size_t alignUp(std::size_t Size, std::align_val_t Align) {
+  auto A = static_cast<std::size_t>(Align);
+  return (Size + A - 1) / A * A;
+}
+
+/// Number of operator-new calls since process start.
+inline uint64_t allocCount() { return detail::allocCounterStorage(); }
+} // namespace ipg::bench
+
+void *operator new(std::size_t Size) {
+  ++ipg::bench::detail::allocCounterStorage();
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size) {
+  ++ipg::bench::detail::allocCounterStorage();
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
+  ++ipg::bench::detail::allocCounterStorage();
+  return std::malloc(Size ? Size : 1);
+}
+
+void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
+  ++ipg::bench::detail::allocCounterStorage();
+  return std::malloc(Size ? Size : 1);
+}
+
+// Over-aligned news must be counted too, or alignas(32) runtime types
+// would silently bypass the CI allocation gate.
+void *operator new(std::size_t Size, std::align_val_t Align) {
+  ++ipg::bench::detail::allocCounterStorage();
+  if (void *P = std::aligned_alloc(static_cast<std::size_t>(Align),
+                                   ipg::bench::alignUp(Size, Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Size, std::align_val_t Align) {
+  ++ipg::bench::detail::allocCounterStorage();
+  if (void *P = std::aligned_alloc(static_cast<std::size_t>(Align),
+                                   ipg::bench::alignUp(Size, Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+
+#endif // IPG_BENCH_COUNT_ALLOCS
 
 #endif // IPG_BENCH_BENCHUTIL_H

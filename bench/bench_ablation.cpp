@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Ablations for the design choices DESIGN.md calls out:
+/// Ablations for the design choices docs/architecture.md calls out:
 ///   1. packrat memoization on/off (Section 3.3's O(n^2) device),
 ///   2. the specialized `btoi`-style integer builtins vs. the grammar-level
 ///      recursive Int rule (the Section 7 specialization),
@@ -32,6 +32,8 @@ using namespace ipg::bench;
 using namespace ipg::formats;
 
 namespace {
+
+BenchReport Report("ablation");
 
 Grammar mustLoad(const char *Src) {
   auto R = loadGrammar(Src);
@@ -70,6 +72,10 @@ void ablationMemo() {
                        repsFor(N * 8.0));
     std::printf("%8zu | %14.1f | %14.1f | %10zu\n", N, TOn.MeanUs,
                 TOff.MeanUs, Hits);
+    std::string Entry = "memo/" + std::to_string(N);
+    Report.add(Entry, "memo_on_us", TOn.MeanUs);
+    Report.add(Entry, "memo_off_us", TOff.MeanUs);
+    Report.add(Entry, "memo_hits", static_cast<double>(Hits));
   }
   note("shape: memo-off grows ~4x the single-pass cost; memo-on ~1x.");
 }
@@ -103,6 +109,9 @@ void ablationBtoi() {
     auto TRec = timeIt([&] { if (!IRec.parse(S)) std::abort(); },
                        repsFor(N * 6.0));
     std::printf("%8zu | %16.1f | %16.1f\n", N, TSpec.MeanUs, TRec.MeanUs);
+    std::string Entry = "btoi/" + std::to_string(N);
+    Report.add(Entry, "builtin_us", TSpec.MeanUs);
+    Report.add(Entry, "recursive_us", TRec.MeanUs);
   }
   note("shape: the builtin is several times faster — why the paper");
   note("specializes Int as btoi in generated parsers.");
@@ -130,6 +139,8 @@ void ablationReentry() {
   std::printf("guard off: %10.1f us    guard on: %10.1f us    overhead: %+.1f%%\n",
               TPlain.MeanUs, TGuard.MeanUs,
               100.0 * (TGuard.MeanUs - TPlain.MeanUs) / TPlain.MeanUs);
+  Report.add("reentry/elf", "guard_off_us", TPlain.MeanUs);
+  Report.add("reentry/elf", "guard_on_us", TGuard.MeanUs);
   note("shape: modest overhead; static termination checking (Section 5)");
   note("makes the guard unnecessary for checked grammars.");
 }
@@ -174,16 +185,19 @@ void ablationSwitch() {
     auto TDe = timeIt([&] { if (!IDe.parse(S)) std::abort(); },
                       repsFor(N * 1.6));
     std::printf("%8zu | %14.1f | %16.1f\n", N, TSw.MeanUs, TDe.MeanUs);
+    std::string Entry = "switch/" + std::to_string(N);
+    Report.add(Entry, "switch_us", TSw.MeanUs);
+    Report.add(Entry, "desugared_us", TDe.MeanUs);
   }
   note("shape: switch avoids re-running the discriminator per alternative.");
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   ablationMemo();
   ablationBtoi();
   ablationReentry();
   ablationSwitch();
-  return 0;
+  return Report.writeFile(benchJsonPath(argc, argv, "ablation")) ? 0 : 1;
 }

@@ -18,7 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "baselines/Arena.h"
+#include "support/Arena.h"
 #include "baselines/KaitaiParsers.h"
 #include "baselines/NailParsers.h"
 #include "formats/Dns.h"
@@ -33,6 +33,7 @@
 #include "BenchUtil.h"
 
 #include <cstddef>
+#include <string>
 
 using namespace ipg;
 using namespace ipg::bench;
@@ -41,8 +42,16 @@ using namespace ipg::formats;
 
 namespace {
 
+BenchReport Report("fig13_parsing_time");
+const char *CurSeries = "";
+
 void row(size_t Size, const TimingResult &Ipg, const TimingResult &Kaitai,
          const TimingResult *Nail = nullptr) {
+  std::string Entry = std::string(CurSeries) + "/" + std::to_string(Size) + "b";
+  Report.add(Entry, "ipg_us", Ipg.MeanUs);
+  Report.add(Entry, "kaitai_us", Kaitai.MeanUs);
+  if (Nail)
+    Report.add(Entry, "nail_us", Nail->MeanUs);
   if (Nail)
     std::printf("%10zu | %10.2f ±%8.2f | %10.2f ±%8.2f | %10.2f ±%8.2f\n",
                 Size, Ipg.MeanUs, Ipg.StdDevUs, Kaitai.MeanUs,
@@ -69,6 +78,7 @@ void benchZip() {
   Interp I(R->G, &BB);
 
   banner("Figure 13a: ZIP parsing time (stored archives)");
+  CurSeries = "zip";
   head("bytes", false);
   for (size_t Entries : {2u, 8u, 32u, 128u}) {
     // Stored entries isolate the zero-copy vs copy-through difference.
@@ -99,6 +109,7 @@ void benchGif() {
   Interp I(R->G, nullptr, Opts);
 
   banner("Figure 13b: GIF parsing time");
+  CurSeries = "gif";
   head("bytes", false);
   for (size_t Images : {1u, 4u, 16u, 64u}) {
     GifSynthSpec Spec;
@@ -130,6 +141,7 @@ void benchPe() {
   Interp I(R->G);
 
   banner("Figure 13c: PE parsing time");
+  CurSeries = "pe";
   head("bytes", false);
   for (size_t Sections : {2u, 8u, 32u, 96u}) {
     PeSynthSpec Spec;
@@ -159,6 +171,7 @@ void benchElf() {
   Interp I(R->G);
 
   banner("Figure 13d: ELF parsing time");
+  CurSeries = "elf";
   head("bytes", false);
   for (size_t Syms : {32u, 256u, 1024u, 4096u}) {
     ElfSynthSpec Spec;
@@ -190,6 +203,7 @@ void benchDns() {
   Interp I(R->G);
 
   banner("Figure 13e: DNS parsing time");
+  CurSeries = "dns";
   head("bytes", true);
   for (size_t Answers : {2u, 8u, 24u, 64u}) {
     DnsSynthSpec Spec;
@@ -228,6 +242,7 @@ void benchIpv4() {
   Interp I(R->G);
 
   banner("Figure 13f: IPv4+UDP parsing time");
+  CurSeries = "ipv4udp";
   head("bytes", true);
   for (size_t Payload : {64u, 256u, 1024u, 1400u}) {
     Ipv4SynthSpec Spec;
@@ -260,12 +275,14 @@ void benchIpv4() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   benchZip();
   benchGif();
   benchPe();
   benchElf();
   benchDns();
   benchIpv4();
-  return 0;
+  return Report.writeFile(benchJsonPath(argc, argv, "fig13_parsing_time"))
+             ? 0
+             : 1;
 }

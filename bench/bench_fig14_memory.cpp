@@ -14,7 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "baselines/Arena.h"
+#include "support/Arena.h"
 #include "baselines/NailParsers.h"
 #include "formats/Dns.h"
 #include "formats/Ipv4Udp.h"
@@ -27,6 +27,7 @@
 #include <cstdlib>
 #include <functional>
 #include <new>
+#include <string>
 
 using namespace ipg;
 using namespace ipg::bench;
@@ -91,7 +92,8 @@ void operator delete[](void *P, size_t) noexcept { countedFree(P); }
 
 //===----------------------------------------------------------------------===//
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("fig14_memory");
   banner("Figure 14a: heap bytes per DNS parse");
   {
     auto R = loadDnsGrammar();
@@ -119,6 +121,9 @@ int main() {
           std::abort();
       });
       std::printf("%8zu | %14zu | %14zu\n", Answers, Ipg.Total, Nail.Total);
+      std::string Entry = "dns/" + std::to_string(Answers) + "ans";
+      Report.add(Entry, "ipg_heap_bytes", static_cast<double>(Ipg.Total));
+      Report.add(Entry, "nail_heap_bytes", static_cast<double>(Nail.Total));
     }
   }
 
@@ -146,6 +151,9 @@ int main() {
           std::abort();
       });
       std::printf("%8zu | %14zu | %14zu\n", Payload, Ipg.Total, Nail.Total);
+      std::string Entry = "ipv4udp/" + std::to_string(Payload) + "b";
+      Report.add(Entry, "ipg_heap_bytes", static_cast<double>(Ipg.Total));
+      Report.add(Entry, "nail_heap_bytes", static_cast<double>(Nail.Total));
     }
   }
 
@@ -153,5 +161,5 @@ int main() {
   note("zero-copy) while Nail-style copies payloads into its arena; for");
   note("record-light packets IPG's tree nodes dominate instead. See");
   note("EXPERIMENTS.md for the comparison against the paper's Figure 14.");
-  return 0;
+  return Report.writeFile(benchJsonPath(argc, argv, "fig14_memory")) ? 0 : 1;
 }

@@ -43,7 +43,8 @@ const PaperRow PaperRows[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("table1_spec_sizes");
   banner("Table 1: Lines of format specifications");
   std::printf("%-10s | %12s | %10s | %12s | %10s\n", "format", "IPG (ours)",
               "IPG (paper)", "Kaitai (paper)", "Nail (paper)");
@@ -64,9 +65,15 @@ int main() {
       std::snprintf(Kaitai, sizeof(Kaitai), "%d", Row.PaperKaitai);
     std::printf("%-10s | %12zu | %10d | %14s | %10s\n", Row.Format, Ours,
                 Row.PaperIpg, Kaitai, Row.PaperNail);
+    Report.add(Row.Format, "ipg_lines", static_cast<double>(Ours));
+    Report.add(Row.Format, "paper_ipg_lines", Row.PaperIpg);
+    if (Row.PaperKaitai >= 0)
+      Report.add(Row.Format, "paper_kaitai_lines", Row.PaperKaitai);
   }
 
   note("\nShape check: every IPG spec above should be well under the");
   note("corresponding Kaitai line count from the paper (2-4x smaller).");
-  return 0;
+  return Report.writeFile(benchJsonPath(argc, argv, "table1_spec_sizes"))
+             ? 0
+             : 1;
 }

@@ -41,7 +41,8 @@ const PaperRow PaperRows[] = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("table2_implicit_intervals");
   banner("Table 2: Intervals and implicit intervals in IPG specifications");
   std::printf("%-10s | %-28s | %-28s\n", "", "ours", "paper");
   std::printf("%-10s | %8s %9s %8s | %8s %9s %8s\n", "format", "total",
@@ -63,6 +64,12 @@ int main() {
     std::printf("%-10s | %8zu %9zu %8zu | %8d %9d %8d\n", Row.Format,
                 S.TotalIntervals, S.FullyImplicit, S.LengthOnly,
                 Row.Intervals, Row.FullyImplicit, Row.LengthOnly);
+    Report.add(Row.Format, "total_intervals",
+               static_cast<double>(S.TotalIntervals));
+    Report.add(Row.Format, "fully_implicit",
+               static_cast<double>(S.FullyImplicit));
+    Report.add(Row.Format, "length_only",
+               static_cast<double>(S.LengthOnly));
   }
 
   double ImplicitPct = 100.0 * ImplicitAll / TotalAll;
@@ -73,5 +80,11 @@ int main() {
   std::printf("Shape check: a majority of interval annotations are "
               "inferred (%.1f%% here, 79.9%% in the paper).\n",
               ImplicitPct + LengthPct);
-  return 0;
+  Report.add("totals", "total_intervals", static_cast<double>(TotalAll));
+  Report.add("totals", "implicit_pct", ImplicitPct);
+  Report.add("totals", "length_only_pct", LengthPct);
+  return Report.writeFile(
+             benchJsonPath(argc, argv, "table2_implicit_intervals"))
+             ? 0
+             : 1;
 }

@@ -23,7 +23,8 @@ using namespace ipg;
 using namespace ipg::bench;
 using namespace ipg::formats;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("termination");
   banner("Termination checking across all format grammars (Section 7)");
   std::printf("%-10s | %8s | %10s | %14s | %12s\n", "format", "cycles",
               "passes", "check (us)", "load (us)");
@@ -44,11 +45,17 @@ int main() {
     std::printf("%-10s | %8zu | %10s | %11.1f | %12.1f\n", F.Name.c_str(),
                 Rep.NumCycles, Rep.Terminates ? "yes" : "NO",
                 CheckTime.MeanUs, LoadTime.MeanUs);
+    Report.add(F.Name, "cycles", static_cast<double>(Rep.NumCycles));
+    Report.add(F.Name, "terminates", Rep.Terminates ? 1 : 0);
+    Report.add(F.Name, "check_us", CheckTime.MeanUs);
+    Report.add(F.Name, "load_us", LoadTime.MeanUs);
     AllOk = AllOk && Rep.Terminates && Rep.NumCycles <= 5 &&
             CheckTime.MeanUs < 20000.0;
   }
   note(AllOk ? "\nall grammars: <= 5 cycles, pass, well under 20ms (as in "
                "the paper)"
              : "\nSHAPE VIOLATION: see rows above");
+  if (!Report.writeFile(benchJsonPath(argc, argv, "termination")))
+    return 1;
   return AllOk ? 0 : 1;
 }

@@ -1,0 +1,174 @@
+//===- bench/bench_throughput.cpp - corpus-driven throughput --------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The perf-trajectory driver: parses a synthesized corpus for every
+/// registered format (ZIP stored + compressed, GIF, PE, ELF, PDF, IPv4+UDP,
+/// DNS) many times through one reused Interp and emits BENCH_throughput.json
+/// in the shared ipg-bench-v1 schema with, per corpus case:
+///
+///   input_bytes, reps, mean_us, bytes_per_sec, allocs_per_parse,
+///   nodes_per_parse, terms_per_parse, memo_hits, memo_misses
+///
+/// plus one process-wide "process" entry carrying peak_rss_bytes. Heap
+/// allocations are counted by replacing global operator new (see
+/// BenchUtil.h); allocs_per_parse is the steady-state figure, i.e. it
+/// excludes the warmup parse that sizes the interpreter's arena and memo
+/// table. CI uploads the JSON as an artifact and gates on the deterministic
+/// counters via scripts/check_bench_regression.py.
+///
+/// Usage: bench_throughput [output.json] [reps]
+///
+//===----------------------------------------------------------------------===//
+
+#define IPG_BENCH_COUNT_ALLOCS
+#include "BenchUtil.h"
+
+#include "formats/Dns.h"
+#include "formats/Elf.h"
+#include "formats/FormatRegistry.h"
+#include "formats/Gif.h"
+#include "formats/Ipv4Udp.h"
+#include "formats/Pdf.h"
+#include "formats/Pe.h"
+#include "formats/Zip.h"
+#include "runtime/Interp.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::bench;
+using namespace ipg::formats;
+
+namespace {
+
+struct CorpusCase {
+  std::string Name;            ///< "<format>/<variant>"
+  std::string Format;          ///< registry name, e.g. "zip"
+  std::vector<uint8_t> Bytes;  ///< the input image
+};
+
+std::vector<CorpusCase> buildCorpus() {
+  std::vector<CorpusCase> C;
+
+  C.push_back({"zip/stored-8x4096", "zip",
+               synthesizeZip(zipArchiveOfCopies(8, 4096, false))});
+  C.push_back({"zip/deflate-4x2048", "zip",
+               synthesizeZip(zipArchiveOfCopies(4, 2048, true))});
+
+  GifSynthSpec Gif;
+  Gif.NumImages = 2;
+  Gif.SubBlocksPerImage = 8;
+  C.push_back({"gif/2img-8blk", "gif", synthesizeGif(Gif)});
+
+  PeSynthSpec Pe;
+  Pe.NumSections = 6;
+  C.push_back({"pe/6sec", "pe", synthesizePe(Pe)});
+
+  ElfSynthSpec Elf;
+  Elf.NumDynEntries = 16;
+  Elf.NumSymbols = 32;
+  C.push_back({"elf/16dyn-32sym", "elf", synthesizeElf(Elf)});
+
+  PdfSynthSpec Pdf;
+  Pdf.NumObjects = 12;
+  C.push_back({"pdf/12obj", "pdf", synthesizePdf(Pdf)});
+
+  Ipv4SynthSpec Ip;
+  Ip.PayloadSize = 512;
+  C.push_back({"ipv4udp/512b", "ipv4udp", synthesizeIpv4Udp(Ip)});
+
+  DnsSynthSpec Dns;
+  Dns.NumAnswers = 8;
+  C.push_back({"dns/8ans", "dns", synthesizeDns(Dns)});
+
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = benchJsonPath(argc, argv, "throughput");
+  size_t Reps = 50;
+  if (argc > 2)
+    Reps = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (Reps == 0)
+    Reps = 1;
+
+  BlackboxRegistry BB = standardBlackboxes();
+  BenchReport Report("throughput");
+  banner("Corpus throughput (" + std::to_string(Reps) + " reps per case)");
+  std::printf("%-24s | %10s | %10s | %12s | %10s\n", "case", "bytes",
+              "mean us", "MB/s", "allocs");
+
+  for (const CorpusCase &Case : buildCorpus()) {
+    auto Load = loadFormatGrammar(Case.Format);
+    if (!Load) {
+      std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),
+                   Load.message().c_str());
+      return 1;
+    }
+    Interp I(Load->G, &BB);
+    ByteSpan Image = ByteSpan::of(Case.Bytes);
+
+    // Warmup: proves the input parses and lets the interpreter size its
+    // arena/memo storage before the steady-state window we measure.
+    {
+      auto R = I.parse(Image);
+      if (!R) {
+        std::fprintf(stderr, "error: %s rejected its corpus input: %s\n",
+                     Case.Name.c_str(), R.message().c_str());
+        return 1;
+      }
+    }
+
+    // Allocation counting runs in its own loop so the timing harness's
+    // bookkeeping (sample-buffer growth inside timeIt) can't leak into
+    // the per-parse counter — steady state must read exactly 0.
+    uint64_t Allocs0 = allocCount();
+    for (size_t K = 0; K < Reps; ++K)
+      if (!I.parse(Image))
+        std::abort();
+    uint64_t Allocs1 = allocCount();
+    double AllocsPerParse =
+        static_cast<double>(Allocs1 - Allocs0) / static_cast<double>(Reps);
+
+    auto Timing = timeIt([&] { if (!I.parse(Image)) std::abort(); }, Reps);
+    double BytesPerSec =
+        Timing.MeanUs > 0
+            ? static_cast<double>(Case.Bytes.size()) / (Timing.MeanUs * 1e-6)
+            : 0;
+    const InterpStats &S = I.stats();
+
+    Report.add(Case.Name, "input_bytes",
+               static_cast<double>(Case.Bytes.size()));
+    Report.add(Case.Name, "reps", static_cast<double>(Reps));
+    Report.add(Case.Name, "mean_us", Timing.MeanUs);
+    Report.add(Case.Name, "stddev_us", Timing.StdDevUs);
+    Report.add(Case.Name, "bytes_per_sec", BytesPerSec);
+    Report.add(Case.Name, "allocs_per_parse", AllocsPerParse);
+    Report.add(Case.Name, "nodes_per_parse",
+               static_cast<double>(S.NodesCreated));
+    Report.add(Case.Name, "terms_per_parse",
+               static_cast<double>(S.TermsExecuted));
+    Report.add(Case.Name, "memo_hits", static_cast<double>(S.MemoHits));
+    Report.add(Case.Name, "memo_misses", static_cast<double>(S.MemoMisses));
+
+    std::printf("%-24s | %10zu | %10.2f | %12.2f | %10.1f\n",
+                Case.Name.c_str(), Case.Bytes.size(), Timing.MeanUs,
+                BytesPerSec / 1e6, AllocsPerParse);
+  }
+
+  Report.add("process", "peak_rss_bytes",
+             static_cast<double>(peakRssBytes()));
+  return Report.writeFile(OutPath) ? 0 : 1;
+}

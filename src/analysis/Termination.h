@@ -21,7 +21,8 @@
 /// chunk-list rules like `Blocks -> Block Blocks[Block.end, EOI]` pass.
 ///
 /// Z3 is replaced by the rational linear-arithmetic core in solver/ (see
-/// DESIGN.md for the soundness argument).
+/// docs/architecture.md, "Engineering substitutions", for the soundness
+/// argument).
 ///
 //===----------------------------------------------------------------------===//
 

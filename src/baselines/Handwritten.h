@@ -12,7 +12,8 @@
 /// end-to-end entry points replicate what the paper timed: readelf's
 /// "-h -S --dyn-syms" report and unzip's parse + decompress + write-files
 /// pipeline (files are written to an in-memory store so the measurement is
-/// not dominated by filesystem noise; see DESIGN.md).
+/// not dominated by filesystem noise; see docs/architecture.md,
+/// "Engineering substitutions").
 ///
 //===----------------------------------------------------------------------===//
 

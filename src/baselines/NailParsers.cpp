@@ -12,6 +12,7 @@
 #include <cstring>
 
 using namespace ipg::baselines;
+using ipg::Arena;
 
 namespace {
 

@@ -16,7 +16,7 @@
 #ifndef IPG_BASELINES_NAILPARSERS_H
 #define IPG_BASELINES_NAILPARSERS_H
 
-#include "baselines/Arena.h"
+#include "support/Arena.h"
 
 #include <cstddef>
 #include <cstdint>

@@ -193,13 +193,26 @@ inline Parser<Unit> strP(std::string Lit) {
 // -- Recursion ---------------------------------------------------------------
 
 /// Ties the knot for recursive parsers: fix(f) passes the parser to its
-/// own definition.
+/// own definition. The parser handed to \p Fn holds the recursion cell
+/// weakly — the definition stored in the cell invariably captures that
+/// parser, and a strong capture would make the cell own itself (a
+/// shared_ptr cycle, i.e. a leak). Only the returned parser owns the
+/// cell; consequently the parser \p Fn receives must not be invoked
+/// during \p Fn itself and must not outlive the returned parser (both
+/// degrade to "no match", never to undefined behaviour).
 template <typename T>
 Parser<T> fix(std::function<Parser<T>(Parser<T>)> Fn) {
   auto Cell = std::make_shared<Parser<T>>();
-  Parser<T> Self = [Cell](ByteSpan In, State S) { return (*Cell)(In, S); };
+  std::weak_ptr<Parser<T>> Weak = Cell;
+  Parser<T> Self = [Weak](ByteSpan In, State S) ->
+      std::optional<std::pair<T, State>> {
+        auto C = Weak.lock();
+        if (!C || !*C)
+          return std::nullopt;
+        return (*C)(In, S);
+      };
   *Cell = Fn(Self);
-  return Self;
+  return [Cell](ByteSpan In, State S) { return (*Cell)(In, S); };
 }
 
 /// Runs a parser over a whole buffer.

@@ -11,8 +11,8 @@
 /// with a compression pointer (0xC0-prefixed) instead of a literal name.
 /// The grammar parses one-hop pointers (the encoding our synthesizer — and
 /// virtually every single-question responder — emits: answers point at the
-/// question name); multi-hop pointer chasing is done in the extractor, as
-/// discussed in DESIGN.md.
+/// question name); multi-hop pointer chasing is done in the extractor,
+/// which follows arbitrary chains.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -10,8 +10,9 @@
 /// (Sections 3.4 and 7). zlib is not available offline, so this module
 /// implements a small self-contained LZ77-style codec with the same
 /// blackbox shape: hand it an interval-confined slice, get back the
-/// decompressed bytes and the number of input bytes consumed. See DESIGN.md
-/// for the substitution argument.
+/// decompressed bytes and the number of input bytes consumed. See
+/// docs/architecture.md ("Engineering substitutions") for the
+/// substitution argument.
 ///
 /// Stream layout:
 ///   "MZ1"  u32le(uncompressed size)  ops...  0xFF

@@ -120,7 +120,7 @@ std::vector<uint8_t> ipg::formats::synthesizeZip(const ZipSynthSpec &Spec) {
     W.u16le(Info.Method); // method
     W.u16le(0);           // time
     W.u16le(0);           // date
-    W.u32le(0);           // crc (not validated; see DESIGN.md)
+    W.u32le(0);           // crc (not validated; see docs/architecture.md)
     W.u32le(Info.CSize);
     W.u32le(Info.USize);
     W.u16le(static_cast<uint16_t>(E.Name.size()));

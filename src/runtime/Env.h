@@ -11,6 +11,12 @@
 /// of user attributes), so a flat vector with linear search beats a hash
 /// map here.
 ///
+/// Env is the *mutable* environment a frame builds while executing an
+/// alternative; the interpreter reuses Env storage across alternatives and
+/// parses (clear() keeps capacity). Finished nodes carry an immutable
+/// arena-frozen copy instead (EnvView in runtime/ParseTree.h), which is why
+/// the slot type lives here as a standalone trivially-copyable struct.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPG_RUNTIME_ENV_H
@@ -21,10 +27,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <utility>
 #include <vector>
 
 namespace ipg {
+
+/// One attribute binding. Structured bindings work: `for (auto [K, V] : E)`.
+struct EnvSlot {
+  Symbol Key;
+  int64_t Value;
+};
 
 class Env {
 public:
@@ -42,25 +53,30 @@ public:
         Value = V;
         return;
       }
-    Slots.emplace_back(S, V);
+    Slots.push_back({S, V});
   }
 
   /// Removes the binding; returns whether it existed.
   bool erase(Symbol S) {
     for (size_t I = 0; I < Slots.size(); ++I)
-      if (Slots[I].first == S) {
+      if (Slots[I].Key == S) {
         Slots.erase(Slots.begin() + I);
         return true;
       }
     return false;
   }
 
+  /// Drops all bindings but keeps capacity (scratch reuse in the
+  /// interpreter's frame pool).
+  void clear() { Slots.clear(); }
+
   size_t size() const { return Slots.size(); }
+  const EnvSlot *data() const { return Slots.data(); }
   auto begin() const { return Slots.begin(); }
   auto end() const { return Slots.end(); }
 
 private:
-  std::vector<std::pair<Symbol, int64_t>> Slots;
+  std::vector<EnvSlot> Slots;
 };
 
 } // namespace ipg

@@ -9,6 +9,7 @@
 
 #include "expr/Eval.h"
 #include "support/Casting.h"
+#include "support/FlatHash.h"
 
 #include <algorithm>
 #include <cstddef>
@@ -16,55 +17,81 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 using namespace ipg;
 
+//===----------------------------------------------------------------------===//
+// Reusable engine state. Everything here survives across parse() calls so
+// the steady state allocates nothing: vectors and the flat hashes keep
+// their capacity through clear(), the TreeStore keeps its arena blocks
+// through reset(), and frames are pooled per recursion depth.
+//===----------------------------------------------------------------------===//
+
+namespace ipg {
+
+struct InterpState {
+  /// Per-alternative execution state: the environment E, the ids of
+  /// already-built child trees, and per-term touch records for TermEnd.
+  struct Frame {
+    ByteSpan Input;
+    Env E;
+    std::vector<uint32_t> ChildIds;
+    std::vector<uint32_t> ChildTermIdx;
+
+    struct TermRec {
+      bool HasEnd = false;
+      int64_t Start = 0;
+      int64_t End = 0;
+    };
+    std::vector<TermRec> Recs;
+
+    /// Enclosing frame for where-clause rules (null for global rules).
+    const Frame *Lexical = nullptr;
+
+    void beginAlt(ByteSpan In, const Frame *Lex, size_t NumTerms) {
+      Input = In;
+      Lexical = Lex;
+      E.clear();
+      ChildIds.clear();
+      ChildTermIdx.clear();
+      Recs.assign(NumTerms, TermRec());
+    }
+  };
+
+  FlatIntervalMap<const NodeTree *> Memo;
+  FlatIntervalMap<uint8_t> InProgress;
+  std::vector<std::unique_ptr<Frame>> FramePool; // indexed by depth
+  std::vector<std::vector<uint32_t>> ElemScratch; // per array-nesting level
+  size_t ArrayNest = 0;
+  std::shared_ptr<TreeStore> Store;
+
+  Frame &frameAt(size_t Depth) {
+    while (FramePool.size() <= Depth)
+      FramePool.push_back(std::make_unique<Frame>());
+    return *FramePool[Depth];
+  }
+
+  std::vector<uint32_t> &elemScratchAt(size_t Level) {
+    if (ElemScratch.size() <= Level)
+      ElemScratch.resize(Level + 1);
+    return ElemScratch[Level];
+  }
+};
+
+} // namespace ipg
+
 namespace {
 
-struct MemoKey {
-  RuleId Rule;
-  size_t Lo, Hi;
-  bool operator==(const MemoKey &O) const {
-    return Rule == O.Rule && Lo == O.Lo && Hi == O.Hi;
-  }
-};
+using Frame = InterpState::Frame;
 
-struct MemoKeyHash {
-  size_t operator()(const MemoKey &K) const {
-    size_t H = K.Rule;
-    H = H * 0x9e3779b97f4a7c15ULL + K.Lo;
-    H = H * 0x9e3779b97f4a7c15ULL + K.Hi;
-    return H;
-  }
-};
-
-/// Per-alternative execution state: the environment E, the parse trees of
-/// already-executed terms, and per-term touch records for TermEnd.
-struct Frame {
-  ByteSpan Input;
-  Env E;
-  std::vector<TreePtr> Children;
-  std::vector<uint32_t> ChildTermIdx;
-
-  struct TermRec {
-    bool HasEnd = false;
-    int64_t Start = 0;
-    int64_t End = 0;
-  };
-  std::vector<TermRec> Recs;
-
-  /// Enclosing frame for where-clause rules (null for global rules).
-  const Frame *Lexical = nullptr;
-};
-
-/// EvalContext view of a Frame (sigma of Figure 8).
+/// EvalContext view of a Frame (sigma of Figure 8). Child trees are stored
+/// as ids; the store resolves them.
 class FrameCtx : public EvalContext {
 public:
-  FrameCtx(const Frame &F, const Grammar &G) : F(F), G(G) {}
+  FrameCtx(const Frame &F, const Grammar &G, const TreeStore &Store)
+      : F(F), G(G), Store(Store) {}
 
   std::optional<int64_t> attr(Symbol Id) const override {
     for (const Frame *L = &F; L; L = L->Lexical)
@@ -75,8 +102,8 @@ public:
 
   std::optional<int64_t> ntAttr(Symbol NT, Symbol Attr) const override {
     for (const Frame *L = &F; L; L = L->Lexical)
-      for (size_t I = L->Children.size(); I-- > 0;)
-        if (const auto *N = dyn_cast<NodeTree>(L->Children[I].get()))
+      for (size_t I = L->ChildIds.size(); I-- > 0;)
+        if (const auto *N = dyn_cast<NodeTree>(Store.node(L->ChildIds[I])))
           if (N->name() == NT)
             return N->attr(Attr);
     return std::nullopt;
@@ -153,33 +180,36 @@ public:
 private:
   const Frame &F;
   const Grammar &G;
+  const TreeStore &Store;
 
   const ArrayTree *findArray(Symbol NT) const {
     for (const Frame *L = &F; L; L = L->Lexical)
-      for (size_t I = L->Children.size(); I-- > 0;)
-        if (const auto *A = dyn_cast<ArrayTree>(L->Children[I].get()))
+      for (size_t I = L->ChildIds.size(); I-- > 0;)
+        if (const auto *A = dyn_cast<ArrayTree>(Store.node(L->ChildIds[I])))
           if (A->elemName() == NT)
             return A;
     return nullptr;
   }
 };
 
-/// One parse() invocation: owns the memo table and recursion bookkeeping.
+/// One parse() invocation over recycled InterpState.
 class Runner {
 public:
   Runner(const Grammar &G, const BlackboxRegistry *Blackboxes,
-         const InterpOptions &Opts, InterpStats &Stats)
-      : G(G), Blackboxes(Blackboxes), Opts(Opts), Stats(Stats) {}
+         const InterpOptions &Opts, InterpStats &Stats, InterpState &St)
+      : G(G), Blackboxes(Blackboxes), Opts(Opts), Stats(Stats), St(St),
+        Store(*St.Store) {}
 
   Expected<TreePtr> run(ByteSpan Input, RuleId Start) {
-    auto Node = parseRule(Start, Input, nullptr);
+    const NodeTree *Node = parseRule(Start, Input, nullptr);
+    Stats.ArenaBytesUsed = Store.arenaBytesUsed();
     if (Hard)
       return Expected<TreePtr>(std::move(Hard));
     if (!Node)
       return Expected<TreePtr>::failure(
           "parse failed: input rejected by rule '" +
           std::string(G.interner().name(G.rule(Start).Name)) + "'");
-    return Expected<TreePtr>(TreePtr(std::move(Node)));
+    return Expected<TreePtr>(TreePtr(St.Store, Node));
   }
 
 private:
@@ -187,11 +217,10 @@ private:
   const BlackboxRegistry *Blackboxes;
   const InterpOptions &Opts;
   InterpStats &Stats;
+  InterpState &St;
+  TreeStore &Store;
   Error Hard = Error::success();
   size_t Depth = 0;
-  std::unordered_map<MemoKey, std::shared_ptr<const NodeTree>, MemoKeyHash>
-      Memo;
-  std::unordered_set<MemoKey, MemoKeyHash> InProgress;
 
   /// updStartEnd of Figure 8.
   void updStartEnd(Env &E, int64_t Lo, int64_t Hi, bool Touched) {
@@ -206,7 +235,7 @@ private:
   /// Evaluates an interval; false means evaluation failed (term fails).
   bool evalInterval(const Frame &F, const Interval &Iv, int64_t &Lo,
                     int64_t &Hi) {
-    FrameCtx Ctx(F, G);
+    FrameCtx Ctx(F, G, Store);
     if (!Iv.Lo || !Iv.Hi) {
       Hard = Error::failure("internal: interval not completed (run "
                             "completeIntervals before parsing)");
@@ -234,16 +263,17 @@ private:
     int64_t Size = static_cast<int64_t>(F.Input.size());
     if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
       return false;
-    auto Sub = parseRule(Target, F.Input.slice(static_cast<size_t>(Lo),
-                                               static_cast<size_t>(Hi)),
-                         &F);
+    const NodeTree *Sub =
+        parseRule(Target, F.Input.slice(static_cast<size_t>(Lo),
+                                        static_cast<size_t>(Hi)),
+                  &F);
     if (Hard || !Sub)
       return false;
     int64_t BStart = Sub->attr(G.symStart()).value_or(Hi - Lo);
     int64_t BEnd = Sub->attr(G.symEnd()).value_or(0);
-    auto Adjusted = Sub->withShiftedStartEnd(Lo, G.symStart(), G.symEnd());
+    uint32_t Adjusted = Store.makeShifted(*Sub, Lo, G.symStart(), G.symEnd());
     updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
-    F.Children.push_back(Adjusted);
+    F.ChildIds.push_back(Adjusted);
     F.ChildTermIdx.push_back(TermIdx);
     F.Recs[TermIdx] = {true, Lo + BStart, Lo + BEnd};
     return true;
@@ -275,8 +305,10 @@ private:
       if (S.Wildcard) {
         // `raw` matches the whole interval without reading or copying it.
         updStartEnd(F.E, Lo, Hi, Hi > Lo);
-        F.Children.push_back(
-            LeafTree::opaque(Lo, static_cast<size_t>(Hi - Lo)));
+        F.ChildIds.push_back(
+            Store.makeLeaf(F.Input.data() + Lo,
+                           static_cast<size_t>(Hi - Lo), Lo,
+                           /*Opaque=*/true));
         F.ChildTermIdx.push_back(TI);
         F.Recs[TI] = {true, Lo, Hi};
         return true;
@@ -287,7 +319,10 @@ private:
       if (!F.Input.matchesAt(static_cast<size_t>(Lo), S.Bytes))
         return false;
       updStartEnd(F.E, Lo, Lo + Len, Len > 0);
-      F.Children.push_back(std::make_shared<LeafTree>(S.Bytes, Lo));
+      // Zero-copy: the leaf aliases the matched window of the input.
+      F.ChildIds.push_back(Store.makeLeaf(F.Input.data() + Lo,
+                                          static_cast<size_t>(Len), Lo,
+                                          /*Opaque=*/false));
       F.ChildTermIdx.push_back(TI);
       F.Recs[TI] = {true, Lo, Lo + Len};
       return true;
@@ -295,7 +330,7 @@ private:
 
     case Term::Kind::AttrDef: {
       const auto &D = *cast<AttrDefTerm>(&T);
-      FrameCtx Ctx(F, G);
+      FrameCtx Ctx(F, G, Store);
       auto V = evaluate(*D.Value, Ctx);
       if (!V)
         return false;
@@ -305,7 +340,7 @@ private:
 
     case Term::Kind::Predicate: {
       const auto &P = *cast<PredicateTerm>(&T);
-      FrameCtx Ctx(F, G);
+      FrameCtx Ctx(F, G, Store);
       auto V = evaluate(*P.Cond, Ctx);
       return V && *V != 0;
     }
@@ -315,7 +350,7 @@ private:
 
     case Term::Kind::Switch: {
       const auto &Sw = *cast<SwitchTerm>(&T);
-      FrameCtx Ctx(F, G);
+      FrameCtx Ctx(F, G, Store);
       for (const SwitchChoice &C : Sw.Choices) {
         if (C.Cond) {
           auto V = evaluate(*C.Cond, Ctx);
@@ -340,7 +375,7 @@ private:
   }
 
   bool execArray(Frame &F, const ArrayTerm &A, uint32_t TI) {
-    FrameCtx Ctx(F, G);
+    FrameCtx Ctx(F, G, Store);
     auto From = evaluate(*A.From, Ctx);
     auto To = evaluate(*A.To, Ctx);
     if (!From || !To)
@@ -354,7 +389,12 @@ private:
     // the binding is visible to el/er and (through the lexical chain) to
     // local element rules, matching T-ArraySucc's E[id -> k].
     auto Saved = F.E.get(A.LoopVar);
-    std::vector<TreePtr> Elems;
+    // Element ids accumulate in per-nesting-level scratch. Elements may
+    // contain arrays at deeper levels, and entering a deeper level can
+    // resize the pool — re-index on every access instead of holding a
+    // reference across the recursive parses below.
+    size_t Level = St.ArrayNest++;
+    St.elemScratchAt(Level).clear();
     bool AnyTouched = false;
     int64_t MaxEnd = 0;
     bool Failed = false;
@@ -371,17 +411,19 @@ private:
         Failed = true;
         break;
       }
-      auto Sub = parseRule(A.Resolved,
-                           F.Input.slice(static_cast<size_t>(Lo),
-                                         static_cast<size_t>(Hi)),
-                           &F);
+      const NodeTree *Sub =
+          parseRule(A.Resolved,
+                    F.Input.slice(static_cast<size_t>(Lo),
+                                  static_cast<size_t>(Hi)),
+                    &F);
       if (Hard || !Sub) {
         Failed = true;
         break;
       }
       int64_t BStart = Sub->attr(G.symStart()).value_or(Hi - Lo);
       int64_t BEnd = Sub->attr(G.symEnd()).value_or(0);
-      Elems.push_back(Sub->withShiftedStartEnd(Lo, G.symStart(), G.symEnd()));
+      St.ElemScratch[Level].push_back(
+          Store.makeShifted(*Sub, Lo, G.symStart(), G.symEnd()));
       updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
       if (BEnd != 0) {
         AnyTouched = true;
@@ -389,6 +431,7 @@ private:
       }
     }
 
+    --St.ArrayNest;
     if (Saved)
       F.E.set(A.LoopVar, *Saved);
     else
@@ -396,8 +439,10 @@ private:
     if (Failed)
       return false;
 
-    F.Children.push_back(
-        std::make_shared<ArrayTree>(A.Elem, std::move(Elems)));
+    const std::vector<uint32_t> &Elems = St.ElemScratch[Level];
+    F.ChildIds.push_back(
+        Store.makeArray(A.Elem, Elems.data(),
+                        static_cast<uint32_t>(Elems.size())));
     F.ChildTermIdx.push_back(TI);
     if (AnyTouched)
       F.Recs[TI] = {true, 0, MaxEnd};
@@ -431,35 +476,36 @@ private:
       return false;
     }
 
-    Env E;
-    E.set(G.symVal(), Res.Value);
+    EnvSlot Slots[3];
+    Slots[0] = {G.symVal(), Res.Value};
     if (Res.End > 0) {
-      E.set(G.symStart(), Lo);
-      E.set(G.symEnd(), Lo + static_cast<int64_t>(Res.End));
+      Slots[1] = {G.symStart(), Lo};
+      Slots[2] = {G.symEnd(), Lo + static_cast<int64_t>(Res.End)};
     } else {
-      E.set(G.symStart(), Hi - Lo);
-      E.set(G.symEnd(), Lo);
+      Slots[1] = {G.symStart(), Hi - Lo};
+      Slots[2] = {G.symEnd(), Lo};
     }
-    std::vector<TreePtr> Kids;
-    std::vector<uint32_t> KidIdx;
+    uint32_t KidIds[1];
+    uint32_t KidTerms[1] = {0};
+    uint32_t NumKids = 0;
     if (!Res.Output.empty()) {
-      Kids.push_back(std::make_shared<LeafTree>(
-          std::string(Res.Output.begin(), Res.Output.end()), 0));
-      KidIdx.push_back(0);
+      // Decoded output is not a window into the input; copy it into the
+      // arena so the leaf's lifetime matches the tree's.
+      KidIds[0] =
+          Store.makeLeafCopy(Res.Output.data(), Res.Output.size(), 0);
+      NumKids = 1;
     }
-    auto Node = std::make_shared<NodeTree>(B.Name, InvalidRuleId,
-                                           std::move(E), std::move(Kids),
-                                           std::move(KidIdx));
+    uint32_t Node = Store.makeNodeFromSlots(B.Name, InvalidRuleId, Slots, 3,
+                                            KidIds, KidTerms, NumKids);
     ++Stats.NodesCreated;
     updStartEnd(F.E, Lo, Lo + static_cast<int64_t>(Res.End), Res.End > 0);
-    F.Children.push_back(std::move(Node));
+    F.ChildIds.push_back(Node);
     F.ChildTermIdx.push_back(TI);
     F.Recs[TI] = {true, Lo, Lo + static_cast<int64_t>(Res.End)};
     return true;
   }
 
-  std::shared_ptr<const NodeTree> parseRule(RuleId Id, ByteSpan Input,
-                                            const Frame *Lexical) {
+  const NodeTree *parseRule(RuleId Id, ByteSpan Input, const Frame *Lexical) {
     if (Hard)
       return nullptr;
     if (Depth >= Opts.MaxDepth) {
@@ -474,31 +520,31 @@ private:
 
     const Rule &R = G.rule(Id);
     bool Memoize = Opts.UseMemo && !R.IsLocal;
-    MemoKey Key{Id, Input.absBase(), Input.absBase() + Input.size()};
+    bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
+    IntervalKey Key;
+    if (Memoize || TrackReentry)
+      Key = IntervalKey::pack(Id, Input.absBase(),
+                              Input.absBase() + Input.size());
     if (Memoize) {
-      auto It = Memo.find(Key);
-      if (It != Memo.end()) {
+      if (const NodeTree *const *Hit = St.Memo.find(Key)) {
         ++Stats.MemoHits;
         --Depth;
-        return It->second;
+        return *Hit;
       }
       ++Stats.MemoMisses;
     }
-    bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
-    if (TrackReentry && !InProgress.insert(Key).second) {
+    if (TrackReentry && !St.InProgress.insert(Key, 1)) {
       --Depth;
       return nullptr; // packrat-style: in-progress re-entry fails
     }
 
-    std::shared_ptr<const NodeTree> Result;
+    const NodeTree *Result = nullptr;
+    Frame &F = St.frameAt(Depth);
     for (const Alternative &Alt : R.Alts) {
-      Frame F;
-      F.Input = Input;
-      F.Lexical = R.IsLocal ? Lexical : nullptr;
+      F.beginAlt(Input, R.IsLocal ? Lexical : nullptr, Alt.Terms.size());
       F.E.set(G.symEoi(), static_cast<int64_t>(Input.size()));
       F.E.set(G.symStart(), static_cast<int64_t>(Input.size()));
       F.E.set(G.symEnd(), 0);
-      F.Recs.resize(Alt.Terms.size());
 
       bool Ok = true;
       size_t NumTerms = Alt.Terms.size();
@@ -514,18 +560,19 @@ private:
       if (Hard)
         break;
       if (Ok) {
-        Result = std::make_shared<NodeTree>(R.Name, Id, std::move(F.E),
-                                            std::move(F.Children),
-                                            std::move(F.ChildTermIdx));
+        uint32_t NodeId = Store.makeNode(
+            R.Name, Id, F.E, F.ChildIds.data(), F.ChildTermIdx.data(),
+            static_cast<uint32_t>(F.ChildIds.size()));
+        Result = cast<NodeTree>(Store.node(NodeId));
         ++Stats.NodesCreated;
         break;
       }
     }
 
     if (TrackReentry)
-      InProgress.erase(Key);
+      St.InProgress.erase(Key);
     if (Memoize && !Hard)
-      Memo[Key] = Result;
+      St.Memo.insert(Key, Result);
     --Depth;
     return Hard ? nullptr : Result;
   }
@@ -535,7 +582,10 @@ private:
 
 Interp::Interp(const Grammar &G, const BlackboxRegistry *Blackboxes,
                InterpOptions Opts)
-    : G(G), Blackboxes(Blackboxes), Opts(Opts) {}
+    : G(G), Blackboxes(Blackboxes), Opts(Opts),
+      S(std::make_unique<InterpState>()) {}
+
+Interp::~Interp() = default;
 
 Expected<TreePtr> Interp::parse(ByteSpan Input) {
   return parse(Input, G.startSymbol());
@@ -548,6 +598,17 @@ Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
         "start nonterminal '" +
         std::string(G.interner().name(StartNT)) + "' has no rule");
   Stats = InterpStats();
-  Runner R(G, Blackboxes, Opts, Stats);
+  // Recycle the previous parse's store when no TreePtr still references
+  // it; otherwise that tree stays valid and this parse gets a fresh store.
+  if (S->Store && S->Store.use_count() == 1) {
+    S->Store->reset();
+    Stats.StoreRecycled = true;
+  } else {
+    S->Store = std::make_shared<TreeStore>();
+  }
+  S->Memo.clear();
+  S->InProgress.clear();
+  S->ArrayNest = 0;
+  Runner R(G, Blackboxes, Opts, Stats, *S);
   return R.run(Input, Start);
 }

@@ -13,9 +13,20 @@
 /// blackboxes).
 ///
 /// Memoization keys on (rule, absolute slice) as described in Section 3.3,
-/// giving the O(n^2) bound; it can be disabled for ablation. Local
-/// (where-clause) rules are never memoized because their meaning depends on
-/// the enclosing frame.
+/// giving the O(n^2) bound; it can be disabled for ablation. The table is
+/// an open-addressing flat hash over a 128-bit packed key
+/// (support/FlatHash.h), not a node-based map. Local (where-clause) rules
+/// are never memoized because their meaning depends on the enclosing frame.
+///
+/// Hot-path memory discipline: parse trees are built in an arena-backed
+/// TreeStore, per-depth frame scratch lives in a pool, and the memo table
+/// keeps its capacity across parses. A parse allocates from the heap only
+/// while these structures first grow; once the caller drops the previous
+/// TreePtr before the next parse() the engine recycles the store and
+/// steady-state parsing performs no heap allocation (stats().StoreRecycled
+/// reports whether that happened). Results returned by parse() share
+/// ownership of their store, so holding a TreePtr simply makes the next
+/// parse() start a fresh store — older trees are never invalidated.
 ///
 /// Nontermination handling: the formal semantics simply diverges on
 /// grammars that fail termination checking; a practical engine cannot. Two
@@ -36,6 +47,7 @@
 #include "support/Result.h"
 
 #include <cstddef>
+#include <memory>
 
 namespace ipg {
 
@@ -55,15 +67,30 @@ struct InterpStats {
   size_t MemoHits = 0;
   size_t MemoMisses = 0;
   size_t PeakDepth = 0;
+  /// Arena bytes allocated during the parse — includes nodes built for
+  /// alternatives that later failed and memoized subtrees not reachable
+  /// from the result, so it bounds (not equals) the tree's footprint.
+  size_t ArenaBytesUsed = 0;
+  /// Whether this parse recycled the previous parse's TreeStore (true in
+  /// the allocation-free steady state).
+  bool StoreRecycled = false;
 };
 
+/// Reusable engine internals (tree store, memo table, frame pool); owned
+/// via unique_ptr so the hot-path types stay out of this header.
+struct InterpState;
+
 /// One engine instance per (grammar, options); parse() may be called many
-/// times and is internally stateless across calls (the memo table is per
-/// call).
+/// times and results are independent, but the instance recycles its
+/// internal storage across calls — see the memory-discipline notes above.
+/// Not copyable; create one per thread.
 class Interp {
 public:
   explicit Interp(const Grammar &G, const BlackboxRegistry *Blackboxes = nullptr,
                   InterpOptions Opts = InterpOptions());
+  ~Interp();
+  Interp(const Interp &) = delete;
+  Interp &operator=(const Interp &) = delete;
 
   /// Parses from the grammar's start symbol.
   Expected<TreePtr> parse(ByteSpan Input);
@@ -80,6 +107,7 @@ private:
   const BlackboxRegistry *Blackboxes;
   InterpOptions Opts;
   InterpStats Stats;
+  std::unique_ptr<InterpState> S;
 };
 
 } // namespace ipg

@@ -11,46 +11,48 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <utility>
 
 using namespace ipg;
 
-ParseTree::~ParseTree() = default;
-
 const NodeTree *NodeTree::childNode(Symbol ChildName) const {
-  for (size_t I = Children.size(); I-- > 0;)
-    if (const auto *N = dyn_cast<NodeTree>(Children[I].get()))
+  for (size_t I = NumChildren; I-- > 0;)
+    if (const auto *N = dyn_cast<NodeTree>(Owner->node(ChildIds[I])))
       if (N->name() == ChildName)
         return N;
   return nullptr;
 }
 
 const ArrayTree *NodeTree::childArray(Symbol ElemName) const {
-  for (size_t I = Children.size(); I-- > 0;)
-    if (const auto *A = dyn_cast<ArrayTree>(Children[I].get()))
+  for (size_t I = NumChildren; I-- > 0;)
+    if (const auto *A = dyn_cast<ArrayTree>(Owner->node(ChildIds[I])))
       if (A->elemName() == ElemName)
         return A;
   return nullptr;
 }
 
-std::shared_ptr<const NodeTree>
-NodeTree::withShiftedStartEnd(int64_t Delta, Symbol SymStart,
-                              Symbol SymEnd) const {
-  Env E2 = E;
-  if (auto S = E2.get(SymStart))
-    E2.set(SymStart, *S + Delta);
-  if (auto En = E2.get(SymEnd))
-    E2.set(SymEnd, *En + Delta);
-  return std::make_shared<NodeTree>(Name, Rule, std::move(E2), Children,
-                                    ChildTermIdx);
+const NodeTree *ArrayTree::element(size_t I) const {
+  if (I >= NumElems)
+    return nullptr;
+  return dyn_cast<NodeTree>(Owner->node(ElemIds[I]));
 }
 
-const NodeTree *ArrayTree::element(size_t I) const {
-  if (I >= Elems.size())
-    return nullptr;
-  return dyn_cast<NodeTree>(Elems[I].get());
+uint32_t TreeStore::makeShifted(const NodeTree &N, int64_t Delta,
+                                Symbol SymStart, Symbol SymEnd) {
+  EnvView E = N.env();
+  auto NumSlots = static_cast<uint32_t>(E.size());
+  EnvSlot *Shifted = Mem.makeArray<EnvSlot>(NumSlots);
+  uint32_t I = 0;
+  for (EnvSlot S : E) {
+    if (S.Key == SymStart || S.Key == SymEnd)
+      S.Value += Delta;
+    Shifted[I++] = S;
+  }
+  // Child arrays are shared with the original node: both live in this
+  // arena, so the shallow copy costs one NodeTree plus the shifted env.
+  return addNode(Mem.make<NodeTree>(this, N.Name, N.Rule, Shifted, NumSlots,
+                                    N.ChildIds, N.ChildTermIdx,
+                                    N.NumChildren));
 }
 
 size_t ipg::treeSize(const ParseTree &T) {
@@ -59,13 +61,13 @@ size_t ipg::treeSize(const ParseTree &T) {
     return 1;
   case ParseTree::Kind::Node: {
     size_t N = 1;
-    for (const TreePtr &C : cast<NodeTree>(&T)->children())
+    for (TreeRef C : cast<NodeTree>(&T)->children())
       N += treeSize(*C);
     return N;
   }
   case ParseTree::Kind::Array: {
     size_t N = 1;
-    for (const TreePtr &C : cast<ArrayTree>(&T)->elements())
+    for (TreeRef C : cast<ArrayTree>(&T)->elements())
       N += treeSize(*C);
     return N;
   }
@@ -79,6 +81,9 @@ std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
   switch (T.kind()) {
   case ParseTree::Kind::Leaf: {
     const auto &L = *cast<LeafTree>(&T);
+    if (L.isOpaque())
+      return Pad + "Leaf@" + std::to_string(L.offset()) + " <raw " +
+             std::to_string(L.length()) + " bytes>\n";
     std::string S = Pad + "Leaf@" + std::to_string(L.offset()) + " \"";
     for (unsigned char C : L.bytes()) {
       if (C >= 0x20 && C < 0x7f) {
@@ -107,7 +112,7 @@ std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
       S += std::string(Names.name(Key)) + "=" + std::to_string(Value);
     }
     S += "}\n";
-    for (const TreePtr &C : N.children())
+    for (TreeRef C : N.children())
       S += treeToString(*C, Names, Indent + 1);
     return S;
   }
@@ -116,7 +121,7 @@ std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
     std::string S = Pad + "Array of " +
                     std::string(Names.name(A.elemName())) + " x" +
                     std::to_string(A.size()) + "\n";
-    for (const TreePtr &C : A.elements())
+    for (TreeRef C : A.elements())
       S += treeToString(*C, Names, Indent + 1);
     return S;
   }

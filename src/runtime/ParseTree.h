@@ -16,6 +16,21 @@
 /// tagged with the index of the originating term so tools can navigate by
 /// grammar position.
 ///
+/// Representation: every tree object lives in a TreeStore — a bump arena
+/// plus a node index — instead of being heap-allocated individually.
+/// Children are stored as 32-bit node ids into the owning store (resolved
+/// through ChildList/TreeRef views), attribute environments are frozen
+/// arena arrays (EnvView), and leaves are zero-copy windows into the input
+/// (or into arena-copied blackbox output). A whole tree therefore costs one
+/// shared_ptr (the TreePtr root handle) no matter how many vertices it has,
+/// and resetting the store reclaims everything at once; see
+/// docs/architecture.md ("Runtime hot path").
+///
+/// Lifetime rules: a tree is valid while (a) its TreePtr (or any copy) is
+/// alive and (b) the input buffer it parsed is alive — leaves alias the
+/// input. Nodes never move once created: TreeStore growth adds arena
+/// blocks, it does not relocate existing ones.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPG_RUNTIME_PARSETREE_H
@@ -23,123 +38,314 @@
 
 #include "grammar/Grammar.h"
 #include "runtime/Env.h"
+#include "support/Arena.h"
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
-#include <utility>
+#include <string_view>
 #include <vector>
 
 namespace ipg {
 
-class ParseTree;
-using TreePtr = std::shared_ptr<const ParseTree>;
+class TreeStore;
+class NodeTree;
+class ArrayTree;
+class LeafTree;
 
 class ParseTree {
 public:
-  enum class Kind { Node, Array, Leaf };
+  enum class Kind : uint8_t { Node, Array, Leaf };
 
   Kind kind() const { return K; }
-  virtual ~ParseTree();
 
 protected:
   explicit ParseTree(Kind K) : K(K) {}
+  ~ParseTree() = default; // never deleted through the base; arena-owned
 
 private:
   Kind K;
 };
 
-class NodeTree;
-class ArrayTree;
-class LeafTree;
+/// A borrowed pointer to a tree object, with the accessor surface of the
+/// shared_ptr this representation replaced (get/*/->). Owns nothing: the
+/// TreeStore (via TreePtr) keeps the object alive.
+class TreeRef {
+public:
+  TreeRef() = default;
+  /*implicit*/ TreeRef(const ParseTree *P) : P(P) {}
+
+  const ParseTree *get() const { return P; }
+  const ParseTree &operator*() const { return *P; }
+  const ParseTree *operator->() const { return P; }
+  explicit operator bool() const { return P != nullptr; }
+
+private:
+  const ParseTree *P = nullptr;
+};
+
+/// An immutable, arena-frozen attribute environment.
+class EnvView {
+public:
+  EnvView() = default;
+  EnvView(const EnvSlot *Slots, uint32_t NumSlots)
+      : Slots(Slots), NumSlots(NumSlots) {}
+
+  std::optional<int64_t> get(Symbol S) const {
+    for (uint32_t I = 0; I < NumSlots; ++I)
+      if (Slots[I].Key == S)
+        return Slots[I].Value;
+    return std::nullopt;
+  }
+
+  size_t size() const { return NumSlots; }
+  const EnvSlot *begin() const { return Slots; }
+  const EnvSlot *end() const { return Slots + NumSlots; }
+
+private:
+  const EnvSlot *Slots = nullptr;
+  uint32_t NumSlots = 0;
+};
+
+/// A view over a node's children: 32-bit ids resolved lazily against the
+/// owning TreeStore. Indexing yields TreeRef so existing call sites
+/// (`children()[0].get()`) read unchanged.
+class ChildList {
+public:
+  ChildList() = default;
+  ChildList(const TreeStore *Store, const uint32_t *Ids, uint32_t Count)
+      : Store(Store), Ids(Ids), Count(Count) {}
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  inline TreeRef operator[](size_t I) const;
+
+  class iterator {
+  public:
+    iterator(const ChildList *L, size_t I) : L(L), I(I) {}
+    TreeRef operator*() const { return (*L)[I]; }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return I != O.I; }
+
+  private:
+    const ChildList *L;
+    size_t I;
+  };
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, Count); }
+
+private:
+  const TreeStore *Store = nullptr;
+  const uint32_t *Ids = nullptr;
+  uint32_t Count = 0;
+};
 
 /// Node(A, E, Trs): a successful parse of one nonterminal (or blackbox).
 class NodeTree : public ParseTree {
 public:
-  NodeTree(Symbol Name, RuleId Rule, Env E, std::vector<TreePtr> Children,
-           std::vector<uint32_t> ChildTermIdx)
-      : ParseTree(Kind::Node), Name(Name), Rule(Rule), E(std::move(E)),
-        Children(std::move(Children)),
-        ChildTermIdx(std::move(ChildTermIdx)) {}
+  NodeTree(const TreeStore *Owner, Symbol Name, RuleId Rule,
+           const EnvSlot *Slots, uint32_t NumSlots, const uint32_t *ChildIds,
+           const uint32_t *ChildTermIdx, uint32_t NumChildren)
+      : ParseTree(Kind::Node), Owner(Owner), Name(Name), Rule(Rule),
+        Slots(Slots), NumSlots(NumSlots), ChildIds(ChildIds),
+        ChildTermIdx(ChildTermIdx), NumChildren(NumChildren) {}
   static bool classof(const ParseTree *T) { return T->kind() == Kind::Node; }
 
   Symbol name() const { return Name; }
   RuleId rule() const { return Rule; }
-  const Env &env() const { return E; }
-  const std::vector<TreePtr> &children() const { return Children; }
-  const std::vector<uint32_t> &childTermIndices() const {
-    return ChildTermIdx;
+  EnvView env() const { return EnvView(Slots, NumSlots); }
+  ChildList children() const {
+    return ChildList(Owner, ChildIds, NumChildren);
+  }
+  /// Originating term index of child \p I (grammar-position navigation).
+  uint32_t childTermIndex(size_t I) const {
+    assert(I < NumChildren && "child index out of range");
+    return ChildTermIdx[I];
   }
 
-  std::optional<int64_t> attr(Symbol S) const { return E.get(S); }
+  std::optional<int64_t> attr(Symbol S) const { return env().get(S); }
 
   /// The most recent child node named \p ChildName (nullptr if none).
   const NodeTree *childNode(Symbol ChildName) const;
   /// The most recent child array whose elements are named \p ElemName.
   const ArrayTree *childArray(Symbol ElemName) const;
 
-  /// Shallow copy with start/end shifted by \p Delta (rule T-NTSucc).
-  std::shared_ptr<const NodeTree> withShiftedStartEnd(int64_t Delta,
-                                                      Symbol SymStart,
-                                                      Symbol SymEnd) const;
-
 private:
+  friend class TreeStore; // makeShifted shares the child arrays
+
+  const TreeStore *Owner;
   Symbol Name;
   RuleId Rule;
-  Env E;
-  std::vector<TreePtr> Children;
-  std::vector<uint32_t> ChildTermIdx;
+  const EnvSlot *Slots;
+  uint32_t NumSlots;
+  const uint32_t *ChildIds;
+  const uint32_t *ChildTermIdx;
+  uint32_t NumChildren;
 };
 
 /// Array(Trs): the result of a for-term; elements are NodeTrees.
 class ArrayTree : public ParseTree {
 public:
-  ArrayTree(Symbol Elem, std::vector<TreePtr> Elems)
-      : ParseTree(Kind::Array), Elem(Elem), Elems(std::move(Elems)) {}
+  ArrayTree(const TreeStore *Owner, Symbol Elem, const uint32_t *ElemIds,
+            uint32_t NumElems)
+      : ParseTree(Kind::Array), Owner(Owner), Elem(Elem), ElemIds(ElemIds),
+        NumElems(NumElems) {}
   static bool classof(const ParseTree *T) {
     return T->kind() == Kind::Array;
   }
 
   Symbol elemName() const { return Elem; }
-  const std::vector<TreePtr> &elements() const { return Elems; }
-  size_t size() const { return Elems.size(); }
+  ChildList elements() const { return ChildList(Owner, ElemIds, NumElems); }
+  size_t size() const { return NumElems; }
   const NodeTree *element(size_t I) const;
 
 private:
+  const TreeStore *Owner;
   Symbol Elem;
-  std::vector<TreePtr> Elems;
+  const uint32_t *ElemIds;
+  uint32_t NumElems;
 };
 
-/// Leaf(s): a matched terminal string (or blackbox output bytes). Offset is
-/// relative to the enclosing node's local input. A wildcard (`raw`) match
-/// is recorded as an *opaque* leaf: Length is set but the bytes are not
-/// copied out of the input — the zero-copy behaviour Section 7 credits for
-/// the ZIP result.
+/// Leaf(s): a matched terminal (or blackbox output bytes). Offset is
+/// relative to the enclosing node's local input. Leaves are zero-copy:
+/// terminal and wildcard (`raw`) leaves alias the input buffer — the
+/// behaviour Section 7 credits for the ZIP result — and blackbox output
+/// leaves alias an arena copy of the decoded bytes. An opaque leaf is a
+/// wildcard match whose bytes were never inspected.
 class LeafTree : public ParseTree {
 public:
-  LeafTree(std::string Bytes, int64_t Offset)
-      : ParseTree(Kind::Leaf), Bytes(std::move(Bytes)), Offset(Offset) {
-    Length = this->Bytes.size();
-  }
-  /// Opaque (wildcard) leaf covering [Offset, Offset + Length).
-  static std::shared_ptr<LeafTree> opaque(int64_t Offset, size_t Length) {
-    auto L = std::make_shared<LeafTree>(std::string(), Offset);
-    L->Length = Length;
-    return L;
-  }
+  LeafTree(const uint8_t *Data, size_t Length, int64_t Offset, bool Opaque)
+      : ParseTree(Kind::Leaf), Data(Data), Length(Length), Offset(Offset),
+        Opaque(Opaque) {}
   static bool classof(const ParseTree *T) { return T->kind() == Kind::Leaf; }
 
-  const std::string &bytes() const { return Bytes; }
+  std::string_view bytes() const {
+    return std::string_view(reinterpret_cast<const char *>(Data), Length);
+  }
   int64_t offset() const { return Offset; }
   size_t length() const { return Length; }
-  bool isOpaque() const { return Bytes.size() != Length; }
+  bool isOpaque() const { return Opaque; }
 
 private:
-  std::string Bytes;
-  int64_t Offset;
+  const uint8_t *Data;
   size_t Length;
+  int64_t Offset;
+  bool Opaque;
+};
+
+/// Owns every tree object of one (or, when reused, the latest) parse: a
+/// bump arena for the objects themselves plus the id -> object index that
+/// children are stored against. Create through the builder methods only;
+/// reset() invalidates everything built so far and starts over with the
+/// same memory.
+class TreeStore {
+public:
+  TreeStore() = default;
+  TreeStore(const TreeStore &) = delete;
+  TreeStore &operator=(const TreeStore &) = delete;
+
+  const ParseTree *node(uint32_t Id) const {
+    assert(Id < Nodes.size() && "node id out of range");
+    return Nodes[Id];
+  }
+  size_t nodeCount() const { return Nodes.size(); }
+  size_t arenaBytesUsed() const { return Mem.bytesAllocated(); }
+  size_t arenaBytesReserved() const { return Mem.bytesReserved(); }
+
+  /// Freezes \p E and the child id/term-index arrays into the arena and
+  /// creates a node. The spans may point at reusable scratch storage.
+  uint32_t makeNode(Symbol Name, RuleId Rule, const Env &E,
+                    const uint32_t *ChildIds, const uint32_t *ChildTermIdx,
+                    uint32_t NumChildren) {
+    return makeNodeFromSlots(Name, Rule, E.data(),
+                             static_cast<uint32_t>(E.size()), ChildIds,
+                             ChildTermIdx, NumChildren);
+  }
+
+  uint32_t makeNodeFromSlots(Symbol Name, RuleId Rule, const EnvSlot *Slots,
+                             uint32_t NumSlots, const uint32_t *ChildIds,
+                             const uint32_t *ChildTermIdx,
+                             uint32_t NumChildren) {
+    const EnvSlot *Frozen = Mem.copyArray(Slots, NumSlots);
+    const uint32_t *Ids = Mem.copyArray(ChildIds, NumChildren);
+    const uint32_t *Terms = Mem.copyArray(ChildTermIdx, NumChildren);
+    return addNode(Mem.make<NodeTree>(this, Name, Rule, Frozen, NumSlots,
+                                      Ids, Terms, NumChildren));
+  }
+
+  /// Shallow copy of \p N with start/end shifted by \p Delta (T-NTSucc);
+  /// children arrays are shared with the original.
+  uint32_t makeShifted(const NodeTree &N, int64_t Delta, Symbol SymStart,
+                       Symbol SymEnd);
+
+  uint32_t makeArray(Symbol Elem, const uint32_t *ElemIds,
+                     uint32_t NumElems) {
+    const uint32_t *Ids = Mem.copyArray(ElemIds, NumElems);
+    return addNode(Mem.make<ArrayTree>(this, Elem, Ids, NumElems));
+  }
+
+  /// Zero-copy leaf aliasing \p Data (input bytes; caller guarantees they
+  /// outlive the tree).
+  uint32_t makeLeaf(const uint8_t *Data, size_t Length, int64_t Offset,
+                    bool Opaque) {
+    return addNode(Mem.make<LeafTree>(Data, Length, Offset, Opaque));
+  }
+
+  /// Leaf over an arena-owned copy of \p Data (blackbox output).
+  uint32_t makeLeafCopy(const void *Data, size_t Length, int64_t Offset) {
+    return addNode(
+        Mem.make<LeafTree>(Mem.copyBytes(Data, Length), Length, Offset,
+                           /*Opaque=*/false));
+  }
+
+  /// Invalidates every node built so far; keeps arena blocks and index
+  /// capacity so a reused store reaches an allocation-free steady state.
+  void reset() {
+    Mem.reset();
+    Nodes.clear();
+  }
+
+private:
+  uint32_t addNode(const ParseTree *T) {
+    Nodes.push_back(T);
+    return static_cast<uint32_t>(Nodes.size() - 1);
+  }
+
+  Arena Mem;
+  std::vector<const ParseTree *> Nodes;
+};
+
+inline TreeRef ChildList::operator[](size_t I) const {
+  assert(I < Count && "child index out of range");
+  return TreeRef(Store->node(Ids[I]));
+}
+
+/// The root handle of a parse: shares ownership of the TreeStore (one
+/// refcount for the whole tree) and points at the root node. The
+/// interpreter recycles a store for its next parse only once no TreePtr
+/// references it.
+class TreePtr {
+public:
+  TreePtr() = default;
+  TreePtr(std::shared_ptr<const TreeStore> Store, const ParseTree *Root)
+      : Store(std::move(Store)), Root(Root) {}
+
+  const ParseTree *get() const { return Root; }
+  const ParseTree &operator*() const { return *Root; }
+  const ParseTree *operator->() const { return Root; }
+  explicit operator bool() const { return Root != nullptr; }
+
+  const std::shared_ptr<const TreeStore> &store() const { return Store; }
+
+private:
+  std::shared_ptr<const TreeStore> Store;
+  const ParseTree *Root = nullptr;
 };
 
 /// Total number of tree objects under \p T (diagnostics / benchmarks).

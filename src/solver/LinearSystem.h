@@ -6,7 +6,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Z3 substitute (see DESIGN.md): satisfiability of conjunctions of
+/// The Z3 substitute (see docs/architecture.md, "Engineering
+/// substitutions"): satisfiability of conjunctions of
 /// linear constraints over the rationals, decided by Gaussian elimination
 /// of equalities followed by Fourier-Motzkin elimination of inequalities.
 ///

@@ -1,25 +1,31 @@
-//===- baselines/Arena.cpp ------------------------------------------------===//
+//===- support/Arena.cpp --------------------------------------------------===//
 //
 // Part of the IPG reproduction of "Interval Parsing Grammars for File Format
 // Parsing" (PLDI 2023). MIT license.
 //
 //===----------------------------------------------------------------------===//
 
-#include "baselines/Arena.h"
+#include "support/Arena.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <utility>
 
-using namespace ipg::baselines;
+using namespace ipg;
 
 void *Arena::allocate(size_t Bytes, size_t Align) {
   TotalAllocated += Bytes;
   for (;;) {
     if (Current < Blocks.size()) {
       Block &B = Blocks[Current];
-      size_t Aligned = (B.Used + Align - 1) & ~(Align - 1);
+      // Align the actual address, not the block offset: operator new[]
+      // only guarantees 16-byte alignment, so over-aligned requests need
+      // the base pointer folded in.
+      auto Base = reinterpret_cast<uintptr_t>(B.Memory.get());
+      size_t Aligned =
+          static_cast<size_t>(((Base + B.Used + Align - 1) & ~(Align - 1)) -
+                              Base);
       if (Aligned + Bytes <= B.Size) {
         B.Used = Aligned + Bytes;
         return B.Memory.get() + Aligned;

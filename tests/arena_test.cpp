@@ -1,0 +1,383 @@
+//===- tests/arena_test.cpp - arena, tree store, flat hash ----------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifetime and reuse rules of the runtime's memory layer: Arena pointer
+/// stability across block growth and reset/reuse semantics, TreeStore node
+/// stability and recycling through Interp, zero-copy leaf aliasing, and
+/// the FlatIntervalMap's collision and tombstone behavior under adversarial
+/// interval patterns.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AttributeCheck.h"
+#include "runtime/Interp.h"
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/FlatHash.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <gtest/gtest.h>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace ipg;
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaLifetime, PointersStableAcrossGrowth) {
+  // Start with a tiny first block so the loop forces many growths; every
+  // previously returned pointer must keep its value.
+  Arena A(16);
+  std::vector<uint64_t *> Ptrs;
+  for (uint64_t I = 0; I < 4096; ++I)
+    Ptrs.push_back(A.make<uint64_t>(I));
+  for (uint64_t I = 0; I < Ptrs.size(); ++I)
+    EXPECT_EQ(*Ptrs[I], I);
+}
+
+TEST(ArenaLifetime, ResetKeepsBlocksAndReusesThem) {
+  Arena A(64);
+  for (int I = 0; I < 1000; ++I)
+    A.make<uint64_t>(I);
+  size_t Reserved = A.bytesReserved();
+  ASSERT_GT(Reserved, 0u);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+  // Refilling to the same level must not grow the reservation.
+  for (int I = 0; I < 1000; ++I)
+    A.make<uint64_t>(I);
+  EXPECT_EQ(A.bytesReserved(), Reserved);
+}
+
+TEST(ArenaLifetime, AlignmentHonored) {
+  Arena A(32);
+  A.allocate(1, 1);
+  void *P = A.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 8, 0u);
+  A.allocate(3, 1);
+  struct alignas(32) Wide { char C[32]; };
+  Wide *W = A.make<Wide>();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(W) % 32, 0u);
+}
+
+TEST(ArenaLifetime, CopyArrayAndBytes) {
+  Arena A;
+  const uint32_t Src[] = {1, 2, 3, 4};
+  const uint32_t *Copy = A.copyArray(Src, 4);
+  ASSERT_NE(Copy, nullptr);
+  EXPECT_NE(Copy, Src);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Copy[I], Src[I]);
+  EXPECT_EQ(A.copyArray(Src, 0), nullptr);
+  const uint8_t *B = A.copyBytes("xyz", 3);
+  EXPECT_EQ(std::string_view(reinterpret_cast<const char *>(B), 3), "xyz");
+}
+
+//===----------------------------------------------------------------------===//
+// TreeStore
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Grammar loadOrDie(const char *Src) {
+  auto R = loadGrammar(Src);
+  EXPECT_TRUE(R) << R.message();
+  if (!R)
+    std::abort();
+  return std::move(R->G);
+}
+
+} // namespace
+
+TEST(TreeStoreTest, NodesStableAcrossGrowth) {
+  TreeStore Store;
+  Env E;
+  E.set(/*Symbol=*/1, 42);
+  std::vector<const ParseTree *> Made;
+  for (int I = 0; I < 2000; ++I) {
+    uint32_t Id = Store.makeNode(/*Name=*/7, /*Rule=*/0, E, nullptr,
+                                 nullptr, 0);
+    EXPECT_EQ(Id, static_cast<uint32_t>(I));
+    Made.push_back(Store.node(Id));
+  }
+  // Ids resolve to the same objects after heavy growth, and the frozen
+  // env survived.
+  for (int I = 0; I < 2000; ++I) {
+    const auto *N = cast<NodeTree>(Store.node(static_cast<uint32_t>(I)));
+    EXPECT_EQ(N, Made[static_cast<size_t>(I)]);
+    EXPECT_EQ(N->attr(1), 42);
+  }
+}
+
+TEST(TreeStoreTest, ResetReusesMemory) {
+  TreeStore Store;
+  Env E;
+  E.set(1, 5);
+  for (int I = 0; I < 500; ++I)
+    Store.makeNode(3, 0, E, nullptr, nullptr, 0);
+  size_t Reserved = Store.arenaBytesReserved();
+  Store.reset();
+  EXPECT_EQ(Store.nodeCount(), 0u);
+  for (int I = 0; I < 500; ++I)
+    Store.makeNode(3, 0, E, nullptr, nullptr, 0);
+  EXPECT_EQ(Store.arenaBytesReserved(), Reserved);
+}
+
+TEST(TreeStoreTest, ShiftedNodeSharesChildrenAndShiftsOnlyStartEnd) {
+  TreeStore Store;
+  const Symbol SymStart = 100, SymEnd = 101, SymOther = 102;
+  uint32_t Leaf = Store.makeLeafCopy("ab", 2, 0);
+  uint32_t Kids[1] = {Leaf};
+  uint32_t Terms[1] = {0};
+  Env E;
+  E.set(SymStart, 1);
+  E.set(SymEnd, 3);
+  E.set(SymOther, 9);
+  uint32_t Base = Store.makeNode(5, 0, E, Kids, Terms, 1);
+  const auto *N = cast<NodeTree>(Store.node(Base));
+  uint32_t Shifted = Store.makeShifted(*N, 10, SymStart, SymEnd);
+  const auto *S = cast<NodeTree>(Store.node(Shifted));
+  EXPECT_EQ(S->attr(SymStart), 11);
+  EXPECT_EQ(S->attr(SymEnd), 13);
+  EXPECT_EQ(S->attr(SymOther), 9);
+  // The child list is shared, not copied: same object behind both.
+  ASSERT_EQ(S->children().size(), 1u);
+  EXPECT_EQ(S->children()[0].get(), N->children()[0].get());
+  // The original is untouched (memoized nodes are shared across parents).
+  EXPECT_EQ(N->attr(SymStart), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Interp store recycling and tree lifetime
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *TinyGrammar = R"(
+  S -> "ab"[0, 2] {x = u8(2)} ;
+)";
+}
+
+TEST(StoreRecycling, SteadyStateRecyclesWhenResultDropped) {
+  Grammar G = loadOrDie(TinyGrammar);
+  Interp I(G);
+  std::vector<uint8_t> In = {'a', 'b', 7};
+  {
+    auto R1 = I.parse(ByteSpan::of(In));
+    ASSERT_TRUE(R1) << R1.message();
+    EXPECT_FALSE(I.stats().StoreRecycled); // first parse: fresh store
+  }
+  // R1 dropped: the store must be recycled, repeatedly.
+  for (int K = 0; K < 3; ++K) {
+    auto R = I.parse(ByteSpan::of(In));
+    ASSERT_TRUE(R) << R.message();
+    EXPECT_TRUE(I.stats().StoreRecycled);
+  }
+}
+
+TEST(StoreRecycling, HeldResultForcesFreshStoreAndStaysValid) {
+  Grammar G = loadOrDie(TinyGrammar);
+  Interp I(G);
+  std::vector<uint8_t> In1 = {'a', 'b', 1};
+  std::vector<uint8_t> In2 = {'a', 'b', 2};
+  auto R1 = I.parse(ByteSpan::of(In1));
+  ASSERT_TRUE(R1);
+  auto R2 = I.parse(ByteSpan::of(In2));
+  ASSERT_TRUE(R2);
+  EXPECT_FALSE(I.stats().StoreRecycled); // R1 still alive
+  // Both trees readable, with their own attribute values.
+  EXPECT_EQ(cast<NodeTree>(R1->get())->attr(G.intern("x")), 1);
+  EXPECT_EQ(cast<NodeTree>(R2->get())->attr(G.intern("x")), 2);
+}
+
+TEST(StoreRecycling, TreeOutlivesInterp) {
+  Grammar G = loadOrDie(TinyGrammar);
+  std::vector<uint8_t> In = {'a', 'b', 9};
+  TreePtr Kept;
+  {
+    Interp I(G);
+    auto R = I.parse(ByteSpan::of(In));
+    ASSERT_TRUE(R);
+    Kept = *R;
+  }
+  // The TreePtr shares ownership of the store; the engine is gone.
+  EXPECT_EQ(cast<NodeTree>(Kept.get())->attr(G.intern("x")), 9);
+}
+
+TEST(ZeroCopy, TerminalLeavesAliasTheInputBuffer) {
+  Grammar G = loadOrDie(R"(S -> "hello"[0, 5] raw[5, EOI] ;)");
+  std::vector<uint8_t> In = {'h', 'e', 'l', 'l', 'o', 'X', 'Y'};
+  Interp I(G);
+  auto R = I.parse(ByteSpan::of(In));
+  ASSERT_TRUE(R) << R.message();
+  const auto *Root = cast<NodeTree>(R->get());
+  ASSERT_EQ(Root->children().size(), 2u);
+  const auto *Lit = cast<LeafTree>(Root->children()[0].get());
+  const auto *Raw = cast<LeafTree>(Root->children()[1].get());
+  // Zero-copy: leaf bytes point directly into the input vector.
+  EXPECT_EQ(reinterpret_cast<const uint8_t *>(Lit->bytes().data()),
+            In.data());
+  EXPECT_EQ(Lit->bytes(), "hello");
+  EXPECT_FALSE(Lit->isOpaque());
+  EXPECT_TRUE(Raw->isOpaque());
+  EXPECT_EQ(reinterpret_cast<const uint8_t *>(Raw->bytes().data()),
+            In.data() + 5);
+  EXPECT_EQ(Raw->length(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// FlatIntervalMap
+//===----------------------------------------------------------------------===//
+
+TEST(FlatHashTest, PackIsInjectiveOnEdgePatterns) {
+  // Keys differing in exactly one component — including across the 16-bit
+  // boundary the lo field is split at — must stay distinct.
+  const uint64_t Big = (1ull << 48) - 1;
+  std::vector<IntervalKey> Keys = {
+      IntervalKey::pack(0, 0, 0),        IntervalKey::pack(1, 0, 0),
+      IntervalKey::pack(0, 1, 0),        IntervalKey::pack(0, 0, 1),
+      IntervalKey::pack(0, 1ull << 16, 0), IntervalKey::pack(0, Big, Big),
+      IntervalKey::pack(~0u - 1, Big, 0), IntervalKey::pack(0, 0, Big),
+      IntervalKey::pack(0, 0x1FFFF, 0),  IntervalKey::pack(0, 0xFFFF, 0),
+  };
+  for (size_t I = 0; I < Keys.size(); ++I)
+    for (size_t J = I + 1; J < Keys.size(); ++J)
+      EXPECT_FALSE(Keys[I] == Keys[J]) << I << " vs " << J;
+}
+
+TEST(FlatHashTest, InsertFindEraseBasics) {
+  FlatIntervalMap<int> M;
+  EXPECT_EQ(M.find(IntervalKey::pack(1, 2, 3)), nullptr);
+  EXPECT_TRUE(M.insert(IntervalKey::pack(1, 2, 3), 7));
+  EXPECT_FALSE(M.insert(IntervalKey::pack(1, 2, 3), 8)); // no overwrite
+  ASSERT_NE(M.find(IntervalKey::pack(1, 2, 3)), nullptr);
+  EXPECT_EQ(*M.find(IntervalKey::pack(1, 2, 3)), 7);
+  EXPECT_TRUE(M.erase(IntervalKey::pack(1, 2, 3)));
+  EXPECT_FALSE(M.erase(IntervalKey::pack(1, 2, 3)));
+  EXPECT_EQ(M.find(IntervalKey::pack(1, 2, 3)), nullptr);
+  EXPECT_EQ(M.size(), 0u);
+}
+
+TEST(FlatHashTest, AdversarialIntervalPatternsCollideCorrectly) {
+  // The memo table's real access pattern: one rule over thousands of
+  // overlapping slices — (r, i, j) for all i <= j — which forces heavy
+  // probe-sequence sharing in a small table. Mirror against a reference
+  // map.
+  FlatIntervalMap<int> M;
+  std::unordered_map<uint64_t, int> Ref;
+  int V = 0;
+  const uint64_t N = 60;
+  for (uint64_t Lo = 0; Lo < N; ++Lo)
+    for (uint64_t Hi = Lo; Hi < N; ++Hi) {
+      EXPECT_TRUE(M.insert(IntervalKey::pack(3, Lo, Hi), V));
+      Ref[Lo * N + Hi] = V;
+      ++V;
+    }
+  EXPECT_EQ(M.size(), Ref.size());
+  for (uint64_t Lo = 0; Lo < N; ++Lo)
+    for (uint64_t Hi = Lo; Hi < N; ++Hi) {
+      int *P = M.find(IntervalKey::pack(3, Lo, Hi));
+      ASSERT_NE(P, nullptr);
+      EXPECT_EQ(*P, Ref[Lo * N + Hi]);
+    }
+  // Keys never inserted (Hi < Lo) must miss even though their probe paths
+  // run through fully loaded clusters.
+  for (uint64_t Lo = 1; Lo < N; ++Lo)
+    EXPECT_EQ(M.find(IntervalKey::pack(3, Lo, Lo - 1)), nullptr);
+}
+
+TEST(FlatHashTest, TombstonesKeepProbeChainsIntact) {
+  // The in-progress set's pattern (DetectReentry): interleaved insert and
+  // erase of nested intervals. An erase in the middle of a probe chain
+  // must not hide keys inserted behind it.
+  FlatIntervalMap<uint8_t> M;
+  const uint64_t N = 500;
+  for (uint64_t I = 0; I < N; ++I)
+    EXPECT_TRUE(M.insert(IntervalKey::pack(1, I, N), 1));
+  // Erase every other key -> tombstones sprinkled through every cluster.
+  for (uint64_t I = 0; I < N; I += 2)
+    EXPECT_TRUE(M.erase(IntervalKey::pack(1, I, N)));
+  // Survivors still found; erased keys miss.
+  for (uint64_t I = 0; I < N; ++I) {
+    if (I % 2)
+      EXPECT_NE(M.find(IntervalKey::pack(1, I, N)), nullptr) << I;
+    else
+      EXPECT_EQ(M.find(IntervalKey::pack(1, I, N)), nullptr) << I;
+  }
+  // Reinsert the erased keys: tombstones are reclaimed, not leaked into
+  // load forever — size returns to N and everything is reachable.
+  for (uint64_t I = 0; I < N; I += 2)
+    EXPECT_TRUE(M.insert(IntervalKey::pack(1, I, N), 2));
+  EXPECT_EQ(M.size(), N);
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_NE(M.find(IntervalKey::pack(1, I, N)), nullptr) << I;
+}
+
+TEST(FlatHashTest, EraseInsertChurnDoesNotGrowUnbounded) {
+  // Repeated insert/erase of the same keyset (the reentry set under a
+  // recursive grammar) must stay within one rehash of the initial
+  // capacity rather than treating every tombstone as permanent load.
+  FlatIntervalMap<uint8_t> M;
+  for (uint64_t I = 0; I < 32; ++I)
+    M.insert(IntervalKey::pack(2, I, 100), 1);
+  size_t Cap = M.capacity();
+  for (int Round = 0; Round < 1000; ++Round) {
+    for (uint64_t I = 0; I < 32; ++I)
+      M.erase(IntervalKey::pack(2, I, 100));
+    for (uint64_t I = 0; I < 32; ++I)
+      M.insert(IntervalKey::pack(2, I, 100), 1);
+  }
+  EXPECT_EQ(M.size(), 32u);
+  EXPECT_LE(M.capacity(), Cap * 2);
+}
+
+TEST(FlatHashTest, ClearIsGenerationalAcrossManyEpochs) {
+  // clear() bumps an epoch instead of sweeping; stale slots must read as
+  // empty in every later generation, including ones with interleaved
+  // erases, and per-epoch contents must never bleed through.
+  FlatIntervalMap<int> M;
+  for (int Epoch = 0; Epoch < 50; ++Epoch) {
+    for (uint64_t I = 0; I < 100; ++I)
+      EXPECT_TRUE(M.insert(IntervalKey::pack(1, I, I + 1), Epoch)) << Epoch;
+    for (uint64_t I = 0; I < 100; I += 3)
+      EXPECT_TRUE(M.erase(IntervalKey::pack(1, I, I + 1)));
+    for (uint64_t I = 0; I < 100; ++I) {
+      int *P = M.find(IntervalKey::pack(1, I, I + 1));
+      if (I % 3 == 0) {
+        EXPECT_EQ(P, nullptr) << Epoch << "/" << I;
+      } else {
+        ASSERT_NE(P, nullptr) << Epoch << "/" << I;
+        EXPECT_EQ(*P, Epoch);
+      }
+    }
+    M.clear();
+    EXPECT_EQ(M.size(), 0u);
+    EXPECT_EQ(M.find(IntervalKey::pack(1, 1, 2)), nullptr) << Epoch;
+  }
+}
+
+TEST(FlatHashTest, ClearKeepsCapacity) {
+  FlatIntervalMap<int> M;
+  for (uint64_t I = 0; I < 1000; ++I)
+    M.insert(IntervalKey::pack(1, I, I + 1), static_cast<int>(I));
+  size_t Cap = M.capacity();
+  M.clear();
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_EQ(M.capacity(), Cap);
+  EXPECT_EQ(M.find(IntervalKey::pack(1, 5, 6)), nullptr);
+  // Reusable after clear.
+  EXPECT_TRUE(M.insert(IntervalKey::pack(1, 5, 6), 42));
+  EXPECT_EQ(*M.find(IntervalKey::pack(1, 5, 6)), 42);
+}

@@ -13,7 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "baselines/Arena.h"
+#include "support/Arena.h"
 #include "baselines/Handwritten.h"
 #include "baselines/KaitaiParsers.h"
 #include "baselines/NailParsers.h"
