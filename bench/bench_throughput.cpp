@@ -21,7 +21,14 @@
 /// table. CI uploads the JSON as an artifact and gates on the deterministic
 /// counters via scripts/check_bench_regression.py.
 ///
-/// Usage: bench_throughput [output.json] [reps]
+/// Usage: bench_throughput [output.json] [reps] [--scale N1,N2,...]
+///
+/// With --scale the fixed corpus above is replaced by an input-size sweep
+/// (Fig. 13's shape): every format's sampleInput at each listed scale,
+/// one entry per (format, scale) named `<format>/scale-<N>`. The default
+/// corpus is untouched by the flag, so the committed CI baseline
+/// (bench/baseline/BENCH_throughput.json) keeps gating exactly the cases
+/// it records.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -94,23 +101,85 @@ std::vector<CorpusCase> buildCorpus() {
   return C;
 }
 
+/// The --scale sweep: every format's sampleInput at each scale in
+/// \p Scales (zip stays in — the interpreter resolves its blackbox).
+std::vector<CorpusCase> buildScaledCorpus(const std::vector<unsigned> &Scales) {
+  std::vector<CorpusCase> C;
+  for (const FormatInfo &FI : allFormats())
+    for (unsigned S : Scales)
+      C.push_back({FI.Name + "/scale-" + std::to_string(S), FI.Name,
+                   sampleInput(FI.Name, S)});
+  return C;
+}
+
+/// Parses "1,4,16" into scales; returns false on malformed input.
+bool parseScaleList(const char *Text, std::vector<unsigned> &Out) {
+  const char *P = Text;
+  while (*P) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(P, &End, 10);
+    if (End == P || V == 0 || V > 1u << 20)
+      return false;
+    Out.push_back(static_cast<unsigned>(V));
+    P = End;
+    if (*P == ',')
+      ++P;
+    else if (*P)
+      return false;
+  }
+  return !Out.empty();
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string OutPath = benchJsonPath(argc, argv, "throughput");
+  // Positional args (output path, reps) and the optional --scale flag may
+  // appear in any order.
+  std::vector<char *> Positional = {argv[0]};
+  std::vector<unsigned> Scales;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    const char *List = nullptr;
+    if (Arg.rfind("--scale=", 0) == 0)
+      List = argv[I] + 8;
+    else if (Arg == "--scale" && I + 1 < argc)
+      List = argv[++I];
+    else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [output.json] [reps] "
+                   "[--scale N1,N2,...]\n");
+      return 2;
+    } else {
+      Positional.push_back(argv[I]);
+      continue;
+    }
+    if (!parseScaleList(List, Scales)) {
+      std::fprintf(stderr, "error: bad --scale list '%s'\n", List);
+      return 2;
+    }
+  }
+  int PosArgc = static_cast<int>(Positional.size());
+  std::string OutPath = benchJsonPath(PosArgc, Positional.data(),
+                                      "throughput");
   size_t Reps = 50;
-  if (argc > 2)
-    Reps = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (PosArgc > 2)
+    Reps = static_cast<size_t>(std::strtoull(Positional[2], nullptr, 10));
   if (Reps == 0)
     Reps = 1;
 
   BlackboxRegistry BB = standardBlackboxes();
   BenchReport Report("throughput");
-  banner("Corpus throughput (" + std::to_string(Reps) + " reps per case)");
+  banner(Scales.empty()
+             ? "Corpus throughput (" + std::to_string(Reps) +
+                   " reps per case)"
+             : "Input-size sweep (" + std::to_string(Reps) +
+                   " reps per case)");
   std::printf("%-24s | %10s | %10s | %12s | %10s\n", "case", "bytes",
               "mean us", "MB/s", "allocs");
 
-  for (const CorpusCase &Case : buildCorpus()) {
+  std::vector<CorpusCase> Corpus =
+      Scales.empty() ? buildCorpus() : buildScaledCorpus(Scales);
+  for (const CorpusCase &Case : Corpus) {
     auto Load = loadFormatGrammar(Case.Format);
     if (!Load) {
       std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),

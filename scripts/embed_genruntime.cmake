@@ -1,0 +1,27 @@
+#===- scripts/embed_genruntime.cmake -------------------------------------===#
+#
+# Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+# Parsing" (PLDI 2023). MIT license.
+#
+# Wraps src/support/GenRuntime.h into a C++ raw-string literal so the code
+# generator embeds the *same file* the interpreter compiles against —
+# the mechanism that keeps interpreter and generated-parser semantics from
+# drifting. Invoked by the custom command in CMakeLists.txt:
+#
+#   cmake -DIN=<GenRuntime.h> -DOUT=<GenRuntimeEmbed.inc> -P this-file
+#
+#===----------------------------------------------------------------------===#
+
+if(NOT IN OR NOT OUT)
+  message(FATAL_ERROR "usage: cmake -DIN=<header> -DOUT=<inc> -P embed_genruntime.cmake")
+endif()
+
+file(READ "${IN}" IPG_GENRT_CONTENT)
+
+if(IPG_GENRT_CONTENT MATCHES "\\)IPGRT\"")
+  message(FATAL_ERROR "${IN} contains the raw-string delimiter )IPGRT\"")
+endif()
+
+file(WRITE "${OUT}" "// Generated from src/support/GenRuntime.h by \
+scripts/embed_genruntime.cmake; do not edit.\n\
+static const char GenRuntimeText[] = R\"IPGRT(\n${IPG_GENRT_CONTENT})IPGRT\";\n")

@@ -12,11 +12,22 @@
 /// nonterminals according to its rule."
 ///
 /// emitCppParser produces one standalone C++17 source file with no
-/// dependency on this library: a small embedded runtime (dynamic parse
-/// nodes + frames) plus one `parseRule_N` function per rule and one
-/// `eval_N` function per expression. The entry point is
+/// dependency on this library. Its embedded runtime IS the library's
+/// shared semantic core: src/support/GenRuntime.h (arena-backed node
+/// store, index-based children, flat attribute envs, zero-copy leaves,
+/// first-update start/end) is pasted in verbatim by the build, so the
+/// interpreter and generated parsers cannot diverge semantically. On top
+/// of it the emitter writes one `parseRule_N` function per rule and one
+/// `eval_N` function per expression. Entry points:
 ///
 ///   bool NS::parse(const uint8_t *Data, size_t Len, NS::NodePtr &Out);
+///   NS::Parser P; P.parse(...);   // reusable: recycles its node store
+///                                 // across parses (0 allocs steady state)
+///
+/// A parsed tree is borrowed from its parser and valid until the next
+/// parse() on the same instance. `NS::dumpTree(Root)` renders the
+/// canonical form tests/differential_test.cpp compares against the
+/// interpreter.
 ///
 /// Limitations vs. the engine (documented, tested): no blackbox terms (the
 /// generated file has nowhere to resolve them from) and no memoization

@@ -8,6 +8,7 @@
 #include "expr/Eval.h"
 
 #include "support/Casting.h"
+#include "support/GenRuntime.h"
 
 #include <cstdint>
 #include <optional>
@@ -86,6 +87,9 @@ static std::optional<int64_t> evalBinary(const BinaryExpr &B,
   auto R = evaluate(*B.rhs(), Ctx);
   if (!L || !R)
     return std::nullopt;
+  // Guarded operators go through the semantic core shared with generated
+  // parsers (support/GenRuntime.h).
+  long long Guarded = 0;
   switch (B.op()) {
   case BinOpKind::Add:
     return *L + *R;
@@ -94,13 +98,13 @@ static std::optional<int64_t> evalBinary(const BinaryExpr &B,
   case BinOpKind::Mul:
     return *L * *R;
   case BinOpKind::Div:
-    if (*R == 0)
+    if (!ipg_rt::checkedDiv(*L, *R, Guarded))
       return std::nullopt;
-    return *L / *R;
+    return Guarded;
   case BinOpKind::Mod:
-    if (*R == 0)
+    if (!ipg_rt::checkedMod(*L, *R, Guarded))
       return std::nullopt;
-    return *L % *R;
+    return Guarded;
   case BinOpKind::Eq:
     return *L == *R ? 1 : 0;
   case BinOpKind::Ne:
@@ -114,13 +118,13 @@ static std::optional<int64_t> evalBinary(const BinaryExpr &B,
   case BinOpKind::Ge:
     return *L >= *R ? 1 : 0;
   case BinOpKind::Shl:
-    if (*R < 0 || *R > 62)
+    if (!ipg_rt::checkedShl(*L, *R, Guarded))
       return std::nullopt;
-    return *L << *R;
+    return Guarded;
   case BinOpKind::Shr:
-    if (*R < 0 || *R > 62)
+    if (!ipg_rt::checkedShr(*L, *R, Guarded))
       return std::nullopt;
-    return *L >> *R;
+    return Guarded;
   case BinOpKind::BitAnd:
     return *L & *R;
   case BinOpKind::And:
@@ -130,9 +134,7 @@ static std::optional<int64_t> evalBinary(const BinaryExpr &B,
   return std::nullopt;
 }
 
-/// Finds the array scanned by an exists: the first NT(e).attr reference in
-/// \p Cond whose index expression is exactly the loop variable \p Var.
-static Symbol findScannedArray(const Expr &Cond, Symbol Var) {
+Symbol ipg::findScannedArray(const Expr &Cond, Symbol Var) {
   Symbol Found = InvalidSymbol;
   forEachExpr(Cond, [&](const Expr &E) {
     if (Found != InvalidSymbol)

@@ -56,6 +56,13 @@ public:
 /// Evaluates \p E under \p Ctx; nullopt on any partiality.
 std::optional<int64_t> evaluate(const Expr &E, const EvalContext &Ctx);
 
+/// The array an exists-expression scans: the first NT(e).attr reference
+/// in \p Cond whose index expression is exactly the loop variable
+/// \p Var, or InvalidSymbol if there is none. One rule shared by the
+/// interpreter's evalExists and the code generator's emitted scan loop —
+/// the two execution modes must pick the same array.
+Symbol findScannedArray(const Expr &Cond, Symbol Var);
+
 } // namespace ipg
 
 #endif // IPG_EXPR_EVAL_H

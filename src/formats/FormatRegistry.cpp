@@ -17,21 +17,72 @@
 #include "formats/Zip.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 using namespace ipg;
 using namespace ipg::formats;
 
+// Per-format corpus synthesizers (FormatInfo::Sample). Scale linearly
+// grows the repeated structures; the scale-1 shapes match the fixed
+// corpus bench_throughput gates against.
+namespace {
+
+std::vector<uint8_t> sampleZip(unsigned Scale) {
+  return synthesizeZip(zipArchiveOfCopies(8 * Scale, 4096, false));
+}
+
+std::vector<uint8_t> sampleGif(unsigned Scale) {
+  GifSynthSpec Spec;
+  Spec.NumImages = 2 * Scale;
+  Spec.SubBlocksPerImage = 8;
+  return synthesizeGif(Spec);
+}
+
+std::vector<uint8_t> samplePe(unsigned Scale) {
+  PeSynthSpec Spec;
+  Spec.NumSections = 6 * Scale;
+  return synthesizePe(Spec);
+}
+
+std::vector<uint8_t> sampleElf(unsigned Scale) {
+  ElfSynthSpec Spec;
+  Spec.NumDynEntries = 16 * Scale;
+  Spec.NumSymbols = 32 * Scale;
+  return synthesizeElf(Spec);
+}
+
+std::vector<uint8_t> samplePdf(unsigned Scale) {
+  PdfSynthSpec Spec;
+  Spec.NumObjects = 12 * Scale;
+  return synthesizePdf(Spec);
+}
+
+std::vector<uint8_t> sampleIpv4Udp(unsigned Scale) {
+  Ipv4SynthSpec Spec;
+  // The IPv4 total-length field is 16 bits; stay within it.
+  Spec.PayloadSize = Scale < 128 ? 512 * Scale : 65000;
+  return synthesizeIpv4Udp(Spec);
+}
+
+std::vector<uint8_t> sampleDns(unsigned Scale) {
+  DnsSynthSpec Spec;
+  Spec.NumAnswers = 8 * Scale;
+  return synthesizeDns(Spec);
+}
+
+} // namespace
+
 const std::vector<FormatInfo> &ipg::formats::allFormats() {
   static const std::vector<FormatInfo> Formats = {
-      {"zip", ZipGrammarText, true},
-      {"gif", GifGrammarText, false},
-      {"pe", PeGrammarText, false},
-      {"elf", ElfGrammarText, false},
-      {"pdf", PdfGrammarText, false},
-      {"ipv4udp", Ipv4UdpGrammarText, false},
-      {"dns", DnsGrammarText, false},
+      {"zip", ZipGrammarText, true, sampleZip},
+      {"gif", GifGrammarText, false, sampleGif},
+      {"pe", PeGrammarText, false, samplePe},
+      {"elf", ElfGrammarText, false, sampleElf},
+      {"pdf", PdfGrammarText, false, samplePdf},
+      {"ipv4udp", Ipv4UdpGrammarText, false, sampleIpv4Udp},
+      {"dns", DnsGrammarText, false, sampleDns},
   };
   return Formats;
 }
@@ -48,6 +99,16 @@ BlackboxRegistry ipg::formats::standardBlackboxes() {
   BlackboxRegistry BB;
   BB.add("inflate", miniZlibBlackbox);
   return BB;
+}
+
+std::vector<uint8_t> ipg::formats::sampleInput(const std::string &Name,
+                                               unsigned Scale) {
+  if (Scale == 0)
+    Scale = 1;
+  for (const FormatInfo &F : allFormats())
+    if (F.Name == Name)
+      return F.Sample(Scale);
+  return {};
 }
 
 size_t ipg::formats::grammarLineCount(const char *Text) {

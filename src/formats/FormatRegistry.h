@@ -20,6 +20,7 @@
 #include "runtime/Blackbox.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct FormatInfo {
   std::string Name;
   const char *GrammarText;
   bool NeedsBlackbox;
+  /// Deterministic valid-by-construction sample input at the given scale
+  /// (sampleInput dispatches through this, so a new format cannot be
+  /// registered without deciding how to synthesize its corpus).
+  std::vector<uint8_t> (*Sample)(unsigned Scale);
 };
 
 /// The seven formats, in Table 1's column order.
@@ -39,6 +44,16 @@ Expected<LoadResult> loadFormatGrammar(const std::string &Name);
 
 /// A registry with the standard blackboxes (the MiniZlib `inflate`).
 BlackboxRegistry standardBlackboxes();
+
+/// A deterministic valid-by-construction sample input for the named
+/// format (the same synthesizer family the corpus benchmarks use).
+/// \p Scale linearly grows the repeated structures (entries, sections,
+/// objects, payload bytes) for input-size sweeps; Scale 0 is treated as
+/// 1. Returns an empty vector for unknown format names. Shared by the
+/// differential harness (tests/differential_test.cpp) and the codegen
+/// benchmark (bench/bench_codegen.cpp).
+std::vector<uint8_t> sampleInput(const std::string &Name,
+                                 unsigned Scale = 1);
 
 /// Non-comment, non-blank lines of a grammar text (Table 1's metric).
 size_t grammarLineCount(const char *Text);

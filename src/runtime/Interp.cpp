@@ -10,6 +10,7 @@
 #include "expr/Eval.h"
 #include "support/Casting.h"
 #include "support/FlatHash.h"
+#include "support/GenRuntime.h"
 
 #include <algorithm>
 #include <cstddef>
@@ -86,6 +87,34 @@ namespace {
 
 using Frame = InterpState::Frame;
 
+// The interpreter and the generated parsers share one semantic core
+// (support/GenRuntime.h, embedded verbatim into codegen output). The
+// ReadKind encoding used across that boundary must mirror the enum.
+static_assert(static_cast<unsigned>(ReadKind::U8) == ipg_rt::RK_U8 &&
+                  static_cast<unsigned>(ReadKind::U16Le) == ipg_rt::RK_U16Le &&
+                  static_cast<unsigned>(ReadKind::U32Le) == ipg_rt::RK_U32Le &&
+                  static_cast<unsigned>(ReadKind::U64Le) == ipg_rt::RK_U64Le &&
+                  static_cast<unsigned>(ReadKind::U16Be) == ipg_rt::RK_U16Be &&
+                  static_cast<unsigned>(ReadKind::U32Be) == ipg_rt::RK_U32Be &&
+                  static_cast<unsigned>(ReadKind::BtoiLe) ==
+                      ipg_rt::RK_BtoiLe &&
+                  static_cast<unsigned>(ReadKind::BtoiBe) == ipg_rt::RK_BtoiBe,
+              "ipg_rt read-kind encoding must mirror ipg::ReadKind");
+
+/// Env adapter with the getAttr/setAttr surface ipg_rt::updStartEnd
+/// expects.
+struct EnvRef {
+  Env &E;
+  bool getAttr(Symbol S, long long &Out) const {
+    if (auto V = E.get(S)) {
+      Out = *V;
+      return true;
+    }
+    return false;
+  }
+  void setAttr(Symbol S, long long V) { E.set(S, static_cast<int64_t>(V)); }
+};
+
 /// EvalContext view of a Frame (sigma of Figure 8). Child trees are stored
 /// as ids; the store resolves them.
 class FrameCtx : public EvalContext {
@@ -137,44 +166,19 @@ public:
 
   std::optional<int64_t> readInput(ReadKind RK, int64_t Lo,
                                    int64_t Hi) const override {
-    int64_t Size = static_cast<int64_t>(F.Input.size());
-    size_t Width = 1;
-    Endian E = Endian::Little;
-    switch (RK) {
-    case ReadKind::U8:
-      Width = 1;
-      break;
-    case ReadKind::U16Le:
-      Width = 2;
-      break;
-    case ReadKind::U32Le:
-      Width = 4;
-      break;
-    case ReadKind::U64Le:
-      Width = 8;
-      break;
-    case ReadKind::U16Be:
-      Width = 2;
-      E = Endian::Big;
-      break;
-    case ReadKind::U32Be:
-      Width = 4;
-      E = Endian::Big;
-      break;
-    case ReadKind::BtoiLe:
-    case ReadKind::BtoiBe: {
-      if (RK == ReadKind::BtoiBe)
-        E = Endian::Big;
-      if (Lo < 0 || Hi < Lo + 1 || Hi - Lo > 8 || Hi > Size)
-        return std::nullopt;
-      return static_cast<int64_t>(F.Input.readUnsigned(
-          static_cast<size_t>(Lo), static_cast<size_t>(Hi - Lo), E));
-    }
-    }
-    if (Lo < 0 || Lo + static_cast<int64_t>(Width) > Size)
+    // Width/endianness and the bounds guards live in the shared runtime
+    // (the generated parsers call the same functions).
+    long long Width = 0;
+    bool BigEndian = false;
+    if (!ipg_rt::readKindSpec(static_cast<unsigned>(RK), Width, BigEndian) &&
+        !ipg_rt::btoiWidth(Lo, Hi, Width)) // btoi(lo, hi) window
       return std::nullopt;
-    return static_cast<int64_t>(
-        F.Input.readUnsigned(static_cast<size_t>(Lo), Width, E));
+    long long Out = 0;
+    if (!ipg_rt::readScalar(F.Input.data(),
+                            static_cast<long long>(F.Input.size()), Lo,
+                            Width, BigEndian, Out))
+      return std::nullopt;
+    return static_cast<int64_t>(Out);
   }
 
 private:
@@ -222,14 +226,26 @@ private:
   Error Hard = Error::success();
   size_t Depth = 0;
 
-  /// updStartEnd of Figure 8.
+  /// updStartEnd of Figure 8: the first-update min/max shared with the
+  /// generated runtime. start/end enter the environment only once a term
+  /// touches bytes; there is no pre-seeded sentinel.
   void updStartEnd(Env &E, int64_t Lo, int64_t Hi, bool Touched) {
-    if (!Touched)
-      return;
-    auto S = E.get(G.symStart());
-    auto En = E.get(G.symEnd());
-    E.set(G.symStart(), std::min(S.value_or(Lo), Lo));
-    E.set(G.symEnd(), std::max(En.value_or(Hi), Hi));
+    EnvRef R{E};
+    ipg_rt::updStartEnd(R, G.symStart(), G.symEnd(), Lo, Hi, Touched);
+  }
+
+  /// The subtree's [start, end) as the parent sees it (T-NTSucc defaults,
+  /// shared with the generated runtime): untouched subtrees read as
+  /// [sub-EOI, 0).
+  void childSpan(const NodeTree &Sub, int64_t SubEoi, int64_t &BStart,
+                 int64_t &BEnd) {
+    auto S = Sub.attr(G.symStart());
+    auto En = Sub.attr(G.symEnd());
+    long long BS = 0, BE = 0;
+    ipg_rt::childSpan(S.has_value(), S.value_or(0), En.has_value(),
+                      En.value_or(0), SubEoi, BS, BE);
+    BStart = BS;
+    BEnd = BE;
   }
 
   /// Evaluates an interval; false means evaluation failed (term fails).
@@ -260,8 +276,7 @@ private:
     int64_t Lo, Hi;
     if (!evalInterval(F, Iv, Lo, Hi) || Hard)
       return false;
-    int64_t Size = static_cast<int64_t>(F.Input.size());
-    if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
+    if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return false;
     const NodeTree *Sub =
         parseRule(Target, F.Input.slice(static_cast<size_t>(Lo),
@@ -269,8 +284,8 @@ private:
                   &F);
     if (Hard || !Sub)
       return false;
-    int64_t BStart = Sub->attr(G.symStart()).value_or(Hi - Lo);
-    int64_t BEnd = Sub->attr(G.symEnd()).value_or(0);
+    int64_t BStart, BEnd;
+    childSpan(*Sub, Hi - Lo, BStart, BEnd);
     uint32_t Adjusted = Store.makeShifted(*Sub, Lo, G.symStart(), G.symEnd());
     updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
     F.ChildIds.push_back(Adjusted);
@@ -299,8 +314,7 @@ private:
       int64_t Lo, Hi;
       if (!evalInterval(F, S.Iv, Lo, Hi) || Hard)
         return false;
-      int64_t Size = static_cast<int64_t>(F.Input.size());
-      if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
+      if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
         return false;
       if (S.Wildcard) {
         // `raw` matches the whole interval without reading or copying it.
@@ -406,8 +420,8 @@ private:
         Failed = true;
         break;
       }
-      int64_t Size = static_cast<int64_t>(F.Input.size());
-      if (!(0 <= Lo && Lo <= Hi && Hi <= Size)) {
+      if (!ipg_rt::intervalOk(Lo, Hi,
+                              static_cast<int64_t>(F.Input.size()))) {
         Failed = true;
         break;
       }
@@ -420,8 +434,8 @@ private:
         Failed = true;
         break;
       }
-      int64_t BStart = Sub->attr(G.symStart()).value_or(Hi - Lo);
-      int64_t BEnd = Sub->attr(G.symEnd()).value_or(0);
+      int64_t BStart, BEnd;
+      childSpan(*Sub, Hi - Lo, BStart, BEnd);
       St.ElemScratch[Level].push_back(
           Store.makeShifted(*Sub, Lo, G.symStart(), G.symEnd()));
       updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
@@ -453,8 +467,7 @@ private:
     int64_t Lo, Hi;
     if (!evalInterval(F, B.Iv, Lo, Hi) || Hard)
       return false;
-    int64_t Size = static_cast<int64_t>(F.Input.size());
-    if (!(0 <= Lo && Lo <= Hi && Hi <= Size))
+    if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return false;
 
     std::string Name(G.interner().name(B.Name));
@@ -542,10 +555,12 @@ private:
     Frame &F = St.frameAt(Depth);
     for (const Alternative &Alt : R.Alts) {
       F.beginAlt(Input, R.IsLocal ? Lexical : nullptr, Alt.Terms.size());
-      F.E.set(G.symEoi(), static_cast<int64_t>(Input.size()));
-      F.E.set(G.symStart(), static_cast<int64_t>(Input.size()));
-      F.E.set(G.symEnd(), 0);
-
+      // The environment starts empty: EOI is answered from the frame
+      // (never stored as an attribute, so a grammar attribute named "EOI"
+      // cannot collide through the lexical lookup), and start/end appear
+      // only once a term touches bytes (first-update updStartEnd) — a
+      // byte-untouched node exposes neither, and reading its X.start
+      // fails with partiality, exactly as in the generated parsers.
       bool Ok = true;
       size_t NumTerms = Alt.Terms.size();
       for (size_t Step = 0; Step < NumTerms; ++Step) {

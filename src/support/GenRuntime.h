@@ -1,0 +1,653 @@
+//===- support/GenRuntime.h - Shared parse-time semantics ------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for the parse-time semantics shared by the
+/// interpreter (runtime/Interp.cpp, expr/Eval.cpp) and by every parser the
+/// code generator emits. This file is BOTH compiled into ipg_core AND
+/// embedded verbatim into each generated parser (CMake wraps it into
+/// GenRuntimeEmbed.inc, which codegen/CppEmitter.cpp pastes ahead of the
+/// emitted rule functions), so the two execution modes cannot drift: a
+/// semantic change here changes both at once.
+///
+/// Because of that dual life the file must stay self-contained: C++17,
+/// direct std includes only, no other project headers. Everything lives in
+/// namespace ipg_rt (not ipg) so generated parsers stay dependency-free.
+///
+/// Contents:
+///
+/// 1. Shared scalar semantics of Figure 8 — the first-update `updStartEnd`
+///    (start/end appear in an environment only once a term actually touches
+///    bytes; the first touch seeds them, later touches min/max them — there
+///    is NO pre-seeded `start = EOI` / `end = 0` sentinel, so reading
+///    `X.start` of a byte-untouched node fails with partiality), the
+///    T-NTSucc child-span defaults (`value_or(sub-EOI)` / `value_or(0)`),
+///    the interval guard, the read guards, and the checked arithmetic
+///    (div/mod/shift) of the expression language.
+///
+/// 2. The embedded runtime of generated parsers: a bump-arena node store
+///    with index-based children, flat attribute environments keyed by
+///    emitter-assigned ids, zero-copy leaves aliasing the input, and
+///    per-depth frame pools — the same design the interpreter's TreeStore
+///    uses (runtime/ParseTree.h), recycled across parses so steady-state
+///    parsing performs no heap allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SUPPORT_GENRUNTIME_H
+#define IPG_SUPPORT_GENRUNTIME_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipg_rt {
+
+//===----------------------------------------------------------------------===//
+// Shared scalar semantics (used by the interpreter AND generated parsers).
+//===----------------------------------------------------------------------===//
+
+/// Recursion guard shared with InterpOptions::MaxDepth's default. Like
+/// the interpreter's, the limit is a HARD error (Ctx::hardFail): it
+/// aborts the whole parse rather than soft-failing into sibling
+/// alternatives, so a fallback alternative cannot mask runaway
+/// recursion in one execution mode but not the other.
+inline constexpr int MaxDepth = 8192;
+
+/// Attribute ids of the special start/end attributes in generated
+/// environments. The emitter guarantees its name table begins with
+/// "start", "end" in exactly this order.
+enum : unsigned { IdStart = 0, IdEnd = 1 };
+
+/// The interval guard of every positional term: [Lo, Hi) must be a
+/// sub-window of the local input [0, Eoi).
+inline bool intervalOk(long long Lo, long long Hi, long long Eoi) {
+  return 0 <= Lo && Lo <= Hi && Hi <= Eoi;
+}
+
+/// updStartEnd of Figure 8, first-update form: if \p Touched, seed
+/// start/end on their first update and min/max afterwards. \p EnvT needs
+/// `bool getAttr(KeyT, long long &)` over its own bindings and
+/// `void setAttr(KeyT, long long)`. Encoding the first update via
+/// "absent -> take Lo/Hi directly" (rather than defaulting S = 0) is what
+/// makes the min-clamps-to-0 trap structurally impossible for structures
+/// that do not begin at offset 0.
+template <class EnvT, class KeyT>
+inline void updStartEnd(EnvT &E, KeyT StartKey, KeyT EndKey, long long Lo,
+                        long long Hi, bool Touched) {
+  if (!Touched)
+    return;
+  long long S = 0, En = 0;
+  E.setAttr(StartKey, E.getAttr(StartKey, S) && S < Lo ? S : Lo);
+  E.setAttr(EndKey, E.getAttr(EndKey, En) && En > Hi ? En : Hi);
+}
+
+/// The T-NTSucc defaults for a finished subtree as seen by its parent
+/// (before shifting into the parent's coordinates): an untouched subtree —
+/// no start/end in its environment — reads as [sub-EOI, 0), the identity
+/// elements of the min/max in updStartEnd.
+inline void childSpan(bool HasStart, long long StartV, bool HasEnd,
+                      long long EndV, long long SubEoi, long long &BStart,
+                      long long &BEnd) {
+  BStart = HasStart ? StartV : SubEoi;
+  BEnd = HasEnd ? EndV : 0;
+}
+
+/// Division/modulo fail (partiality, not UB) on zero divisors and on the
+/// one overflowing quotient.
+inline bool checkedDiv(long long L, long long R, long long &Out) {
+  if (R == 0 || (L == (-9223372036854775807LL - 1) && R == -1))
+    return false;
+  Out = L / R;
+  return true;
+}
+
+inline bool checkedMod(long long L, long long R, long long &Out) {
+  if (R == 0 || (L == (-9223372036854775807LL - 1) && R == -1))
+    return false;
+  Out = L % R;
+  return true;
+}
+
+/// Shifts fail outside [0, 62]; the left shift is performed unsigned so it
+/// is defined for every operand the guard admits.
+inline bool checkedShl(long long L, long long R, long long &Out) {
+  if (R < 0 || R > 62)
+    return false;
+  Out = static_cast<long long>(static_cast<unsigned long long>(L) << R);
+  return true;
+}
+
+inline bool checkedShr(long long L, long long R, long long &Out) {
+  if (R < 0 || R > 62)
+    return false;
+  Out = L >> R;
+  return true;
+}
+
+/// ReadKind encoding shared between the interpreter and the emitter. The
+/// numeric values MUST mirror ipg::ReadKind's declaration order
+/// (expr/Expr.h); runtime/Interp.cpp static_asserts the correspondence.
+enum : unsigned {
+  RK_U8,
+  RK_U16Le,
+  RK_U32Le,
+  RK_U64Le,
+  RK_U16Be,
+  RK_U32Be,
+  RK_BtoiLe,
+  RK_BtoiBe,
+};
+
+/// Fixed width/endianness of a read kind. Returns false for the
+/// variable-width btoi kinds (the caller supplies the [lo, hi) window);
+/// BigEndian is still set for them.
+inline bool readKindSpec(unsigned RK, long long &Width, bool &BigEndian) {
+  BigEndian = RK == RK_U16Be || RK == RK_U32Be || RK == RK_BtoiBe;
+  switch (RK) {
+  case RK_U8:
+    Width = 1;
+    return true;
+  case RK_U16Le:
+  case RK_U16Be:
+    Width = 2;
+    return true;
+  case RK_U32Le:
+  case RK_U32Be:
+    Width = 4;
+    return true;
+  case RK_U64Le:
+    Width = 8;
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Window width of a btoi(lo, hi) read. Fails (partiality) unless
+/// 0 <= Lo < Hi — checked BEFORE the subtraction, which is therefore
+/// overflow-free (Lo >= 0 and Hi > Lo bound Hi - Lo by Hi). readScalar
+/// then enforces the [1, 8] width and the in-bounds window.
+inline bool btoiWidth(long long Lo, long long Hi, long long &Width) {
+  if (Lo < 0 || Hi <= Lo)
+    return false;
+  Width = Hi - Lo;
+  return true;
+}
+
+/// Guarded scalar read over the local input [0, Size): width in [1, 8] and
+/// the window in bounds, else partiality.
+inline bool readScalar(const unsigned char *Base, long long Size,
+                       long long Off, long long Width, bool BigEndian,
+                       long long &Out) {
+  if (Off < 0 || Width < 1 || Width > 8 || Off > Size - Width)
+    return false;
+  unsigned long long V = 0;
+  if (BigEndian)
+    for (long long I = 0; I < Width; ++I)
+      V = (V << 8) | Base[Off + I];
+  else
+    for (long long I = Width; I-- > 0;)
+      V = (V << 8) | Base[Off + I];
+  Out = static_cast<long long>(V);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The embedded runtime of generated parsers. The interpreter does not use
+// the types below (it has its own arena store in runtime/ParseTree.h with
+// the same design); they compile as part of ipg_core only so the embedded
+// text can never rot unbuilt.
+//===----------------------------------------------------------------------===//
+
+/// One attribute binding; Id indexes the generated parser's name table.
+struct AttrSlot {
+  unsigned Id;
+  long long V;
+};
+
+inline bool envGet(const AttrSlot *Slots, unsigned NumSlots, unsigned Id,
+                   long long &Out) {
+  for (unsigned I = 0; I < NumSlots; ++I)
+    if (Slots[I].Id == Id) {
+      Out = Slots[I].V;
+      return true;
+    }
+  return false;
+}
+
+/// Bump allocator mirroring support/Arena.h: geometrically growing blocks,
+/// reset() keeps the blocks so a recycled arena reaches an allocation-free
+/// steady state. Only trivially-destructible data lives here.
+class Arena {
+public:
+  void *allocate(size_t Bytes, size_t Align) {
+    for (; Cur < Blocks.size(); ++Cur) {
+      Block &B = Blocks[Cur];
+      size_t At = (B.Used + Align - 1) & ~(Align - 1);
+      if (At + Bytes <= B.Cap) {
+        B.Used = At + Bytes;
+        return B.Mem.get() + At;
+      }
+    }
+    // Block bases come from operator new[] and are aligned to at least
+    // __STDCPP_DEFAULT_NEW_ALIGNMENT__, so offset-aligning Used (above)
+    // suffices for every type this runtime stores (align <= 16).
+    while (NextSize < Bytes)
+      NextSize *= 2;
+    Blocks.push_back(Block{std::unique_ptr<unsigned char[]>(
+                               new unsigned char[NextSize]),
+                           NextSize, Bytes});
+    NextSize *= 2;
+    return Blocks.back().Mem.get();
+  }
+
+  template <class T> T *makeArray(size_t N) {
+    return static_cast<T *>(allocate(sizeof(T) * (N ? N : 1), alignof(T)));
+  }
+
+  template <class T> const T *copyArray(const T *Src, size_t N) {
+    if (N == 0)
+      return nullptr;
+    T *Dst = makeArray<T>(N);
+    std::memcpy(Dst, Src, sizeof(T) * N);
+    return Dst;
+  }
+
+  void reset() {
+    for (Block &B : Blocks)
+      B.Used = 0;
+    Cur = 0;
+  }
+
+private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> Mem;
+    size_t Cap = 0;
+    size_t Used = 0;
+  };
+  std::vector<Block> Blocks;
+  size_t Cur = 0;
+  size_t NextSize = 4096;
+};
+
+class Ctx;
+struct Node;
+
+/// A borrowed child handle (the accessor surface generated-parser drivers
+/// use: `Root->Children[0].get()`).
+struct NodeRef {
+  Node *P = nullptr;
+  Node *get() const { return P; }
+  Node *operator->() const { return P; }
+  explicit operator bool() const { return P != nullptr; }
+};
+
+/// A filtered view over a node's unified child list exposing only child
+/// *nodes* (terminal leaves and arrays are reachable through kidCount()/
+/// kid() and the canonical dump). Resolves ids against the owning Ctx at
+/// access time, so it stays valid while the store grows.
+struct ChildView {
+  Ctx *C = nullptr;
+  const unsigned *Ids = nullptr;
+  unsigned N = 0;
+
+  inline size_t size() const;
+  bool empty() const { return size() == 0; }
+  inline NodeRef operator[](size_t I) const;
+};
+
+/// One tree object. A single tagged struct covers the three tree forms of
+/// the semantics (Node(A, E, Trs) / Array(Trs) / Leaf(s)); objects live in
+/// the store's object vector, and their env/child arrays in its arena.
+struct Node {
+  enum : unsigned char { KNode, KArray, KLeaf };
+
+  unsigned char Kind = KNode;
+  unsigned NameId = 0;     ///< node rule name / array element name
+  const char *Name = nullptr;
+  const AttrSlot *Slots = nullptr;
+  unsigned NumSlots = 0;
+  const unsigned *KidIds = nullptr; ///< unified children / array elements
+  unsigned NumKids = 0;
+  Ctx *C = nullptr;
+  // Leaf payload: zero-copy window into the input.
+  const unsigned char *Data = nullptr;
+  size_t Len = 0;
+  long long Off = 0;
+  bool Opaque = false;
+
+  /// Child-node view over this node's unified child list (the accessor
+  /// surface generated-parser drivers use: `Root->children()[0].get()`).
+  /// Derived from KidIds/NumKids on demand so the two can never
+  /// desynchronize.
+  ChildView children() const { return ChildView{C, KidIds, NumKids}; }
+
+  bool getById(unsigned Id, long long &Out) const {
+    return envGet(Slots, NumSlots, Id, Out);
+  }
+  inline bool get(const char *K, long long &Out) const;
+
+  size_t kidCount() const { return NumKids; }
+  inline Node *kid(size_t I) const;
+};
+
+/// The recycled store + scratch state behind one generated parser: arena,
+/// object index, per-depth frame pool and per-nesting array scratch — the
+/// generated twin of the interpreter's InterpState. beginParse() recycles
+/// everything without releasing capacity.
+class Ctx {
+public:
+  void setNames(const char *const *Table, size_t Count) {
+    NamesTab = Table;
+    NumNames = Count;
+  }
+  const char *name(unsigned Id) const {
+    return Id < NumNames ? NamesTab[Id] : "?";
+  }
+
+  void beginParse(const unsigned char *Data) {
+    Base = Data;
+    A.reset();
+    Objs.clear();
+    ArrayNest = 0;
+    Hard = false;
+    Frozen = 0;
+  }
+
+  /// The recursion-depth guard is a HARD failure, as in the interpreter
+  /// (InterpOptions::MaxDepth): once tripped it aborts the whole parse —
+  /// no backtracking into sibling alternatives. Generated rule functions
+  /// check hardFailed() after every failed alternative.
+  void hardFail() { Hard = true; }
+  bool hardFailed() const { return Hard; }
+
+  /// Nodes frozen by successful rule alternatives in the current parse —
+  /// the generated twin of InterpStats::NodesCreated (shifted copies,
+  /// arrays, and leaves are not counted on either side).
+  size_t frozenNodeCount() const { return Frozen; }
+
+  const unsigned char *base() const { return Base; }
+  Node *node(unsigned Id) { return &Objs[Id]; }
+  const Node *node(unsigned Id) const { return &Objs[Id]; }
+  size_t nodeCount() const { return Objs.size(); }
+
+  inline struct Frame &frameAt(size_t Depth);
+
+  std::vector<unsigned> &elemScratch(size_t Level) {
+    if (ElemScratch.size() <= Level)
+      ElemScratch.resize(Level + 1);
+    return ElemScratch[Level];
+  }
+  size_t enterArray() {
+    size_t Level = ArrayNest++;
+    elemScratch(Level).clear();
+    return Level;
+  }
+  void leaveArray() { --ArrayNest; }
+
+  /// Freezes a frame's scratch env + child ids into the arena as a node.
+  inline unsigned freeze(struct Frame &F, unsigned NameId);
+
+  unsigned leaf(const unsigned char *Data, size_t Len, long long Off,
+                bool Opaque) {
+    Node N;
+    N.Kind = Node::KLeaf;
+    N.C = this;
+    N.Data = Data;
+    N.Len = Len;
+    N.Off = Off;
+    N.Opaque = Opaque;
+    return add(N);
+  }
+
+  unsigned array(unsigned ElemNameId, const std::vector<unsigned> &Ids) {
+    Node N;
+    N.Kind = Node::KArray;
+    N.C = this;
+    N.NameId = ElemNameId;
+    N.Name = name(ElemNameId);
+    N.KidIds = A.copyArray(Ids.data(), Ids.size());
+    N.NumKids = static_cast<unsigned>(Ids.size());
+    return add(N);
+  }
+
+  /// Shallow copy of a finished subtree with start/end shifted into the
+  /// parent's coordinates (T-NTSucc); child arrays are shared.
+  unsigned shifted(unsigned SubId, long long Delta) {
+    Node N = Objs[SubId]; // copy first: add() may grow the vector
+    AttrSlot *S = A.makeArray<AttrSlot>(N.NumSlots);
+    for (unsigned I = 0; I < N.NumSlots; ++I) {
+      S[I] = N.Slots[I];
+      if (S[I].Id == IdStart || S[I].Id == IdEnd)
+        S[I].V += Delta;
+    }
+    N.Slots = N.NumSlots ? S : nullptr;
+    return add(N);
+  }
+
+  /// The parent-side view of a finished subtree (childSpan defaults).
+  void childSpanOf(unsigned SubId, long long SubEoi, long long &BStart,
+                   long long &BEnd) const {
+    const Node &N = Objs[SubId];
+    long long S = 0, E = 0;
+    bool HasS = envGet(N.Slots, N.NumSlots, IdStart, S);
+    bool HasE = envGet(N.Slots, N.NumSlots, IdEnd, E);
+    childSpan(HasS, S, HasE, E, SubEoi, BStart, BEnd);
+  }
+
+private:
+  unsigned add(const Node &N) {
+    Objs.push_back(N);
+    return static_cast<unsigned>(Objs.size() - 1);
+  }
+
+  Arena A;
+  std::vector<Node> Objs;
+  std::vector<std::unique_ptr<struct Frame>> Frames;
+  std::vector<std::vector<unsigned>> ElemScratch;
+  size_t ArrayNest = 0;
+  bool Hard = false;
+  size_t Frozen = 0;
+  const unsigned char *Base = nullptr;
+  const char *const *NamesTab = nullptr;
+  size_t NumNames = 0;
+};
+
+/// Per-alternative execution state: the scratch environment E, the ids of
+/// already-built children, and per-term touch records — the generated twin
+/// of the interpreter's InterpState::Frame. Frames are pooled per
+/// recursion depth and reused across alternatives and parses.
+struct Frame {
+  const unsigned char *Base = nullptr;
+  size_t Lo = 0, Hi = 0; ///< local input = Base[Lo, Hi)
+  Ctx *C = nullptr;
+  Frame *Lexical = nullptr; ///< enclosing frame for where-clause rules
+  std::vector<AttrSlot> E;
+  std::vector<unsigned> Kids;
+  struct Rec {
+    bool Has = false;
+    long long Start = 0;
+    long long End = 0;
+  };
+  std::vector<Rec> Recs;
+
+  void beginAlt(const unsigned char *B, size_t L, size_t H, Frame *Lex,
+                size_t NumTerms) {
+    Base = B;
+    Lo = L;
+    Hi = H;
+    Lexical = Lex;
+    E.clear();
+    Kids.clear();
+    Recs.assign(NumTerms, Rec());
+  }
+
+  long long eoi() const { return static_cast<long long>(Hi - Lo); }
+
+  // Own-frame environment (updStartEnd's EnvT surface).
+  bool getAttr(unsigned Id, long long &Out) const {
+    return envGet(E.data(), static_cast<unsigned>(E.size()), Id, Out);
+  }
+  void setAttr(unsigned Id, long long V) {
+    for (AttrSlot &S : E)
+      if (S.Id == Id) {
+        S.V = V;
+        return;
+      }
+    E.push_back(AttrSlot{Id, V});
+  }
+  void eraseAttr(unsigned Id) {
+    for (size_t I = 0; I < E.size(); ++I)
+      if (E[I].Id == Id) {
+        E.erase(E.begin() + static_cast<long>(I));
+        return;
+      }
+  }
+
+  /// Lexical-chain attribute lookup (sigma of Figure 8).
+  bool attr(unsigned Id, long long &Out) const {
+    for (const Frame *F = this; F; F = F->Lexical)
+      if (F->getAttr(Id, Out))
+        return true;
+    return false;
+  }
+
+  /// Most recent child node named \p NameId along the lexical chain.
+  Node *findNode(unsigned NameId) const {
+    for (const Frame *F = this; F; F = F->Lexical)
+      for (size_t I = F->Kids.size(); I-- > 0;) {
+        Node *N = C->node(F->Kids[I]);
+        if (N->Kind == Node::KNode && N->NameId == NameId)
+          return N;
+      }
+    return nullptr;
+  }
+
+  /// Most recent child array with elements named \p NameId.
+  Node *findArray(unsigned NameId) const {
+    for (const Frame *F = this; F; F = F->Lexical)
+      for (size_t I = F->Kids.size(); I-- > 0;) {
+        Node *N = C->node(F->Kids[I]);
+        if (N->Kind == Node::KArray && N->NameId == NameId)
+          return N;
+      }
+    return nullptr;
+  }
+
+  void rec(unsigned TermIdx, long long Start, long long End) {
+    Recs[TermIdx] = Rec{true, Start, End};
+  }
+  bool termEnd(unsigned TermIdx, long long &Out) const {
+    if (TermIdx >= Recs.size() || !Recs[TermIdx].Has)
+      return false;
+    Out = Recs[TermIdx].End;
+    return true;
+  }
+};
+
+inline Frame &Ctx::frameAt(size_t Depth) {
+  while (Frames.size() <= Depth)
+    Frames.push_back(std::unique_ptr<Frame>(new Frame()));
+  Frame &F = *Frames[Depth];
+  F.C = this;
+  return F;
+}
+
+inline unsigned Ctx::freeze(Frame &F, unsigned NameId) {
+  Node N;
+  N.Kind = Node::KNode;
+  N.C = this;
+  N.NameId = NameId;
+  N.Name = name(NameId);
+  N.Slots = A.copyArray(F.E.data(), F.E.size());
+  N.NumSlots = static_cast<unsigned>(F.E.size());
+  N.KidIds = A.copyArray(F.Kids.data(), F.Kids.size());
+  N.NumKids = static_cast<unsigned>(F.Kids.size());
+  ++Frozen;
+  return add(N);
+}
+
+inline size_t ChildView::size() const {
+  size_t Count = 0;
+  for (unsigned I = 0; I < N; ++I)
+    if (C->node(Ids[I])->Kind == Node::KNode)
+      ++Count;
+  return Count;
+}
+
+inline NodeRef ChildView::operator[](size_t I) const {
+  for (unsigned K = 0; K < N; ++K) {
+    Node *Kid = C->node(Ids[K]);
+    if (Kid->Kind == Node::KNode && I-- == 0)
+      return NodeRef{Kid};
+  }
+  return NodeRef{};
+}
+
+inline bool Node::get(const char *K, long long &Out) const {
+  for (unsigned I = 0; I < NumSlots; ++I)
+    if (C && !std::strcmp(C->name(Slots[I].Id), K)) {
+      Out = Slots[I].V;
+      return true;
+    }
+  return false;
+}
+
+inline Node *Node::kid(size_t I) const { return C->node(KidIds[I]); }
+
+//===----------------------------------------------------------------------===//
+// Canonical tree dump — the differential-testing contract. The interpreter
+// side (tests/differential_test.cpp) renders its ParseTree in exactly this
+// format; any byte difference is a semantic divergence.
+//===----------------------------------------------------------------------===//
+
+inline void dumpTreeRec(const Node *N, int Indent, std::string &Out) {
+  Out.append(static_cast<size_t>(Indent) * 2, ' ');
+  switch (N->Kind) {
+  case Node::KLeaf:
+    Out += "Leaf off=" + std::to_string(N->Off) +
+           " len=" + std::to_string(N->Len) +
+           " opaque=" + (N->Opaque ? "1" : "0") + "\n";
+    return;
+  case Node::KArray:
+    Out += "Array " + std::string(N->Name) + " x" +
+           std::to_string(N->NumKids) + "\n";
+    break;
+  case Node::KNode: {
+    Out += "Node " + std::string(N->Name) + " {";
+    std::vector<std::pair<std::string, long long>> Attrs;
+    for (unsigned I = 0; I < N->NumSlots; ++I)
+      Attrs.emplace_back(N->C->name(N->Slots[I].Id), N->Slots[I].V);
+    std::sort(Attrs.begin(), Attrs.end());
+    for (size_t I = 0; I < Attrs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Attrs[I].first + "=" + std::to_string(Attrs[I].second);
+    }
+    Out += "}\n";
+    break;
+  }
+  }
+  for (unsigned I = 0; I < N->NumKids; ++I)
+    dumpTreeRec(N->kid(I), Indent + 1, Out);
+}
+
+inline std::string dumpTree(const Node *Root) {
+  std::string Out;
+  if (Root)
+    dumpTreeRec(Root, 0, Out);
+  return Out;
+}
+
+} // namespace ipg_rt
+
+#endif // IPG_SUPPORT_GENRUNTIME_H

@@ -1,0 +1,97 @@
+//===- tests/CodegenTestHarness.h - compile generated parsers ---*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one child-compile recipe shared by every test that compiles and
+/// runs a generated parser (codegen_test.cpp, differential_test.cpp):
+/// host-compiler detection, temp-dir setup, source write, the compile
+/// command with its flags, and compile-log forwarding on failure. Under
+/// -DIPG_SANITIZE=ON (IPG_SANITIZE_BUILD) the children are compiled with
+/// ASan+UBSan too, so the CI sanitizer job proves generated parsers
+/// sanitizer-clean. bench/bench_codegen.cpp keeps its own variant on
+/// purpose: it is a standalone driver with a different child protocol
+/// (metric lines over a pipe, -O2, never sanitized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_CODEGENTESTHARNESS_H
+#define IPG_TESTS_CODEGENTESTHARNESS_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+namespace ipg::testutil {
+
+inline bool hostCompilerAvailable() {
+  return std::system("c++ --version > /dev/null 2>&1") == 0;
+}
+
+/// The per-\p Tag scratch directory children compile and run in.
+inline std::string childDir(const std::string &Tag) {
+  return ::testing::TempDir() + "ipg_codegen_" + Tag;
+}
+
+/// Writes \p FullSource (generated parser + driver main) and compiles it.
+/// Returns the executable path, or "" after forwarding the compile log to
+/// stderr.
+inline std::string compileParserSource(const std::string &FullSource,
+                                       const std::string &Tag) {
+  std::string Dir = childDir(Tag);
+  if (std::system(("mkdir -p " + Dir).c_str()) != 0)
+    return "";
+  {
+    std::ofstream Src(Dir + "/parser.cpp");
+    Src << FullSource;
+  }
+  // Under the sanitizer build the *generated* parser is sanitized too —
+  // that is the point of running these suites in the ASan+UBSan CI job.
+#ifdef IPG_SANITIZE_BUILD
+  const char *San =
+      " -g -fsanitize=address,undefined -fno-sanitize-recover=all";
+#else
+  const char *San = "";
+#endif
+  std::string Compile = "c++ -std=c++17 -O1" + std::string(San) + " -o " +
+                        Dir + "/parser " + Dir + "/parser.cpp 2> " + Dir +
+                        "/compile.log";
+  if (std::system(Compile.c_str()) != 0) {
+    std::ifstream Log(Dir + "/compile.log");
+    std::string Line;
+    while (std::getline(Log, Line))
+      std::fprintf(stderr, "compile: %s\n", Line.c_str());
+    return "";
+  }
+  return Dir + "/parser";
+}
+
+/// Writes \p Input into the child's scratch dir and runs \p Exe on it
+/// (plus \p ExtraArg when nonempty). Returns the exit code, -1 on
+/// infrastructure failure.
+inline int runChild(const std::string &Exe, const std::string &Tag,
+                    const std::vector<uint8_t> &Input,
+                    const std::string &ExtraArg = "") {
+  std::string InPath = childDir(Tag) + "/input.bin";
+  {
+    std::ofstream In(InPath, std::ios::binary);
+    In.write(reinterpret_cast<const char *>(Input.data()),
+             static_cast<std::streamsize>(Input.size()));
+  }
+  std::string Cmd = Exe + " " + InPath;
+  if (!ExtraArg.empty())
+    Cmd += " " + ExtraArg;
+  int Rc = std::system(Cmd.c_str());
+  return Rc == -1 ? -1 : WEXITSTATUS(Rc);
+}
+
+} // namespace ipg::testutil
+
+#endif // IPG_TESTS_CODEGENTESTHARNESS_H

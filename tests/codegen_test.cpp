@@ -15,6 +15,7 @@
 
 #include "codegen/CppEmitter.h"
 
+#include "CodegenTestHarness.h"
 #include "analysis/AttributeCheck.h"
 #include "formats/Elf.h"
 #include "runtime/Interp.h"
@@ -22,13 +23,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <gtest/gtest.h>
 #include <string>
 #include <utility>
 #include <vector>
 
 using namespace ipg;
+using testutil::hostCompilerAvailable;
 
 namespace {
 
@@ -40,50 +41,27 @@ Grammar load(const char *Src) {
   return std::move(R->G);
 }
 
-bool hostCompilerAvailable() {
-  return std::system("c++ --version > /dev/null 2>&1") == 0;
-}
-
 /// Writes the generated parser + a driver main, compiles, and runs it on
 /// \p Input; returns the executable's exit code (0 = accepted) or -1 on
 /// infrastructure failure.
 int compileAndRun(const std::string &Generated,
                   const std::vector<uint8_t> &Input,
                   const std::string &ExtraMain, const std::string &Tag) {
-  std::string Dir = ::testing::TempDir() + "ipg_codegen_" + Tag;
-  std::string Mk = "mkdir -p " + Dir;
-  if (std::system(Mk.c_str()) != 0)
+  std::string Source =
+      Generated +
+      "\n#include <cstdio>\n#include <fstream>\n"
+      "int main(int argc, char **argv) {\n"
+      "  if (argc < 2) return 3;\n"
+      "  std::ifstream In(argv[1], std::ios::binary);\n"
+      "  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),"
+      " std::istreambuf_iterator<char>());\n"
+      "  gen::NodePtr Root;\n"
+      "  if (!gen::parse(Bytes.data(), Bytes.size(), Root)) return 1;\n" +
+      ExtraMain + "  return 0;\n}\n";
+  std::string Exe = testutil::compileParserSource(Source, Tag);
+  if (Exe.empty())
     return -1;
-  {
-    std::ofstream Src(Dir + "/parser.cpp");
-    Src << Generated;
-    Src << "\n#include <cstdio>\n#include <fstream>\n"
-           "int main(int argc, char **argv) {\n"
-           "  if (argc < 2) return 3;\n"
-           "  std::ifstream In(argv[1], std::ios::binary);\n"
-           "  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),"
-           " std::istreambuf_iterator<char>());\n"
-           "  gen::NodePtr Root;\n"
-           "  if (!gen::parse(Bytes.data(), Bytes.size(), Root)) return 1;\n"
-        << ExtraMain << "  return 0;\n}\n";
-  }
-  {
-    std::ofstream In(Dir + "/input.bin", std::ios::binary);
-    In.write(reinterpret_cast<const char *>(Input.data()),
-             static_cast<std::streamsize>(Input.size()));
-  }
-  std::string Compile = "c++ -std=c++17 -O1 -o " + Dir + "/parser " + Dir +
-                        "/parser.cpp 2> " + Dir + "/compile.log";
-  if (std::system(Compile.c_str()) != 0) {
-    std::ifstream Log(Dir + "/compile.log");
-    std::string Line;
-    while (std::getline(Log, Line))
-      std::fprintf(stderr, "compile: %s\n", Line.c_str());
-    return -1;
-  }
-  std::string Run = Dir + "/parser " + Dir + "/input.bin";
-  int Rc = std::system(Run.c_str());
-  return Rc == -1 ? -1 : WEXITSTATUS(Rc);
+  return testutil::runChild(Exe, Tag, Input);
 }
 
 } // namespace
@@ -177,8 +155,8 @@ TEST(CodegenTest, CompiledElfParserAgreesWithEngine) {
   Interp I(R->G);
   ASSERT_TRUE(I.parse(ByteSpan::of(Bytes)));
   std::string Check =
-      "  gen::Node *H = Root->Children.empty() ? nullptr : "
-      "Root->Children[0].get();\n"
+      "  gen::Node *H = Root->children().empty() ? nullptr : "
+      "Root->children()[0].get();\n"
       "  if (!H) return 2;\n"
       "  long long Num = 0;\n"
       "  if (!H->get(\"num\", Num) || Num != " +

@@ -1,0 +1,465 @@
+//===- tests/differential_test.cpp - engine vs generated parsers ----------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential harness: every non-blackbox format corpus is parsed by
+/// BOTH the interpreter and the compiled generated parser, and the two
+/// trees are compared node-by-node — shape, node names, start/end, every
+/// attribute value, leaf windows. The comparison goes through one
+/// canonical text rendering (ipg_rt::dumpTree, embedded in every generated
+/// parser; renderCanonical below produces the identical format from the
+/// interpreter's ParseTree), so any byte of difference is a semantic
+/// divergence between runtime/Interp.cpp and codegen/CppEmitter.cpp.
+///
+/// Also hosts the regression tests for the divergences this harness was
+/// built to catch: pre-seeded start/end sentinels (a byte-untouched
+/// child's X.start must fail with partiality, not read as EOI) and the
+/// literal "EOI" env entry (X.EOI of a node that defines no such
+/// attribute must fail, not answer the child's window size).
+///
+/// Tests that need a host C++ compiler skip gracefully without one, as
+/// codegen_test.cpp does. Under -DIPG_SANITIZE=ON the generated parsers
+/// are themselves compiled with ASan+UBSan (IPG_SANITIZE_BUILD), so the
+/// CI sanitizer job proves generated code sanitizer-clean too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CppEmitter.h"
+
+#include "CodegenTestHarness.h"
+#include "formats/FormatRegistry.h"
+#include "runtime/Interp.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace ipg;
+using testutil::hostCompilerAvailable;
+
+namespace {
+
+Grammar load(const char *Src) {
+  auto R = loadGrammar(Src);
+  EXPECT_TRUE(R) << R.message();
+  if (!R)
+    std::abort();
+  return std::move(R->G);
+}
+
+/// The canonical rendering of an interpreter tree — byte-for-byte the
+/// format of ipg_rt::dumpTree in support/GenRuntime.h (the generated
+/// side). Attributes sort by (name, value); children print in execution
+/// order, exactly as generated frames push them.
+void renderCanonical(const ParseTree &T, const StringInterner &Names,
+                     int Indent, std::string &Out) {
+  Out.append(static_cast<size_t>(Indent) * 2, ' ');
+  switch (T.kind()) {
+  case ParseTree::Kind::Leaf: {
+    const auto &L = *cast<LeafTree>(&T);
+    Out += "Leaf off=" + std::to_string(L.offset()) +
+           " len=" + std::to_string(L.length()) +
+           " opaque=" + (L.isOpaque() ? "1" : "0") + "\n";
+    return;
+  }
+  case ParseTree::Kind::Array: {
+    const auto &A = *cast<ArrayTree>(&T);
+    Out += "Array " + std::string(Names.name(A.elemName())) + " x" +
+           std::to_string(A.size()) + "\n";
+    for (TreeRef E : A.elements())
+      renderCanonical(*E, Names, Indent + 1, Out);
+    return;
+  }
+  case ParseTree::Kind::Node: {
+    const auto &N = *cast<NodeTree>(&T);
+    Out += "Node " + std::string(Names.name(N.name())) + " {";
+    std::vector<std::pair<std::string, long long>> Attrs;
+    for (const EnvSlot &S : N.env())
+      Attrs.emplace_back(std::string(Names.name(S.Key)),
+                         static_cast<long long>(S.Value));
+    std::sort(Attrs.begin(), Attrs.end());
+    for (size_t I = 0; I < Attrs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Attrs[I].first + "=" + std::to_string(Attrs[I].second);
+    }
+    Out += "}\n";
+    for (TreeRef C : N.children())
+      renderCanonical(*C, Names, Indent + 1, Out);
+    return;
+  }
+  }
+}
+
+std::string renderCanonical(const TreePtr &Root, const Grammar &G) {
+  std::string Out;
+  if (Root)
+    renderCanonical(*Root, G.interner(), 0, Out);
+  return Out;
+}
+
+/// Compiles \p Generated with a driver that parses argv[1] and writes the
+/// generated runtime's canonical dump to argv[2]. Exit codes: 0 accepted,
+/// 1 rejected, >=2 infrastructure trouble. Returns false on compile
+/// failure (with the log on stderr).
+struct GenRun {
+  int ExitCode = -1;
+  std::string Dump;
+};
+
+bool compileGenerated(const std::string &Generated, const std::string &Tag,
+                      std::string &ExeOut) {
+  std::string Source =
+      Generated +
+      "\n#include <cstdio>\n#include <fstream>\n"
+      "int main(int argc, char **argv) {\n"
+      "  if (argc < 3) return 3;\n"
+      "  std::ifstream In(argv[1], std::ios::binary);\n"
+      "  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),"
+      " std::istreambuf_iterator<char>());\n"
+      "  gen::Parser P;\n"
+      "  gen::NodePtr Root = nullptr;\n"
+      "  if (!P.parse(Bytes.data(), Bytes.size(), Root)) return 1;\n"
+      "  std::ofstream Out(argv[2], std::ios::binary);\n"
+      "  Out << gen::dumpTree(Root);\n"
+      "  return Out ? 0 : 3;\n}\n";
+  ExeOut = testutil::compileParserSource(Source, Tag);
+  return !ExeOut.empty();
+}
+
+GenRun runGenerated(const std::string &Exe, const std::string &Tag,
+                    const std::vector<uint8_t> &Input) {
+  GenRun R;
+  std::string DumpPath = testutil::childDir(Tag) + "/dump.txt";
+  std::remove(DumpPath.c_str());
+  R.ExitCode = testutil::runChild(Exe, Tag, Input, DumpPath);
+  std::ifstream Dump(DumpPath, std::ios::binary);
+  std::stringstream SS;
+  SS << Dump.rdbuf();
+  R.Dump = SS.str();
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The corpus sweep: interpreter == generated on every non-blackbox format.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, AllNonBlackboxFormatCorporaAgree) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+
+  size_t Compared = 0;
+  for (const formats::FormatInfo &FI : formats::allFormats()) {
+    if (FI.NeedsBlackbox)
+      continue; // generated parsers have nowhere to resolve blackboxes from
+    SCOPED_TRACE("format: " + FI.Name);
+
+    auto Load = formats::loadFormatGrammar(FI.Name);
+    ASSERT_TRUE(Load) << Load.message();
+    auto Code = emitCppParser(Load->G, "gen");
+    ASSERT_TRUE(Code) << Code.message();
+    std::string Exe;
+    ASSERT_TRUE(compileGenerated(*Code, FI.Name, Exe));
+
+    Interp I(Load->G);
+    // Two input sizes per format so array/loop paths differ run-to-run.
+    // Scales stay small: recursion-heavy grammars (PDF recurses per
+    // content byte) exceed the default stack under ASan's fat Debug
+    // frames around scale 3, and this suite runs in the sanitizer job.
+    for (unsigned Scale : {1u, 2u}) {
+      SCOPED_TRACE("scale: " + std::to_string(Scale));
+      std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, Scale);
+      ASSERT_FALSE(Bytes.empty());
+
+      auto R = I.parse(ByteSpan::of(Bytes));
+      ASSERT_TRUE(R) << FI.Name << " corpus rejected by the interpreter: "
+                     << R.message();
+      std::string Want = renderCanonical(*R, Load->G);
+
+      GenRun Gen = runGenerated(Exe, FI.Name, Bytes);
+      ASSERT_EQ(Gen.ExitCode, 0)
+          << FI.Name << " corpus rejected by the generated parser";
+      EXPECT_EQ(Want, Gen.Dump)
+          << FI.Name << ": interpreter and generated trees diverge";
+      ++Compared;
+    }
+
+    // Both sides must also agree on rejection: corrupt the first byte.
+    std::vector<uint8_t> Bad = formats::sampleInput(FI.Name, 1);
+    Bad[0] ^= 0xff;
+    bool InterpAccepts = static_cast<bool>(I.parse(ByteSpan::of(Bad)));
+    GenRun GenBad = runGenerated(Exe, FI.Name, Bad);
+    ASSERT_GE(GenBad.ExitCode, 0);
+    ASSERT_LE(GenBad.ExitCode, 1);
+    EXPECT_EQ(InterpAccepts, GenBad.ExitCode == 0)
+        << FI.Name << ": accept/reject verdicts diverge on corrupt input";
+  }
+  // zip is the only blackbox format; everything else must have compared.
+  EXPECT_EQ(Compared, 2 * (formats::allFormats().size() - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: a byte-untouched child exposes no start/end — referencing
+// X.start must fail with partiality on BOTH sides (the generated runtime
+// used to pre-seed start = EOI / end = 0 sentinels and answer EOI).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *UntouchedChildGrammar = R"(
+  S -> A[0, 0] {s = A.start} "x"[0, 1] ;
+  A -> {v = 1} ;
+)";
+
+const char *UntouchedChildControlGrammar = R"(
+  S -> A[0, 0] {s = A.v} "x"[0, 1] ;
+  A -> {v = 1} ;
+)";
+
+} // namespace
+
+TEST(DifferentialTest, UntouchedChildStartIsPartialInInterpreter) {
+  Grammar G = load(UntouchedChildGrammar);
+  std::vector<uint8_t> In = {'x'};
+  EXPECT_FALSE(Interp(G).parse(ByteSpan::of(In)))
+      << "A touches no bytes, so A.start must be a partiality failure";
+
+  // Control: the same shape succeeds when it references a real attribute,
+  // proving the rejection above comes from A.start specifically.
+  Grammar C = load(UntouchedChildControlGrammar);
+  auto R = Interp(C).parse(ByteSpan::of(In));
+  ASSERT_TRUE(R) << R.message();
+  const auto *Root = cast<NodeTree>(R->get());
+  auto SV = Root->attr(C.interner().intern("s"));
+  ASSERT_TRUE(SV.has_value());
+  EXPECT_EQ(*SV, 1);
+  // And the untouched child carries neither start nor end.
+  const NodeTree *A = Root->childNode(C.interner().intern("A"));
+  ASSERT_NE(A, nullptr);
+  EXPECT_FALSE(A->attr(C.symStart()).has_value());
+  EXPECT_FALSE(A->attr(C.symEnd()).has_value());
+}
+
+TEST(DifferentialTest, UntouchedChildStartIsPartialInGenerated) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+  std::vector<uint8_t> In = {'x'};
+
+  Grammar G = load(UntouchedChildGrammar);
+  auto Code = emitCppParser(G, "gen");
+  ASSERT_TRUE(Code) << Code.message();
+  std::string Exe;
+  ASSERT_TRUE(compileGenerated(*Code, "untouched_start", Exe));
+  EXPECT_EQ(runGenerated(Exe, "untouched_start", In).ExitCode, 1)
+      << "generated parser must fail A.start of a byte-untouched child";
+
+  Grammar C = load(UntouchedChildControlGrammar);
+  auto CCode = emitCppParser(C, "gen");
+  ASSERT_TRUE(CCode) << CCode.message();
+  std::string CExe;
+  ASSERT_TRUE(compileGenerated(*CCode, "untouched_ctrl", CExe));
+  GenRun R = runGenerated(CExe, "untouched_ctrl", In);
+  EXPECT_EQ(R.ExitCode, 0);
+  // The generated dump shows s=1 on S and no start/end on A.
+  EXPECT_NE(R.Dump.find("s=1"), std::string::npos) << R.Dump;
+  EXPECT_NE(R.Dump.find("Node A {v=1}"), std::string::npos) << R.Dump;
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: no node env carries a runtime-stored "EOI" binding. The old
+// generated runtime wrote the window size into every env under the
+// literal name "EOI" (and the pre-PR interpreter did the same), so a
+// grammar attribute actually named EOI silently collided with it. Now the
+// only EOI a tree can carry is one the grammar itself defined, and it
+// reads back unclobbered; X.EOI of a child that defines no such
+// attribute is already rejected statically.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A defines its own attribute literally named EOI; the parent reads it
+/// through the env. The runtime must hand back the grammar's value (5),
+/// not the child's window size (1).
+const char *ChildEoiGrammar = R"(
+  S -> A[0, 1] {n = A.EOI} ;
+  A -> "x"[0, 1] {EOI = 5} ;
+)";
+
+} // namespace
+
+TEST(DifferentialTest, NodeEnvHasNoEoiEntryInInterpreter) {
+  std::vector<uint8_t> In = {'x'};
+
+  // Without a grammar-defined EOI on A, A.EOI does not resolve — the
+  // attribute checker rejects it statically (it used to "work" by
+  // reading the runtime-stored entry).
+  auto Undefined = loadGrammar(R"(
+    S -> A[0, 1] {n = A.EOI} ;
+    A -> "x"[0, 1] ;
+  )");
+  ASSERT_FALSE(Undefined);
+  EXPECT_NE(Undefined.message().find("EOI"), std::string::npos);
+
+  Grammar G = load(ChildEoiGrammar);
+  auto RG = Interp(G).parse(ByteSpan::of(In));
+  ASSERT_TRUE(RG) << RG.message();
+  const auto *SN = cast<NodeTree>(RG->get());
+  EXPECT_EQ(SN->attr(G.interner().intern("n")).value_or(-1), 5)
+      << "A.EOI must read the grammar-defined attribute, not the window";
+
+  // The env of a parsed node contains exactly its grammar-defined
+  // attributes plus touched start/end — no runtime-stored EOI.
+  Grammar Plain = load(R"(
+    S -> A[0, 1] ;
+    A -> "x"[0, 1] ;
+  )");
+  auto R = Interp(Plain).parse(ByteSpan::of(In));
+  ASSERT_TRUE(R) << R.message();
+  const auto *Root = cast<NodeTree>(R->get());
+  EXPECT_FALSE(Root->attr(Plain.interner().intern("EOI")).has_value());
+  const NodeTree *A = Root->childNode(Plain.interner().intern("A"));
+  ASSERT_NE(A, nullptr);
+  EXPECT_FALSE(A->attr(Plain.interner().intern("EOI")).has_value());
+  // start/end are present here — A did touch its byte.
+  EXPECT_EQ(A->attr(Plain.symStart()).value_or(-1), 0);
+  EXPECT_EQ(A->attr(Plain.symEnd()).value_or(-1), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: btoi(lo, hi) with extreme in-range operands must fail with
+// partiality, not signed overflow, on both sides. The window width used
+// to be computed as Hi - Lo before any validation — lo = -(2^62),
+// hi = 2^62 (buildable with checked shifts alone) made the subtraction
+// itself UB, aborting the ASan+UBSan jobs.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Alternative 1 evaluates the poisoned btoi and must fail cleanly;
+/// alternative 2 proves the failure was partiality, not an abort.
+const char *BtoiOverflowGrammar = R"(
+  S -> "x"[0, 1] {a = 1 << 62} {v = btoi(0 - a, a)}
+     / "x"[0, 1] {ok = btoi(0, 1)} ;
+)";
+
+} // namespace
+
+TEST(DifferentialTest, BtoiWindowOverflowIsPartialInInterpreter) {
+  Grammar G = load(BtoiOverflowGrammar);
+  std::vector<uint8_t> In = {'x'};
+  auto R = Interp(G).parse(ByteSpan::of(In));
+  ASSERT_TRUE(R) << R.message();
+  const auto *Root = cast<NodeTree>(R->get());
+  EXPECT_FALSE(Root->attr(G.interner().intern("v")).has_value());
+  EXPECT_EQ(Root->attr(G.interner().intern("ok")).value_or(-1), 'x');
+}
+
+TEST(DifferentialTest, BtoiWindowOverflowIsPartialInGenerated) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+  Grammar G = load(BtoiOverflowGrammar);
+  auto Code = emitCppParser(G, "gen");
+  ASSERT_TRUE(Code) << Code.message();
+  std::string Exe;
+  ASSERT_TRUE(compileGenerated(*Code, "btoi_overflow", Exe));
+  GenRun R = runGenerated(Exe, "btoi_overflow", {'x'});
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Dump.find("ok=120"), std::string::npos) << R.Dump;
+  EXPECT_EQ(R.Dump.find("v="), std::string::npos) << R.Dump;
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: the recursion-depth limit is a HARD failure on both sides.
+// The generated runtime used to soft-fail at the limit and backtrack
+// into sibling alternatives, so a fallback alternative could accept an
+// input the interpreter rejects with a hard depth error.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// T recurses once per leading 'a'; the raw fallback would match ANY
+/// input if the depth failure were soft.
+const char *DeepGrammar = R"(
+  S -> T[0, EOI] / raw[0, EOI] ;
+  T -> "a"[0, 1] T[1, EOI] / "a"[0, 1] ;
+)";
+
+} // namespace
+
+TEST(DifferentialTest, DepthLimitIsAHardFailureInInterpreter) {
+  Grammar G = load(DeepGrammar);
+  InterpOptions Opts;
+  Opts.MaxDepth = 64; // keep the recursion shallow (ASan-sized stacks)
+  std::vector<uint8_t> Shallow(10, 'a');
+  Interp I(G, nullptr, Opts);
+  EXPECT_TRUE(I.parse(ByteSpan::of(Shallow)));
+  std::vector<uint8_t> Deep(100, 'a');
+  EXPECT_FALSE(I.parse(ByteSpan::of(Deep)))
+      << "the depth limit must abort the parse, not fall back to raw";
+}
+
+TEST(DifferentialTest, DepthLimitIsAHardFailureInGenerated) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+  Grammar G = load(DeepGrammar);
+  auto Code = emitCppParser(G, "gen");
+  ASSERT_TRUE(Code) << Code.message();
+  std::string Exe;
+  ASSERT_TRUE(compileGenerated(*Code, "deep", Exe));
+  std::vector<uint8_t> Shallow(100, 'a');
+  EXPECT_EQ(runGenerated(Exe, "deep", Shallow).ExitCode, 0);
+  // Past ipg_rt::MaxDepth (8192) the parse must abort hard — no raw
+  // fallback. The guard caps the actual recursion at MaxDepth frames,
+  // so the input length does not grow the stack.
+  std::vector<uint8_t> Deep(9000, 'a');
+  EXPECT_EQ(runGenerated(Exe, "deep", Deep).ExitCode, 1)
+      << "the depth limit must abort the parse, not fall back to raw";
+}
+
+TEST(DifferentialTest, NodeEnvHasNoEoiEntryInGenerated) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+  std::vector<uint8_t> In = {'x'};
+
+  Grammar G = load(ChildEoiGrammar);
+  auto Code = emitCppParser(G, "gen");
+  ASSERT_TRUE(Code) << Code.message();
+  std::string Exe;
+  ASSERT_TRUE(compileGenerated(*Code, "child_eoi", Exe));
+  GenRun Collide = runGenerated(Exe, "child_eoi", In);
+  EXPECT_EQ(Collide.ExitCode, 0);
+  EXPECT_NE(Collide.Dump.find("n=5"), std::string::npos)
+      << "A.EOI must read the grammar-defined attribute (5), not the "
+         "window size (1):\n"
+      << Collide.Dump;
+
+  // EOI inside a rule's own expressions still reads the window size.
+  Grammar Own = load(R"(
+    S -> A[0, 1] {n = EOI} ;
+    A -> "x"[0, 1] ;
+  )");
+  auto OCode = emitCppParser(Own, "gen");
+  ASSERT_TRUE(OCode) << OCode.message();
+  std::string OExe;
+  ASSERT_TRUE(compileGenerated(*OCode, "own_eoi", OExe));
+  GenRun R = runGenerated(OExe, "own_eoi", In);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Dump.find("n=1"), std::string::npos) << R.Dump;
+  EXPECT_EQ(R.Dump.find("EOI="), std::string::npos)
+      << "no env entry may be named EOI:\n"
+      << R.Dump;
+}
