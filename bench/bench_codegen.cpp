@@ -16,15 +16,19 @@
 ///   <format>/generated: input_bytes, reps, mean_us, bytes_per_sec,
 ///                       allocs_per_parse, nodes_per_parse (rule-success
 ///                       freezes, comparable to the interp entry's
-///                       InterpStats::NodesCreated), tree_objects_per_parse
+///                       InterpStats::NodesCreated), memo_hits,
+///                       memo_misses, tree_objects_per_parse
 ///   <format>/interp:    the same metrics from the in-process engine
 ///
 /// Both sides count heap allocations by replacing global operator new
 /// (the child embeds its own counter; this process uses BenchUtil.h's),
 /// and both exclude the warmup parse that sizes pooled storage — so
 /// allocs_per_parse is the steady-state figure the arena runtime drives
-/// to 0. zip is skipped: its grammar needs the inflate blackbox, which
-/// generated parsers have nowhere to resolve from. Without a host
+/// to 0. zip participates since generated parsers grew the blackbox
+/// registration hook; its bench corpus is the stored-entry archive (the
+/// zero-copy `raw` path — the deflate path is covered functionally by
+/// tests/differential_test.cpp, and its MiniZlib decode cost would
+/// swamp the parser comparison this driver exists for). Without a host
 /// compiler the driver notes the skip and still writes the interpreter
 /// entries, so the artifact exists in every environment.
 ///
@@ -96,16 +100,18 @@ int main(int argc, char **argv) {
 
   gen::Parser P;
   gen::NodePtr Root = nullptr;
-  // Warmup: proves the input parses and sizes the arena/frame pools
-  // before the steady-state window.
+  // Warmup: proves the input parses and sizes the arena/frame pools and
+  // memo table before the steady-state window.
   if (!P.parse(Bytes.data(), Bytes.size(), Root)) return 1;
+  for (int W = 0; W < 4; ++W)
+    if (!P.parse(Bytes.data(), Bytes.size(), Root)) return 1;
   // frozenNodeCount is the counter comparable to the engine's
-  // InterpStats::NodesCreated (rule-success freezes only); any remaining
-  // gap between the two sides is memoization, which generated parsers do
-  // not do. nodeCount additionally includes shifted copies, arrays,
-  // leaves, and failed-alternative garbage.
+  // InterpStats::NodesCreated (rule-success freezes only; memo hits do
+  // not re-freeze on either side). nodeCount additionally includes
+  // shifted views, arrays, leaves, and failed-alternative garbage.
   size_t Nodes = P.frozenNodeCount();
   size_t Objects = P.nodeCount();
+  size_t MemoHits = P.memoHits(), MemoMisses = P.memoMisses();
 
   unsigned long long A0 = GAllocs;
   for (size_t K = 0; K < Reps; ++K)
@@ -122,6 +128,8 @@ int main(int argc, char **argv) {
   std::printf("mean_us=%.6f\n", TotalUs / (double)Reps);
   std::printf("allocs_per_parse=%.6f\n", (double)(A1 - A0) / (double)Reps);
   std::printf("nodes_per_parse=%zu\n", Nodes);
+  std::printf("memo_hits=%zu\n", MemoHits);
+  std::printf("memo_misses=%zu\n", MemoMisses);
   std::printf("tree_objects_per_parse=%zu\n", Objects);
   return 0;
 }
@@ -214,9 +222,11 @@ int main(int argc, char **argv) {
               "mean us", "MB/s", "allocs");
   int Failures = 0;
 
+  BlackboxRegistry Blackboxes = formats::standardBlackboxes();
   for (const formats::FormatInfo &FI : formats::allFormats()) {
-    if (FI.NeedsBlackbox)
-      continue; // generated parsers cannot resolve blackboxes
+    // zip's bench corpus is all stored entries, so neither side invokes
+    // the inflate decoder; the registry is bound for hygiene (and the
+    // generated child simply never reaches an unregistered blackbox).
     auto Load = formats::loadFormatGrammar(FI.Name);
     if (!Load) {
       std::fprintf(stderr, "error: %s: %s\n", FI.Name.c_str(),
@@ -228,7 +238,7 @@ int main(int argc, char **argv) {
 
     // In-process interpreter side, measured exactly like bench_throughput.
     {
-      Interp I(Load->G);
+      Interp I(Load->G, &Blackboxes);
       ByteSpan Image = ByteSpan::of(Bytes);
       auto R = I.parse(Image);
       if (!R) {
@@ -236,6 +246,16 @@ int main(int argc, char **argv) {
                      FI.Name.c_str(), R.message().c_str());
         return 1;
       }
+      // A few more warmup parses: pooled storage (memo table, frame
+      // pool, slot indexes, recycled store) converges to its fixed point
+      // over the first handful of parses, and allocs_per_parse below is
+      // the steady-state figure the arena runtime drives to 0.
+      for (int W = 0; W < 4; ++W)
+        if (auto Re = I.parse(Image); !Re) {
+          std::fprintf(stderr, "error: %s failed a warmup re-parse: %s\n",
+                       FI.Name.c_str(), Re.message().c_str());
+          return 1;
+        }
       uint64_t A0 = allocCount();
       for (size_t K = 0; K < Reps; ++K)
         if (!I.parse(Image))
@@ -252,6 +272,10 @@ int main(int argc, char **argv) {
                  static_cast<double>(A1 - A0) / static_cast<double>(Reps));
       Report.add(Entry, "nodes_per_parse",
                  static_cast<double>(I.stats().NodesCreated));
+      Report.add(Entry, "memo_hits",
+                 static_cast<double>(I.stats().MemoHits));
+      Report.add(Entry, "memo_misses",
+                 static_cast<double>(I.stats().MemoMisses));
       std::printf("%-20s | %10zu | %10.2f | %12.2f | %10.1f\n",
                   Entry.c_str(), Bytes.size(), T.MeanUs, Bps / 1e6,
                   static_cast<double>(A1 - A0) / static_cast<double>(Reps));
@@ -277,6 +301,8 @@ int main(int argc, char **argv) {
     Report.add(Entry, "bytes_per_sec", Bps);
     Report.add(Entry, "allocs_per_parse", M["allocs_per_parse"]);
     Report.add(Entry, "nodes_per_parse", M["nodes_per_parse"]);
+    Report.add(Entry, "memo_hits", M["memo_hits"]);
+    Report.add(Entry, "memo_misses", M["memo_misses"]);
     Report.add(Entry, "tree_objects_per_parse", M["tree_objects_per_parse"]);
     std::printf("%-20s | %10zu | %10.2f | %12.2f | %10.1f\n", Entry.c_str(),
                 Bytes.size(), MeanUs, Bps / 1e6, M["allocs_per_parse"]);

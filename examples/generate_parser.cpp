@@ -9,7 +9,11 @@
 /// The Section 7 workflow: feed an IPG grammar in, get a standalone C++
 /// recursive-descent parser out. With no arguments it emits the ELF
 /// grammar's parser to stdout; pass a grammar file path to generate from
-/// your own grammar.
+/// your own grammar. `--no-memo` emits the paper's plain recursive
+/// descent instead of the default memoizing parser (the trees are
+/// identical; only the backtracking complexity changes). Grammars with
+/// blackbox terms compile too — bind implementations at run time with
+/// `Parser::registerBlackbox(name, fn, cookie)` before parsing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,11 +28,19 @@
 using namespace ipg;
 
 int main(int argc, char **argv) {
+  CppEmitterOptions Opts;
+  std::string Path;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) == "--no-memo")
+      Opts.Memoize = false;
+    else
+      Path = argv[I];
+  }
   std::string Src;
-  if (argc > 1) {
-    std::ifstream In(argv[1]);
+  if (!Path.empty()) {
+    std::ifstream In(Path);
     if (!In) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
       return 1;
     }
     std::ostringstream Ss;
@@ -44,7 +56,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "grammar error: %s\n", Loaded.message().c_str());
     return 1;
   }
-  auto Code = emitCppParser(Loaded->G, "gen");
+  auto Code = emitCppParser(Loaded->G, "gen", Opts);
   if (!Code) {
     std::fprintf(stderr, "codegen error: %s\n", Code.message().c_str());
     return 1;

@@ -15,23 +15,38 @@
 /// dependency on this library. Its embedded runtime IS the library's
 /// shared semantic core: src/support/GenRuntime.h (arena-backed node
 /// store, index-based children, flat attribute envs, zero-copy leaves,
-/// first-update start/end) is pasted in verbatim by the build, so the
-/// interpreter and generated parsers cannot diverge semantically. On top
-/// of it the emitter writes one `parseRule_N` function per rule and one
-/// `eval_N` function per expression. Entry points:
+/// lazy shifted views, first-update start/end, the (rule, interval) memo
+/// table) is pasted in verbatim by the build, so the interpreter and
+/// generated parsers cannot diverge semantically. On top of it the
+/// emitter writes one `parseRule_N` function per rule and one `eval_N`
+/// function per expression. Entry points:
 ///
 ///   bool NS::parse(const uint8_t *Data, size_t Len, NS::NodePtr &Out);
 ///   NS::Parser P; P.parse(...);   // reusable: recycles its node store
-///                                 // across parses (0 allocs steady state)
+///                                 // and memo table across parses
+///                                 // (0 allocs steady state)
 ///
 /// A parsed tree is borrowed from its parser and valid until the next
 /// parse() on the same instance. `NS::dumpTree(Root)` renders the
 /// canonical form tests/differential_test.cpp compares against the
 /// interpreter.
 ///
-/// Limitations vs. the engine (documented, tested): no blackbox terms (the
-/// generated file has nowhere to resolve them from) and no memoization
-/// (plain recursive descent, as the paper's generator).
+/// Feature parity with the engine (both former documented limitations are
+/// closed):
+///
+///  - Memoization: every non-local (rule, interval) result — successes
+///    AND failures — is memoized in the embedded FlatIntervalMap with the
+///    interpreter's exact key packing, closing the Fig.-12 gap on
+///    backtracking-heavy grammars like PDF. CppEmitterOptions::Memoize
+///    turns it off for ablation (plain recursive descent, as the paper's
+///    generator); the trees are identical either way.
+///
+///  - Blackboxes: grammars with blackbox terms compile, and the driver
+///    binds implementations at runtime through the registration hook
+///    `P.registerBlackbox("name", fn, user)` (ipg_rt::BlackboxFn — a
+///    plain function pointer + cookie, so generated files stay
+///    dependency-free). An unregistered blackbox hard-fails the parse,
+///    exactly as in the interpreter.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,10 +60,18 @@
 
 namespace ipg {
 
+struct CppEmitterOptions {
+  /// Memoize non-local (rule, interval) results in the generated parser
+  /// (on by default, matching InterpOptions::UseMemo). Off emits the
+  /// paper's plain recursive descent; results are byte-identical.
+  bool Memoize = true;
+};
+
 /// Emits a standalone recursive-descent parser for \p G (which must be
 /// completed + attribute-checked) into namespace \p Namespace.
 Expected<std::string> emitCppParser(const Grammar &G,
-                                    const std::string &Namespace);
+                                    const std::string &Namespace,
+                                    const CppEmitterOptions &Opts = {});
 
 } // namespace ipg
 

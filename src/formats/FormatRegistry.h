@@ -45,6 +45,27 @@ Expected<LoadResult> loadFormatGrammar(const std::string &Name);
 /// A registry with the standard blackboxes (the MiniZlib `inflate`).
 BlackboxRegistry standardBlackboxes();
 
+/// Source-level support for running a *generated* parser of a blackbox
+/// format: what a driver must compile and call so the generated code can
+/// resolve the format's blackboxes through the ipg_rt registration hook.
+/// The bridges adapt the exact decoder implementations the interpreter's
+/// standardBlackboxes() uses (compiled from the same translation units),
+/// so the differential harness compares one decoder against itself.
+struct GenBlackboxBridge {
+  /// C++ source appended AFTER the generated parser: includes the decoder
+  /// headers and defines
+  ///   template <class ParserT> void ipgRegisterBlackboxes(ParserT &P);
+  /// which the driver calls on its parser before the first parse().
+  const char *DriverSource;
+  /// Extra translation units the child compile needs, space-separated,
+  /// relative to the repository's src/ directory (compile with -I<src>).
+  const char *ExtraSources;
+};
+
+/// The bridge for the named format, or nullptr when its grammar needs no
+/// blackboxes.
+const GenBlackboxBridge *genBlackboxBridge(const std::string &Name);
+
 /// A deterministic valid-by-construction sample input for the named
 /// format (the same synthesizer family the corpus benchmarks use).
 /// \p Scale linearly grows the repeated structures (entries, sections,

@@ -91,17 +91,21 @@ std::vector<uint8_t> ipg::formats::synthesizePdf(const PdfSynthSpec &Spec,
 
   size_t XrefOfs = W.size();
   M.XrefOffset = XrefOfs;
-  size_t Count = Spec.NumObjects + 1; // entry 0 is the free entry
+  size_t Refs = Spec.XrefRefsPerObject ? Spec.XrefRefsPerObject : 1;
+  size_t Count = Spec.NumObjects * Refs + 1; // entry 0 is the free entry
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "xref\n0 %05zu\n", Count);
   W.raw(Buf);
   // Free entry.
   W.raw("0000000000 65535 f \n");
-  for (size_t I = 0; I < Spec.NumObjects; ++I) {
-    std::snprintf(Buf, sizeof(Buf), "%010zu 00000 n \n",
-                  M.ObjectOffsets[I]);
-    W.raw(Buf);
-  }
+  // Rows are written pass by pass, the way incremental updates append
+  // re-references: passes beyond the first repeat every object offset.
+  for (size_t R = 0; R < Refs; ++R)
+    for (size_t I = 0; I < Spec.NumObjects; ++I) {
+      std::snprintf(Buf, sizeof(Buf), "%010zu 00000 n \n",
+                    M.ObjectOffsets[I]);
+      W.raw(Buf);
+    }
   W.raw("startxref\n");
   W.raw(std::to_string(XrefOfs));
   W.raw("\n%%EOF");

@@ -43,6 +43,13 @@ extern const char PdfGrammarText[];
 struct PdfSynthSpec {
   size_t NumObjects = 8;
   size_t ObjectBodySize = 64; ///< bytes of dictionary-ish content per object
+  /// Xref rows per object (>= 1). Real PDFs reach the same object through
+  /// several xref rows (incremental updates append re-references), and the
+  /// grammar's object pass then re-parses the same [offset, xref) interval
+  /// once per row — the random-access re-parse behavior Section 3.3's
+  /// memoization exists for and Fig. 12 measures on PDF. Every row beyond
+  /// the first is a duplicate reference to the object's offset.
+  size_t XrefRefsPerObject = 1;
   uint64_t Seed = 1;
 };
 

@@ -105,6 +105,23 @@ bool ipg::isPositionalTerm(const Term &T) {
   return false;
 }
 
+bool ipg::ruleSpawnsSubparsers(const Rule &R) {
+  for (const Alternative &Alt : R.Alts)
+    for (const TermPtr &T : Alt.Terms)
+      switch (T->kind()) {
+      case Term::Kind::Nonterminal:
+      case Term::Kind::Array:
+      case Term::Kind::Switch:
+      case Term::Kind::Blackbox:
+        return true;
+      case Term::Kind::Terminal:
+      case Term::Kind::AttrDef:
+      case Term::Kind::Predicate:
+        break;
+      }
+  return false;
+}
+
 static std::string escapeBytes(const std::string &Bytes) {
   std::string S = "\"";
   for (unsigned char C : Bytes) {

@@ -293,6 +293,14 @@ void forEachTermExpr(const Term &T,
 /// switches, blackboxes) as opposed to attribute definitions / predicates.
 bool isPositionalTerm(const Term &T);
 
+/// True when some alternative of \p R contains a term that spawns a
+/// subparser (nonterminal, array, switch, or blackbox). Leaf rules —
+/// terminals, attribute definitions, and predicates only — re-match in
+/// less time than a memo-table probe costs, so both execution engines
+/// exclude them from (rule, interval) memoization; the policy lives here
+/// so the two cannot disagree.
+bool ruleSpawnsSubparsers(const Rule &R);
+
 /// Renders one term in the surface syntax.
 std::string termToString(const Term &T, const Grammar &G);
 

@@ -7,9 +7,12 @@
 ///
 /// \file
 /// The environment E of the parsing semantics: a map from attribute names
-/// to integer values. Environments are tiny (EOI/start/end plus a handful
-/// of user attributes), so a flat vector with linear search beats a hash
-/// map here.
+/// to integer values. Slots stay in one flat insertion-ordered vector (the
+/// layout frozen nodes copy), but every get/set resolves through a
+/// generation-stamped direct map from interned symbol to slot position
+/// (ipg_rt::SlotIndex, shared with the generated parsers' frames) — O(1)
+/// instead of the linear scan attribute-heavy rules used to pay per
+/// access, and clear() stays O(1) too (a generation bump, not a sweep).
 ///
 /// Env is the *mutable* environment a frame builds while executing an
 /// alternative; the interpreter reuses Env storage across alternatives and
@@ -22,6 +25,7 @@
 #ifndef IPG_RUNTIME_ENV_H
 #define IPG_RUNTIME_ENV_H
 
+#include "support/GenRuntime.h"
 #include "support/Interner.h"
 
 #include <cstddef>
@@ -40,35 +44,41 @@ struct EnvSlot {
 class Env {
 public:
   std::optional<int64_t> get(Symbol S) const {
-    for (const auto &[Key, Value] : Slots)
-      if (Key == S)
-        return Value;
-    return std::nullopt;
+    uint32_t I = 0;
+    if (!Index.lookup(S, I))
+      return std::nullopt;
+    return Slots[I].Value;
   }
 
   /// Inserts or overwrites.
   void set(Symbol S, int64_t V) {
-    for (auto &[Key, Value] : Slots)
-      if (Key == S) {
-        Value = V;
-        return;
-      }
+    uint32_t I = 0;
+    if (Index.lookup(S, I)) {
+      Slots[I].Value = V;
+      return;
+    }
+    Index.record(S, static_cast<uint32_t>(Slots.size()));
     Slots.push_back({S, V});
   }
 
   /// Removes the binding; returns whether it existed.
   bool erase(Symbol S) {
-    for (size_t I = 0; I < Slots.size(); ++I)
-      if (Slots[I].Key == S) {
-        Slots.erase(Slots.begin() + I);
-        return true;
-      }
-    return false;
+    uint32_t I = 0;
+    if (!Index.lookup(S, I))
+      return false;
+    Slots.erase(Slots.begin() + I);
+    Index.forget(S);
+    for (uint32_t J = I; J < Slots.size(); ++J)
+      Index.record(Slots[J].Key, J); // reseat the slots the erase slid down
+    return true;
   }
 
   /// Drops all bindings but keeps capacity (scratch reuse in the
-  /// interpreter's frame pool).
-  void clear() { Slots.clear(); }
+  /// interpreter's frame pool). O(1): the index clears by generation.
+  void clear() {
+    Slots.clear();
+    Index.clear();
+  }
 
   size_t size() const { return Slots.size(); }
   const EnvSlot *data() const { return Slots.data(); }
@@ -77,6 +87,7 @@ public:
 
 private:
   std::vector<EnvSlot> Slots;
+  ipg_rt::SlotIndex Index;
 };
 
 } // namespace ipg

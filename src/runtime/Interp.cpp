@@ -13,6 +13,7 @@
 #include "support/GenRuntime.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -41,12 +42,17 @@ struct InterpState {
     std::vector<uint32_t> ChildIds;
     std::vector<uint32_t> ChildTermIdx;
 
+    /// Per-term touch records, invalidated per alternative by generation
+    /// stamp — a rule with many failing alternatives pays O(1) per
+    /// attempt instead of refilling the array (the same scheme as the
+    /// generated ipg_rt::Frame).
     struct TermRec {
-      bool HasEnd = false;
+      uint32_t Gen = 0;
       int64_t Start = 0;
       int64_t End = 0;
     };
     std::vector<TermRec> Recs;
+    uint32_t RecGen = 0;
 
     /// Enclosing frame for where-clause rules (null for global rules).
     const Frame *Lexical = nullptr;
@@ -57,16 +63,64 @@ struct InterpState {
       E.clear();
       ChildIds.clear();
       ChildTermIdx.clear();
-      Recs.assign(NumTerms, TermRec());
+      if (Recs.size() < NumTerms)
+        Recs.resize(NumTerms);
+      if (++RecGen == 0) {
+        // Generation wrap (once per 2^32 alternatives): ancient stamps
+        // could alias the restarted counter, so pay one full sweep.
+        for (TermRec &R : Recs)
+          R.Gen = 0;
+        RecGen = 1;
+      }
+    }
+
+    void rec(uint32_t TermIdx, int64_t Start, int64_t End) {
+      Recs[TermIdx] = TermRec{RecGen, Start, End};
+    }
+    bool termEnd(uint32_t TermIdx, int64_t &Out) const {
+      if (TermIdx >= Recs.size() || Recs[TermIdx].Gen != RecGen)
+        return false;
+      Out = Recs[TermIdx].End;
+      return true;
     }
   };
 
-  FlatIntervalMap<const NodeTree *> Memo;
+  /// ipg_rt::memoPack'd outcomes — the same encoding the generated Ctx
+  /// uses, through the same helpers; ids are stable within a parse.
+  FlatIntervalMap<uint32_t> Memo;
   FlatIntervalMap<uint8_t> InProgress;
+  /// Per-rule memoization eligibility (computed once per engine): global
+  /// rules that spawn subparsers. Indexed by RuleId.
+  std::vector<uint8_t> RuleMemoizable;
   std::vector<std::unique_ptr<Frame>> FramePool; // indexed by depth
   std::vector<std::vector<uint32_t>> ElemScratch; // per array-nesting level
   size_t ArrayNest = 0;
-  std::shared_ptr<TreeStore> Store;
+
+  /// The store of the parse in flight (and, after a FAILED parse, of the
+  /// next one — failures recycle trivially since no result escaped). A
+  /// successful parse MOVES this into the returned TreePtr: the engine
+  /// keeps no reference, so the result path performs zero refcount
+  /// traffic, and a dropped result finds its way back through Pool.
+  TreeStore *Cur = nullptr;
+  /// Where dying TreePtrs park their store for reuse; heap-allocated so
+  /// it can outlive whichever of engine / last tree dies first.
+  TreeStore::Recycler *Pool = new TreeStore::Recycler();
+
+  ~InterpState() {
+    TreeStore::Recycler *P = Pool;
+    P->OwnerAlive = false;
+    TreeStore *Parked = P->Returned;
+    P->Returned = nullptr;
+    bool DestroyedAny = Cur || Parked;
+    if (Cur)
+      TreeStore::destroy(Cur); // may free P when it was the last store
+    if (Parked)
+      TreeStore::destroy(Parked);
+    // No store went through destroy() and none are loaned out: P is ours
+    // to free. (Outstanding TreePtrs free it through their last release.)
+    if (!DestroyedAny && P->LiveStores == 0)
+      delete P;
+  }
 
   Frame &frameAt(size_t Depth) {
     while (FramePool.size() <= Depth)
@@ -159,9 +213,10 @@ public:
   }
 
   std::optional<int64_t> termEnd(uint32_t TermIdx) const override {
-    if (TermIdx >= F.Recs.size() || !F.Recs[TermIdx].HasEnd)
+    int64_t Out = 0;
+    if (!F.termEnd(TermIdx, Out))
       return std::nullopt;
-    return F.Recs[TermIdx].End;
+    return Out;
   }
 
   std::optional<int64_t> readInput(ReadKind RK, int64_t Lo,
@@ -202,10 +257,14 @@ public:
   Runner(const Grammar &G, const BlackboxRegistry *Blackboxes,
          const InterpOptions &Opts, InterpStats &Stats, InterpState &St)
       : G(G), Blackboxes(Blackboxes), Opts(Opts), Stats(Stats), St(St),
-        Store(*St.Store) {}
+        Store(*St.Cur) {}
 
   Expected<TreePtr> run(ByteSpan Input, RuleId Start) {
-    const NodeTree *Node = parseRule(Start, Input, nullptr);
+    uint32_t RootId = parseRule(Start, Input, nullptr);
+    const NodeTree *Node =
+        RootId == InvalidNode
+            ? nullptr
+            : cast<NodeTree>(Store.node(RootId));
     Stats.ArenaBytesUsed = Store.arenaBytesUsed();
     if (Hard)
       return Expected<TreePtr>(std::move(Hard));
@@ -213,7 +272,12 @@ public:
       return Expected<TreePtr>::failure(
           "parse failed: input rejected by rule '" +
           std::string(G.interner().name(G.rule(Start).Name)) + "'");
-    return Expected<TreePtr>(TreePtr(St.Store, Node));
+    // Move the store out to the result: the engine keeps no reference
+    // (zero refcount traffic on this path), and when the caller drops the
+    // TreePtr the store parks itself in St.Pool for the next parse.
+    TreeStore *Owned = St.Cur;
+    St.Cur = nullptr;
+    return Expected<TreePtr>(TreePtr(Owned, Node));
   }
 
 private:
@@ -225,6 +289,9 @@ private:
   TreeStore &Store;
   Error Hard = Error::success();
   size_t Depth = 0;
+
+  /// parseRule's failure id (nodes are 32-bit store indices).
+  static constexpr uint32_t InvalidNode = ~0u;
 
   /// updStartEnd of Figure 8: the first-update min/max shared with the
   /// generated runtime. start/end enter the environment only once a term
@@ -278,19 +345,19 @@ private:
       return false;
     if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return false;
-    const NodeTree *Sub =
+    uint32_t Sub =
         parseRule(Target, F.Input.slice(static_cast<size_t>(Lo),
                                         static_cast<size_t>(Hi)),
                   &F);
-    if (Hard || !Sub)
+    if (Hard || Sub == InvalidNode)
       return false;
     int64_t BStart, BEnd;
-    childSpan(*Sub, Hi - Lo, BStart, BEnd);
-    uint32_t Adjusted = Store.makeShifted(*Sub, Lo, G.symStart(), G.symEnd());
+    childSpan(*cast<NodeTree>(Store.node(Sub)), Hi - Lo, BStart, BEnd);
+    uint32_t Adjusted = Store.makeShifted(Sub, Lo, G.symStart(), G.symEnd());
     updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
     F.ChildIds.push_back(Adjusted);
     F.ChildTermIdx.push_back(TermIdx);
-    F.Recs[TermIdx] = {true, Lo + BStart, Lo + BEnd};
+    F.rec(TermIdx, Lo + BStart, Lo + BEnd);
     return true;
   }
 
@@ -324,7 +391,7 @@ private:
                            static_cast<size_t>(Hi - Lo), Lo,
                            /*Opaque=*/true));
         F.ChildTermIdx.push_back(TI);
-        F.Recs[TI] = {true, Lo, Hi};
+        F.rec(TI, Lo, Hi);
         return true;
       }
       int64_t Len = static_cast<int64_t>(S.Bytes.size());
@@ -338,7 +405,7 @@ private:
                                           static_cast<size_t>(Len), Lo,
                                           /*Opaque=*/false));
       F.ChildTermIdx.push_back(TI);
-      F.Recs[TI] = {true, Lo, Lo + Len};
+      F.rec(TI, Lo, Lo + Len);
       return true;
     }
 
@@ -425,19 +492,19 @@ private:
         Failed = true;
         break;
       }
-      const NodeTree *Sub =
+      uint32_t Sub =
           parseRule(A.Resolved,
                     F.Input.slice(static_cast<size_t>(Lo),
                                   static_cast<size_t>(Hi)),
                     &F);
-      if (Hard || !Sub) {
+      if (Hard || Sub == InvalidNode) {
         Failed = true;
         break;
       }
       int64_t BStart, BEnd;
-      childSpan(*Sub, Hi - Lo, BStart, BEnd);
+      childSpan(*cast<NodeTree>(Store.node(Sub)), Hi - Lo, BStart, BEnd);
       St.ElemScratch[Level].push_back(
-          Store.makeShifted(*Sub, Lo, G.symStart(), G.symEnd()));
+          Store.makeShifted(Sub, Lo, G.symStart(), G.symEnd()));
       updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
       if (BEnd != 0) {
         AnyTouched = true;
@@ -459,7 +526,7 @@ private:
                         static_cast<uint32_t>(Elems.size())));
     F.ChildTermIdx.push_back(TI);
     if (AnyTouched)
-      F.Recs[TI] = {true, 0, MaxEnd};
+      F.rec(TI, 0, MaxEnd);
     return true;
   }
 
@@ -514,44 +581,51 @@ private:
     updStartEnd(F.E, Lo, Lo + static_cast<int64_t>(Res.End), Res.End > 0);
     F.ChildIds.push_back(Node);
     F.ChildTermIdx.push_back(TI);
-    F.Recs[TI] = {true, Lo, Lo + static_cast<int64_t>(Res.End)};
+    F.rec(TI, Lo, Lo + static_cast<int64_t>(Res.End));
     return true;
   }
 
-  const NodeTree *parseRule(RuleId Id, ByteSpan Input, const Frame *Lexical) {
+  /// Parses \p Id over \p Input; returns the frozen node id, or
+  /// InvalidNode on failure (check Hard for aborts).
+  uint32_t parseRule(RuleId Id, ByteSpan Input, const Frame *Lexical) {
     if (Hard)
-      return nullptr;
+      return InvalidNode;
     if (Depth >= Opts.MaxDepth) {
       Hard = Error::failure(
           "recursion depth limit exceeded while parsing rule '" +
           std::string(G.interner().name(G.rule(Id).Name)) +
           "' (likely a non-terminating grammar; see termination checking)");
-      return nullptr;
+      return InvalidNode;
     }
     ++Depth;
     Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
 
     const Rule &R = G.rule(Id);
-    bool Memoize = Opts.UseMemo && !R.IsLocal;
+    // Local rules are never memoized (their meaning depends on the
+    // enclosing frame); leaf rules are excluded as a pure optimization —
+    // re-matching a handful of terminals/attrdefs is cheaper than a probe
+    // (ruleSpawnsSubparsers, the policy shared with generated parsers).
+    bool Memoize = Opts.UseMemo && St.RuleMemoizable[Id];
     bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
     IntervalKey Key;
     if (Memoize || TrackReentry)
       Key = IntervalKey::pack(Id, Input.absBase(),
                               Input.absBase() + Input.size());
     if (Memoize) {
-      if (const NodeTree *const *Hit = St.Memo.find(Key)) {
+      if (const uint32_t *Hit = St.Memo.find(Key)) {
         ++Stats.MemoHits;
         --Depth;
-        return *Hit;
+        unsigned NodeId = 0;
+        return ipg_rt::memoUnpack(*Hit, NodeId) ? NodeId : InvalidNode;
       }
       ++Stats.MemoMisses;
     }
     if (TrackReentry && !St.InProgress.insert(Key, 1)) {
       --Depth;
-      return nullptr; // packrat-style: in-progress re-entry fails
+      return InvalidNode; // packrat-style: in-progress re-entry fails
     }
 
-    const NodeTree *Result = nullptr;
+    uint32_t Result = InvalidNode;
     Frame &F = St.frameAt(Depth);
     for (const Alternative &Alt : R.Alts) {
       F.beginAlt(Input, R.IsLocal ? Lexical : nullptr, Alt.Terms.size());
@@ -575,10 +649,9 @@ private:
       if (Hard)
         break;
       if (Ok) {
-        uint32_t NodeId = Store.makeNode(
+        Result = Store.makeNode(
             R.Name, Id, F.E, F.ChildIds.data(), F.ChildTermIdx.data(),
             static_cast<uint32_t>(F.ChildIds.size()));
-        Result = cast<NodeTree>(Store.node(NodeId));
         ++Stats.NodesCreated;
         break;
       }
@@ -587,9 +660,11 @@ private:
     if (TrackReentry)
       St.InProgress.erase(Key);
     if (Memoize && !Hard)
-      St.Memo.insert(Key, Result);
+      St.Memo.insert(Key, ipg_rt::memoPack(
+                              Result == InvalidNode ? 0u : Result,
+                              Result != InvalidNode));
     --Depth;
-    return Hard ? nullptr : Result;
+    return Hard ? InvalidNode : Result;
   }
 };
 
@@ -598,7 +673,13 @@ private:
 Interp::Interp(const Grammar &G, const BlackboxRegistry *Blackboxes,
                InterpOptions Opts)
     : G(G), Blackboxes(Blackboxes), Opts(Opts),
-      S(std::make_unique<InterpState>()) {}
+      S(std::make_unique<InterpState>()) {
+  S->RuleMemoizable.resize(G.numRules(), 0);
+  for (size_t I = 0; I < G.numRules(); ++I) {
+    const Rule &R = G.rule(static_cast<RuleId>(I));
+    S->RuleMemoizable[I] = !R.IsLocal && ruleSpawnsSubparsers(R);
+  }
+}
 
 Interp::~Interp() = default;
 
@@ -613,13 +694,19 @@ Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
         "start nonterminal '" +
         std::string(G.interner().name(StartNT)) + "' has no rule");
   Stats = InterpStats();
-  // Recycle the previous parse's store when no TreePtr still references
-  // it; otherwise that tree stays valid and this parse gets a fresh store.
-  if (S->Store && S->Store.use_count() == 1) {
-    S->Store->reset();
+  // Recycle a store when one is available: either the engine still holds
+  // one (the previous parse failed, so no result escaped) or a dropped
+  // TreePtr parked its store in the recycler. Otherwise — first parse, or
+  // every previous tree is still alive — this parse gets a fresh store.
+  if (!S->Cur && S->Pool->Returned) {
+    S->Cur = S->Pool->Returned;
+    S->Pool->Returned = nullptr;
+  }
+  if (S->Cur) {
+    S->Cur->reset();
     Stats.StoreRecycled = true;
   } else {
-    S->Store = std::make_shared<TreeStore>();
+    S->Cur = new TreeStore(S->Pool);
   }
   S->Memo.clear();
   S->InProgress.clear();

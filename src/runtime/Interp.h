@@ -15,8 +15,13 @@
 /// Memoization keys on (rule, absolute slice) as described in Section 3.3,
 /// giving the O(n^2) bound; it can be disabled for ablation. The table is
 /// an open-addressing flat hash over a 128-bit packed key
-/// (support/FlatHash.h), not a node-based map. Local (where-clause) rules
-/// are never memoized because their meaning depends on the enclosing frame.
+/// (support/FlatHash.h re-exporting ipg_rt's implementation, which
+/// generated parsers embed too), not a node-based map. Local
+/// (where-clause) rules are never memoized because their meaning depends
+/// on the enclosing frame, and leaf rules (no subparser-spawning term;
+/// ruleSpawnsSubparsers) are skipped because re-matching them is cheaper
+/// than a table probe — both halves of the policy are shared with the
+/// code generator.
 ///
 /// Hot-path memory discipline: parse trees are built in an arena-backed
 /// TreeStore, per-depth frame scratch lives in a pool, and the memo table
@@ -24,9 +29,14 @@
 /// while these structures first grow; once the caller drops the previous
 /// TreePtr before the next parse() the engine recycles the store and
 /// steady-state parsing performs no heap allocation (stats().StoreRecycled
-/// reports whether that happened). Results returned by parse() share
-/// ownership of their store, so holding a TreePtr simply makes the next
-/// parse() start a fresh store — older trees are never invalidated.
+/// reports whether that happened). A successful parse() MOVES store
+/// ownership into the returned TreePtr (an intrusive plain refcount — no
+/// shared_ptr, no atomics, no per-parse refcount traffic); a dying
+/// TreePtr parks its store in the engine's recycler for the next parse.
+/// Holding a TreePtr simply makes the next parse() start a fresh store —
+/// older trees are never invalidated, and they may outlive the engine.
+/// Trees must be shared and released on the engine's thread (the same
+/// one-per-thread contract the engine itself has).
 ///
 /// Nontermination handling: the formal semantics simply diverges on
 /// grammars that fail termination checking; a practical engine cannot. Two

@@ -37,22 +37,24 @@ const NodeTree *ArrayTree::element(size_t I) const {
   return dyn_cast<NodeTree>(Owner->node(ElemIds[I]));
 }
 
-uint32_t TreeStore::makeShifted(const NodeTree &N, int64_t Delta,
+uint32_t TreeStore::makeShifted(uint32_t BaseId, int64_t Delta,
                                 Symbol SymStart, Symbol SymEnd) {
-  EnvView E = N.env();
-  auto NumSlots = static_cast<uint32_t>(E.size());
-  EnvSlot *Shifted = Mem.makeArray<EnvSlot>(NumSlots);
-  uint32_t I = 0;
-  for (EnvSlot S : E) {
-    if (S.Key == SymStart || S.Key == SymEnd)
-      S.Value += Delta;
-    Shifted[I++] = S;
-  }
-  // Child arrays are shared with the original node: both live in this
-  // arena, so the shallow copy costs one NodeTree plus the shifted env.
-  return addNode(Mem.make<NodeTree>(this, N.Name, N.Rule, Shifted, NumSlots,
-                                    N.ChildIds, N.ChildTermIdx,
-                                    N.NumChildren));
+  // A zero delta needs no view: the base node is its own view (the
+  // common first-child-at-offset-0 edge costs nothing, matching the
+  // generated runtime's Ctx::shifted).
+  if (Delta == 0)
+    return BaseId;
+  // Record which symbols shifted views resolve against; they are fixed
+  // per grammar, so every call agrees.
+  ShiftStartSym = SymStart;
+  ShiftEndSym = SymEnd;
+  // The view shares the base node's frozen env and child arrays — nothing
+  // is copied. Deltas compose, so a view over a view stays correct; the
+  // resolution happens in EnvView (env()/attr() reads and iteration).
+  const auto &N = *cast<NodeTree>(node(BaseId));
+  NodeTree View(N);
+  View.Shift = N.Shift + Delta;
+  return addNode(Mem.make<NodeTree>(View));
 }
 
 size_t ipg::treeSize(const ParseTree &T) {

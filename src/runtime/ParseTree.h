@@ -21,15 +21,20 @@
 /// Children are stored as 32-bit node ids into the owning store (resolved
 /// through ChildList/TreeRef views), attribute environments are frozen
 /// arena arrays (EnvView), and leaves are zero-copy windows into the input
-/// (or into arena-copied blackbox output). A whole tree therefore costs one
-/// shared_ptr (the TreePtr root handle) no matter how many vertices it has,
-/// and resetting the store reclaims everything at once; see
-/// docs/architecture.md ("Runtime hot path").
+/// (or into arena-copied blackbox output). T-NTSucc's coordinate shift is
+/// lazy: makeShifted creates a view that shares the base node's frozen
+/// env and child arrays and records only the delta, which EnvView resolves
+/// on start/end reads — no environment is ever copied per child edge. A
+/// whole tree costs one intrusive-refcount handle (the TreePtr root) no
+/// matter how many vertices it has, and resetting the store reclaims
+/// everything at once; see docs/architecture.md ("Runtime hot path").
 ///
 /// Lifetime rules: a tree is valid while (a) its TreePtr (or any copy) is
 /// alive and (b) the input buffer it parsed is alive — leaves alias the
 /// input. Nodes never move once created: TreeStore growth adds arena
-/// blocks, it does not relocate existing ones.
+/// blocks, it does not relocate existing ones. The refcount is plain (not
+/// atomic): a tree must be shared and released on the thread of the engine
+/// that produced it, matching Interp's one-instance-per-thread contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +52,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ipg {
@@ -87,27 +93,61 @@ private:
   const ParseTree *P = nullptr;
 };
 
-/// An immutable, arena-frozen attribute environment.
+/// An immutable, arena-frozen attribute environment. A view may carry the
+/// lazy T-NTSucc delta of a shifted node: the underlying slots are shared
+/// with the unshifted base node, and the shift is applied to the special
+/// start/end keys at read time (get and iteration both resolve it, so no
+/// reader can observe unshifted coordinates).
 class EnvView {
 public:
   EnvView() = default;
-  EnvView(const EnvSlot *Slots, uint32_t NumSlots)
-      : Slots(Slots), NumSlots(NumSlots) {}
+  EnvView(const EnvSlot *Slots, uint32_t NumSlots, int64_t Shift = 0,
+          Symbol SyStart = InvalidSymbol, Symbol SyEnd = InvalidSymbol)
+      : Slots(Slots), NumSlots(NumSlots), Shift(Shift), SyStart(SyStart),
+        SyEnd(SyEnd) {}
+
+  /// Slot \p I with the view's lazy shift resolved.
+  EnvSlot slot(uint32_t I) const {
+    EnvSlot S = Slots[I];
+    if (Shift != 0 && (S.Key == SyStart || S.Key == SyEnd))
+      S.Value += Shift;
+    return S;
+  }
 
   std::optional<int64_t> get(Symbol S) const {
     for (uint32_t I = 0; I < NumSlots; ++I)
       if (Slots[I].Key == S)
-        return Slots[I].Value;
+        return slot(I).Value;
     return std::nullopt;
   }
 
   size_t size() const { return NumSlots; }
-  const EnvSlot *begin() const { return Slots; }
-  const EnvSlot *end() const { return Slots + NumSlots; }
+
+  /// Iteration yields resolved EnvSlots by value (the storage itself is
+  /// shared with the base node and must not leak unshifted).
+  class iterator {
+  public:
+    iterator(const EnvView *V, uint32_t I) : V(V), I(I) {}
+    EnvSlot operator*() const { return V->slot(I); }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return I != O.I; }
+
+  private:
+    const EnvView *V;
+    uint32_t I;
+  };
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, NumSlots); }
 
 private:
   const EnvSlot *Slots = nullptr;
   uint32_t NumSlots = 0;
+  int64_t Shift = 0;
+  Symbol SyStart = InvalidSymbol;
+  Symbol SyEnd = InvalidSymbol;
 };
 
 /// A view over a node's children: 32-bit ids resolved lazily against the
@@ -159,7 +199,7 @@ public:
 
   Symbol name() const { return Name; }
   RuleId rule() const { return Rule; }
-  EnvView env() const { return EnvView(Slots, NumSlots); }
+  inline EnvView env() const; // resolves the lazy shift (below)
   ChildList children() const {
     return ChildList(Owner, ChildIds, NumChildren);
   }
@@ -177,7 +217,7 @@ public:
   const ArrayTree *childArray(Symbol ElemName) const;
 
 private:
-  friend class TreeStore; // makeShifted shares the child arrays
+  friend class TreeStore; // makeShifted shares the env/child arrays
 
   const TreeStore *Owner;
   Symbol Name;
@@ -187,6 +227,10 @@ private:
   const uint32_t *ChildIds;
   const uint32_t *ChildTermIdx;
   uint32_t NumChildren;
+  /// Lazy T-NTSucc delta of a shifted view (0 for directly built nodes).
+  /// Applied to the start/end attributes by env(); everything else in the
+  /// node — slots, children — is shared with the unshifted base.
+  int64_t Shift = 0;
 };
 
 /// Array(Trs): the result of a for-term; elements are NodeTrees.
@@ -244,11 +288,41 @@ private:
 /// children are stored against. Create through the builder methods only;
 /// reset() invalidates everything built so far and starts over with the
 /// same memory.
+///
+/// Sharing: a store handed out by an engine carries a plain intrusive
+/// refcount manipulated by TreePtr — no shared_ptr, no atomics, no
+/// control-block allocation, and no refcount traffic on the parse result
+/// path (the engine MOVES its ownership into the returned TreePtr). When
+/// the last TreePtr dies the store parks itself in its owner's Recycler
+/// instead of deallocating, which is how a dropped result becomes the
+/// next parse's recycled store; a store without a recycler (or whose
+/// owner died, or whose recycler is already holding one) deletes itself.
 class TreeStore {
 public:
-  TreeStore() = default;
+  /// The rendezvous between an engine and the stores it loaned out.
+  /// Heap-allocated by the engine and shared with every store it creates;
+  /// whoever is last (engine or final TreePtr) frees it.
+  struct Recycler {
+    TreeStore *Returned = nullptr; ///< at most one store parked for reuse
+    bool OwnerAlive = true;        ///< engine still exists
+    size_t LiveStores = 0;         ///< stores bound to this recycler
+  };
+
+  explicit TreeStore(Recycler *Pool = nullptr) : Pool(Pool) {
+    if (Pool)
+      ++Pool->LiveStores;
+  }
   TreeStore(const TreeStore &) = delete;
   TreeStore &operator=(const TreeStore &) = delete;
+
+  /// Deletes \p S and, when it was the recycler's last store and the
+  /// owner is already gone, the recycler too.
+  static void destroy(TreeStore *S) {
+    Recycler *P = S->Pool;
+    delete S;
+    if (P && --P->LiveStores == 0 && !P->OwnerAlive)
+      delete P;
+  }
 
   const ParseTree *node(uint32_t Id) const {
     assert(Id < Nodes.size() && "node id out of range");
@@ -279,10 +353,19 @@ public:
                                       Ids, Terms, NumChildren));
   }
 
-  /// Shallow copy of \p N with start/end shifted by \p Delta (T-NTSucc);
-  /// children arrays are shared with the original.
-  uint32_t makeShifted(const NodeTree &N, int64_t Delta, Symbol SymStart,
+  /// Lazy shifted view of node \p BaseId (T-NTSucc): shares the frozen
+  /// env and child arrays of the base node and records Delta for
+  /// read-time resolution — no slot is copied. A zero delta needs no
+  /// view at all (the base id is returned), and shifting an existing
+  /// view composes the deltas. \p BaseId must name a NodeTree.
+  uint32_t makeShifted(uint32_t BaseId, int64_t Delta, Symbol SymStart,
                        Symbol SymEnd);
+
+  /// The start/end symbols shifted views resolve against (recorded by
+  /// makeShifted; InvalidSymbol until the first shift, when no view can
+  /// exist yet).
+  Symbol shiftStartSym() const { return ShiftStartSym; }
+  Symbol shiftEndSym() const { return ShiftEndSym; }
 
   uint32_t makeArray(Symbol Elem, const uint32_t *ElemIds,
                      uint32_t NumElems) {
@@ -312,13 +395,34 @@ public:
   }
 
 private:
+  friend class TreePtr;
+
   uint32_t addNode(const ParseTree *T) {
     Nodes.push_back(T);
     return static_cast<uint32_t>(Nodes.size() - 1);
   }
 
+  void retain() const { ++RefCount; }
+  /// Drops one reference; on the last one the store parks itself in its
+  /// recycler (owner alive, slot free) or deletes itself.
+  void release() const {
+    assert(RefCount > 0 && "release without retain");
+    if (--RefCount > 0)
+      return;
+    TreeStore *Self = const_cast<TreeStore *>(this);
+    if (Pool && Pool->OwnerAlive && !Pool->Returned) {
+      Pool->Returned = Self;
+      return;
+    }
+    destroy(Self);
+  }
+
   Arena Mem;
   std::vector<const ParseTree *> Nodes;
+  Recycler *Pool = nullptr;
+  mutable size_t RefCount = 0; ///< plain count: engine-thread only
+  Symbol ShiftStartSym = InvalidSymbol;
+  Symbol ShiftEndSym = InvalidSymbol;
 };
 
 inline TreeRef ChildList::operator[](size_t I) const {
@@ -326,25 +430,63 @@ inline TreeRef ChildList::operator[](size_t I) const {
   return TreeRef(Store->node(Ids[I]));
 }
 
+inline EnvView NodeTree::env() const {
+  return EnvView(Slots, NumSlots, Shift,
+                 Owner ? Owner->shiftStartSym() : InvalidSymbol,
+                 Owner ? Owner->shiftEndSym() : InvalidSymbol);
+}
+
 /// The root handle of a parse: shares ownership of the TreeStore (one
-/// refcount for the whole tree) and points at the root node. The
-/// interpreter recycles a store for its next parse only once no TreePtr
-/// references it.
+/// plain intrusive refcount for the whole tree — the engine's result path
+/// moves ownership in without touching it) and points at the root node.
+/// When the last handle dies the store returns to its engine's recycler,
+/// so dropping a result is what arms the next parse's allocation-free
+/// store reuse. NOT thread-safe: copy, pass, and destroy handles on the
+/// owning engine's thread only.
 class TreePtr {
 public:
   TreePtr() = default;
-  TreePtr(std::shared_ptr<const TreeStore> Store, const ParseTree *Root)
-      : Store(std::move(Store)), Root(Root) {}
+  /// Takes one reference on \p Store (pass the store's sole reference to
+  /// realize the move-out result path: refcount 0 -> 1, no sharing).
+  TreePtr(const TreeStore *Store, const ParseTree *Root)
+      : Store(Store), Root(Root) {
+    if (Store)
+      Store->retain();
+  }
+  TreePtr(const TreePtr &O) : TreePtr(O.Store, O.Root) {}
+  TreePtr(TreePtr &&O) noexcept : Store(O.Store), Root(O.Root) {
+    O.Store = nullptr;
+    O.Root = nullptr;
+  }
+  TreePtr &operator=(const TreePtr &O) {
+    TreePtr Tmp(O);
+    swap(Tmp);
+    return *this;
+  }
+  TreePtr &operator=(TreePtr &&O) noexcept {
+    TreePtr Tmp(std::move(O));
+    swap(Tmp);
+    return *this;
+  }
+  ~TreePtr() {
+    if (Store)
+      Store->release();
+  }
+
+  void swap(TreePtr &O) noexcept {
+    std::swap(Store, O.Store);
+    std::swap(Root, O.Root);
+  }
 
   const ParseTree *get() const { return Root; }
   const ParseTree &operator*() const { return *Root; }
   const ParseTree *operator->() const { return Root; }
   explicit operator bool() const { return Root != nullptr; }
 
-  const std::shared_ptr<const TreeStore> &store() const { return Store; }
+  const TreeStore *store() const { return Store; }
 
 private:
-  std::shared_ptr<const TreeStore> Store;
+  const TreeStore *Store = nullptr;
   const ParseTree *Root = nullptr;
 };
 

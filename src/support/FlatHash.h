@@ -7,231 +7,31 @@
 ///
 /// \file
 /// The memoization table behind the interpreter (Section 3.3 keys results
-/// on (nonterminal, interval)). The general-purpose std::unordered_map this
-/// replaced allocated one heap node per entry and hashed a three-field
-/// struct; here the key is packed into a single 128-bit value —
-///
-///   A = rule-id (32 bits)  |  interval-lo bits 47..16
-///   B = interval-lo bits 15..0  |  interval-hi (48 bits)
-///
-/// — and entries live in one flat power-of-two slot array with linear
-/// probing. Offsets are absolute byte positions in the root input, so
-/// 48 bits allow 256 TiB inputs; rule id ~0u (InvalidRuleId) is reserved
-/// to encode the empty and tombstone slot states and is asserted against.
-///
-/// erase() leaves a tombstone so later probes keep walking; tombstones are
-/// reclaimed on rehash. clear() keeps capacity, which is what lets a reused
+/// on (nonterminal, interval)): a 128-bit packed key over one flat
+/// power-of-two slot array with linear probing, tombstoned erase, and an
+/// O(1) generational clear that keeps capacity — what lets a reused
 /// interpreter reach an allocation-free steady state.
+///
+/// The implementation lives in support/GenRuntime.h (namespace ipg_rt) so
+/// generated parsers embed the *same* table and memoize with the same
+/// policy, key packing, and probing as the engine; this header only
+/// re-exports it under the ipg names the interpreter and tests use.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPG_SUPPORT_FLATHASH_H
 #define IPG_SUPPORT_FLATHASH_H
 
-#include <cassert>
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include "support/GenRuntime.h"
 
 namespace ipg {
 
-/// A (rule, interval) key packed into 128 bits. Equality is exact; the
-/// packing is injective for lo/hi < 2^48 and rule < 2^32 - 1.
-struct IntervalKey {
-  uint64_t A = 0;
-  uint64_t B = 0;
+/// A (rule, interval) key packed into 128 bits; see ipg_rt::IntervalKey.
+using IntervalKey = ipg_rt::IntervalKey;
 
-  static IntervalKey pack(uint32_t Rule, uint64_t Lo, uint64_t Hi) {
-    assert(Rule != ~0u && "rule id ~0 is reserved for slot sentinels");
-    assert(Lo < (1ull << 48) && Hi < (1ull << 48) &&
-           "interval offsets limited to 48 bits");
-    IntervalKey K;
-    K.A = (static_cast<uint64_t>(Rule) << 32) | (Lo >> 16);
-    K.B = (Lo << 48) | Hi;
-    return K;
-  }
-
-  bool operator==(const IntervalKey &O) const {
-    return A == O.A && B == O.B;
-  }
-};
-
-/// Open-addressing hash map from IntervalKey to a small trivially copyable
-/// value (the interpreter stores node pointers and in-progress marks).
-/// Linear probing, max load factor 3/4 counting tombstones, geometric
-/// growth from a 64-slot floor.
-template <typename V> class FlatIntervalMap {
-  // Slot states are encoded in the key's A word: valid keys never carry
-  // rule id ~0u, so A values with all upper 32 bits set are free for
-  // sentinels and B disambiguates empty from tombstone.
-  static constexpr uint64_t SentinelA = ~0ull;
-  static constexpr uint64_t EmptyB = 0;
-  static constexpr uint64_t TombB = 1;
-
-  // Each slot carries the epoch it was last written in; slots from older
-  // epochs read as empty, which is what makes clear() O(1): it bumps the
-  // epoch instead of sweeping a table that one large parse may have grown
-  // far beyond what small parses need.
-  struct Slot {
-    uint64_t A = SentinelA;
-    uint64_t B = EmptyB;
-    V Value{};
-    uint32_t Epoch = 0;
-  };
-
-public:
-  FlatIntervalMap() = default;
-
-  /// Looks up \p K; returns null when absent.
-  V *find(const IntervalKey &K) {
-    if (Slots.empty())
-      return nullptr;
-    size_t Mask = Slots.size() - 1;
-    for (size_t I = hashOf(K) & Mask;; I = (I + 1) & Mask) {
-      Slot &S = Slots[I];
-      if (S.Epoch != Epoch)
-        return nullptr; // stale epoch reads as empty
-      if (S.A == SentinelA) {
-        if (S.B == EmptyB)
-          return nullptr;
-        continue; // tombstone: keep probing
-      }
-      if (S.A == K.A && S.B == K.B)
-        return &S.Value;
-    }
-  }
-  const V *find(const IntervalKey &K) const {
-    return const_cast<FlatIntervalMap *>(this)->find(K);
-  }
-
-  /// Inserts \p K -> \p Value; returns false (leaving the existing value
-  /// untouched) when the key was already present.
-  bool insert(const IntervalKey &K, const V &Value) {
-    if ((Used + 1) * 4 > capacity() * 3) {
-      // Grow only when live entries justify it; when the load breach is
-      // mostly tombstones (the insert/erase-heavy in-progress set never
-      // holds more than recursion-depth live keys), rehash in place to
-      // purge them instead of doubling forever.
-      size_t NewCap = capacity() ? capacity() : 64;
-      if (Size * 2 >= Used)
-        NewCap = capacity() ? capacity() * 2 : 64;
-      rehash(NewCap);
-    }
-    size_t Mask = Slots.size() - 1;
-    size_t Tomb = ~size_t(0);
-    for (size_t I = hashOf(K) & Mask;; I = (I + 1) & Mask) {
-      Slot &S = Slots[I];
-      bool Fresh = S.Epoch == Epoch;
-      if (Fresh && S.A != SentinelA) {
-        if (S.A == K.A && S.B == K.B)
-          return false;
-        continue;
-      }
-      if (Fresh && S.B == TombB) {
-        if (Tomb == ~size_t(0))
-          Tomb = I;
-        continue;
-      }
-      // Empty (stale epoch or never written): claim the first tombstone
-      // on the probe path if any, so long-lived tables don't accumulate
-      // displacement.
-      Slot &Dst = Slots[Tomb != ~size_t(0) ? Tomb : I];
-      bool Reclaimed = Tomb != ~size_t(0);
-      Dst.A = K.A;
-      Dst.B = K.B;
-      Dst.Value = Value;
-      Dst.Epoch = Epoch;
-      ++Size;
-      if (!Reclaimed)
-        ++Used; // reusing a tombstone doesn't raise the load
-      return true;
-    }
-  }
-
-  /// Removes \p K (leaving a tombstone); returns whether it was present.
-  bool erase(const IntervalKey &K) {
-    if (Slots.empty())
-      return false;
-    size_t Mask = Slots.size() - 1;
-    for (size_t I = hashOf(K) & Mask;; I = (I + 1) & Mask) {
-      Slot &S = Slots[I];
-      if (S.Epoch != Epoch)
-        return false; // stale epoch reads as empty
-      if (S.A == SentinelA) {
-        if (S.B == EmptyB)
-          return false;
-        continue;
-      }
-      if (S.A == K.A && S.B == K.B) {
-        S.A = SentinelA;
-        S.B = TombB;
-        S.Value = V{};
-        --Size;
-        return true;
-      }
-    }
-  }
-
-  /// Drops all entries and tombstones but keeps the slot array. O(1):
-  /// bumping the epoch invalidates every slot, so a long-lived table
-  /// sized by one large parse costs nothing to clear before small ones.
-  void clear() {
-    Size = 0;
-    Used = 0;
-    ++Epoch;
-    if (Epoch == 0) {
-      // Epoch wrap (once per 2^32 clears): ancient slots could alias the
-      // restarted counter, so pay one full sweep.
-      for (Slot &S : Slots)
-        S = Slot();
-      Epoch = 1;
-    }
-  }
-
-  size_t size() const { return Size; }
-  bool empty() const { return Size == 0; }
-  size_t capacity() const { return Slots.size(); }
-  /// Occupied + tombstoned slots (what load-factor growth is gated on).
-  size_t usedSlots() const { return Used; }
-
-private:
-  static size_t hashOf(const IntervalKey &K) {
-    // splitmix64-style finalization over both words.
-    uint64_t H = K.A * 0x9e3779b97f4a7c15ull;
-    H ^= K.B + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
-    H ^= H >> 30;
-    H *= 0xbf58476d1ce4e5b9ull;
-    H ^= H >> 27;
-    H *= 0x94d049bb133111ebull;
-    H ^= H >> 31;
-    return static_cast<size_t>(H);
-  }
-
-  void rehash(size_t NewCap) {
-    std::vector<Slot> Old = std::move(Slots);
-    Slots.assign(NewCap, Slot());
-    Size = 0;
-    Used = 0;
-    size_t Mask = NewCap - 1;
-    for (const Slot &S : Old) {
-      if (S.Epoch != Epoch || S.A == SentinelA)
-        continue;
-      for (size_t I = hashOf({S.A, S.B}) & Mask;; I = (I + 1) & Mask) {
-        if (Slots[I].Epoch != Epoch) {
-          Slots[I] = S;
-          ++Size;
-          ++Used;
-          break;
-        }
-      }
-    }
-  }
-
-  std::vector<Slot> Slots;
-  size_t Size = 0;     ///< live entries
-  size_t Used = 0;     ///< live entries + tombstones this epoch
-  uint32_t Epoch = 1;  ///< current generation; 0 marks never-written slots
-};
+/// Open-addressing hash map from IntervalKey to a small trivially
+/// copyable value; see ipg_rt::FlatIntervalMap.
+template <typename V> using FlatIntervalMap = ipg_rt::FlatIntervalMap<V>;
 
 } // namespace ipg
 

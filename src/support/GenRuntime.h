@@ -29,12 +29,22 @@
 ///    the interval guard, the read guards, and the checked arithmetic
 ///    (div/mod/shift) of the expression language.
 ///
-/// 2. The embedded runtime of generated parsers: a bump-arena node store
+/// 2. The shared memoization table: IntervalKey packs (rule, interval)
+///    into 128 bits and FlatIntervalMap is the open-addressing table with
+///    tombstones and O(1) generational clear. The interpreter uses it
+///    through the aliases in support/FlatHash.h; generated parsers embed
+///    it directly (Ctx memoizes every non-local (rule, interval) result,
+///    closing the paper's Fig.-12 gap on backtracking-heavy grammars).
+///
+/// 3. The embedded runtime of generated parsers: a bump-arena node store
 ///    with index-based children, flat attribute environments keyed by
-///    emitter-assigned ids, zero-copy leaves aliasing the input, and
-///    per-depth frame pools — the same design the interpreter's TreeStore
-///    uses (runtime/ParseTree.h), recycled across parses so steady-state
-///    parsing performs no heap allocation.
+///    emitter-assigned ids (O(1) through SlotIndex), lazy shifted-node
+///    views (T-NTSucc shifts are recorded as a per-view delta and resolved
+///    at read time instead of copying environments), zero-copy leaves
+///    aliasing the input, per-depth frame pools, and the blackbox
+///    registration hook (Section 3.4) — the same design the interpreter's
+///    TreeStore uses (runtime/ParseTree.h), recycled across parses so
+///    steady-state parsing performs no heap allocation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +52,7 @@
 #define IPG_SUPPORT_GENRUNTIME_H
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -202,6 +213,292 @@ inline bool readScalar(const unsigned char *Base, long long Size,
 }
 
 //===----------------------------------------------------------------------===//
+// Interval memoization (shared by the interpreter AND generated parsers).
+//
+// Section 3.3 keys parse results on (nonterminal, interval). The key is
+// packed into a single 128-bit value —
+//
+//   A = rule-id (32 bits)  |  interval-lo bits 47..16
+//   B = interval-lo bits 15..0  |  interval-hi (48 bits)
+//
+// — and entries live in one flat power-of-two slot array with linear
+// probing. Offsets are absolute byte positions in the root input, so
+// 48 bits allow 256 TiB inputs; rule id ~0u is reserved to encode the
+// empty and tombstone slot states and is asserted against.
+//
+// erase() leaves a tombstone so later probes keep walking; tombstones are
+// reclaimed on rehash. clear() keeps capacity and is O(1) (generational),
+// which is what lets a reused parser reach an allocation-free steady
+// state. The interpreter consumes these types through the aliases in
+// support/FlatHash.h; generated parsers embed them directly.
+//===----------------------------------------------------------------------===//
+
+/// A (rule, interval) key packed into 128 bits. Equality is exact; the
+/// packing is injective for lo/hi < 2^48 and rule < 2^32 - 1.
+struct IntervalKey {
+  uint64_t A = 0;
+  uint64_t B = 0;
+
+  static IntervalKey pack(uint32_t Rule, uint64_t Lo, uint64_t Hi) {
+    assert(Rule != ~0u && "rule id ~0 is reserved for slot sentinels");
+    assert(Lo < (1ull << 48) && Hi < (1ull << 48) &&
+           "interval offsets limited to 48 bits");
+    IntervalKey K;
+    K.A = (static_cast<uint64_t>(Rule) << 32) | (Lo >> 16);
+    K.B = (Lo << 48) | Hi;
+    return K;
+  }
+
+  bool operator==(const IntervalKey &O) const {
+    return A == O.A && B == O.B;
+  }
+};
+
+/// Open-addressing hash map from IntervalKey to a small trivially copyable
+/// value (parse engines store node handles and in-progress marks). Linear
+/// probing, max load factor 3/4 counting tombstones, geometric growth from
+/// a 64-slot floor.
+template <typename V> class FlatIntervalMap {
+  // Slot states are encoded in the key's A word: valid keys never carry
+  // rule id ~0u, so A values with all upper 32 bits set are free for
+  // sentinels and B disambiguates empty from tombstone.
+  static constexpr uint64_t SentinelA = ~0ull;
+  static constexpr uint64_t EmptyB = 0;
+  static constexpr uint64_t TombB = 1;
+
+  // Each slot carries the epoch it was last written in; slots from older
+  // epochs read as empty, which is what makes clear() O(1): it bumps the
+  // epoch instead of sweeping a table that one large parse may have grown
+  // far beyond what small parses need.
+  struct Slot {
+    uint64_t A = SentinelA;
+    uint64_t B = EmptyB;
+    V Value{};
+    uint32_t Epoch = 0;
+  };
+
+public:
+  FlatIntervalMap() = default;
+
+  /// Looks up \p K; returns null when absent.
+  V *find(const IntervalKey &K) {
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = hashOf(K) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (S.Epoch != Epoch)
+        return nullptr; // stale epoch reads as empty
+      if (S.A == SentinelA) {
+        if (S.B == EmptyB)
+          return nullptr;
+        continue; // tombstone: keep probing
+      }
+      if (S.A == K.A && S.B == K.B)
+        return &S.Value;
+    }
+  }
+  const V *find(const IntervalKey &K) const {
+    return const_cast<FlatIntervalMap *>(this)->find(K);
+  }
+
+  /// Inserts \p K -> \p Value; returns false (leaving the existing value
+  /// untouched) when the key was already present.
+  bool insert(const IntervalKey &K, const V &Value) {
+    if ((Used + 1) * 4 > capacity() * 3) {
+      // Grow only when live entries justify it; when the load breach is
+      // mostly tombstones (the insert/erase-heavy in-progress set never
+      // holds more than recursion-depth live keys), rehash in place to
+      // purge them instead of doubling forever.
+      size_t NewCap = capacity() ? capacity() : 64;
+      if (Size * 2 >= Used)
+        NewCap = capacity() ? capacity() * 2 : 64;
+      rehash(NewCap);
+    }
+    size_t Mask = Slots.size() - 1;
+    size_t Tomb = ~size_t(0);
+    for (size_t I = hashOf(K) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      bool Fresh = S.Epoch == Epoch;
+      if (Fresh && S.A != SentinelA) {
+        if (S.A == K.A && S.B == K.B)
+          return false;
+        continue;
+      }
+      if (Fresh && S.B == TombB) {
+        if (Tomb == ~size_t(0))
+          Tomb = I;
+        continue;
+      }
+      // Empty (stale epoch or never written): claim the first tombstone
+      // on the probe path if any, so long-lived tables don't accumulate
+      // displacement.
+      Slot &Dst = Slots[Tomb != ~size_t(0) ? Tomb : I];
+      bool Reclaimed = Tomb != ~size_t(0);
+      Dst.A = K.A;
+      Dst.B = K.B;
+      Dst.Value = Value;
+      Dst.Epoch = Epoch;
+      ++Size;
+      if (!Reclaimed)
+        ++Used; // reusing a tombstone doesn't raise the load
+      return true;
+    }
+  }
+
+  /// Removes \p K (leaving a tombstone); returns whether it was present.
+  bool erase(const IntervalKey &K) {
+    if (Slots.empty())
+      return false;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = hashOf(K) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (S.Epoch != Epoch)
+        return false; // stale epoch reads as empty
+      if (S.A == SentinelA) {
+        if (S.B == EmptyB)
+          return false;
+        continue;
+      }
+      if (S.A == K.A && S.B == K.B) {
+        S.A = SentinelA;
+        S.B = TombB;
+        S.Value = V{};
+        --Size;
+        return true;
+      }
+    }
+  }
+
+  /// Drops all entries and tombstones but keeps the slot array. O(1):
+  /// bumping the epoch invalidates every slot, so a long-lived table
+  /// sized by one large parse costs nothing to clear before small ones.
+  void clear() {
+    Size = 0;
+    Used = 0;
+    ++Epoch;
+    if (Epoch == 0) {
+      // Epoch wrap (once per 2^32 clears): ancient slots could alias the
+      // restarted counter, so pay one full sweep.
+      for (Slot &S : Slots)
+        S = Slot();
+      Epoch = 1;
+    }
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Slots.size(); }
+  /// Occupied + tombstoned slots (what load-factor growth is gated on).
+  size_t usedSlots() const { return Used; }
+
+private:
+  static size_t hashOf(const IntervalKey &K) {
+    // splitmix64-style finalization over both words.
+    uint64_t H = K.A * 0x9e3779b97f4a7c15ull;
+    H ^= K.B + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+    H ^= H >> 30;
+    H *= 0xbf58476d1ce4e5b9ull;
+    H ^= H >> 27;
+    H *= 0x94d049bb133111ebull;
+    H ^= H >> 31;
+    return static_cast<size_t>(H);
+  }
+
+  void rehash(size_t NewCap) {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(NewCap, Slot());
+    Size = 0;
+    Used = 0;
+    size_t Mask = NewCap - 1;
+    for (const Slot &S : Old) {
+      if (S.Epoch != Epoch || S.A == SentinelA)
+        continue;
+      for (size_t I = hashOf({S.A, S.B}) & Mask;; I = (I + 1) & Mask) {
+        if (Slots[I].Epoch != Epoch) {
+          Slots[I] = S;
+          ++Size;
+          ++Used;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Size = 0;     ///< live entries
+  size_t Used = 0;     ///< live entries + tombstones this epoch
+  uint32_t Epoch = 1;  ///< current generation; 0 marks never-written slots
+};
+
+//===----------------------------------------------------------------------===//
+// Slot indexing (shared by the interpreter's Env and generated Frames).
+//===----------------------------------------------------------------------===//
+
+/// A generation-stamped direct map from small integer keys (interned
+/// symbols / emitter-assigned attribute ids) to slot positions in a flat
+/// environment. Replaces the linear scans attribute-heavy rules used to
+/// pay on every get/set: lookup and record are O(1), and clear() is O(1)
+/// too — it bumps a generation instead of sweeping, so per-alternative
+/// environment resets stay free no matter how large the key space grew.
+class SlotIndex {
+public:
+  /// Invalidate every recorded position (new environment generation).
+  void clear() {
+    if (++Gen == 0) {
+      // Generation wrap (once per 2^32 clears): ancient stamps could
+      // alias the restarted counter, so pay one full sweep.
+      std::fill(Stamp.begin(), Stamp.end(), 0);
+      Gen = 1;
+    }
+  }
+
+  /// The recorded position of \p Key this generation, if any.
+  bool lookup(uint32_t Key, uint32_t &Idx) const {
+    if (Key >= Stamp.size())
+      return false;
+    uint64_t S = Stamp[Key];
+    if (static_cast<uint32_t>(S >> 32) != Gen)
+      return false;
+    Idx = static_cast<uint32_t>(S);
+    return true;
+  }
+
+  /// Records (or overwrites) the position of \p Key this generation.
+  void record(uint32_t Key, uint32_t Idx) {
+    if (Key >= Stamp.size())
+      Stamp.resize(static_cast<size_t>(Key) + 1, 0);
+    Stamp[Key] = (static_cast<uint64_t>(Gen) << 32) | Idx;
+  }
+
+  /// Drops \p Key from this generation.
+  void forget(uint32_t Key) {
+    if (Key < Stamp.size())
+      Stamp[Key] = 0;
+  }
+
+private:
+  std::vector<uint64_t> Stamp; ///< per-key (generation << 32) | index
+  uint32_t Gen = 1;            ///< stamp 0 marks never-written keys
+};
+
+/// Packing of a memoized parse outcome into a 32-bit table value —
+/// (node id << 1) | success bit; a memoized FAILURE packs as 0. One
+/// definition shared by the interpreter and generated parsers so the
+/// encoding cannot drift between the engines.
+inline unsigned memoPack(unsigned NodeId, bool Ok) {
+  assert(NodeId < (1u << 31) && "node id overflows the packed memo value");
+  return (NodeId << 1) | (Ok ? 1u : 0u);
+}
+
+/// Inverse of memoPack: sets \p NodeId (meaningful only on success) and
+/// returns the success bit.
+inline bool memoUnpack(unsigned Value, unsigned &NodeId) {
+  NodeId = Value >> 1;
+  return (Value & 1u) != 0;
+}
+
+//===----------------------------------------------------------------------===//
 // The embedded runtime of generated parsers. The interpreter does not use
 // the types below (it has its own arena store in runtime/ParseTree.h with
 // the same design); they compile as part of ipg_core only so the embedded
@@ -213,16 +510,6 @@ struct AttrSlot {
   unsigned Id;
   long long V;
 };
-
-inline bool envGet(const AttrSlot *Slots, unsigned NumSlots, unsigned Id,
-                   long long &Out) {
-  for (unsigned I = 0; I < NumSlots; ++I)
-    if (Slots[I].Id == Id) {
-      Out = Slots[I].V;
-      return true;
-    }
-  return false;
-}
 
 /// Bump allocator mirroring support/Arena.h: geometrically growing blocks,
 /// reset() keeps the blocks so a recycled arena reaches an allocation-free
@@ -308,6 +595,12 @@ struct ChildView {
 /// One tree object. A single tagged struct covers the three tree forms of
 /// the semantics (Node(A, E, Trs) / Array(Trs) / Leaf(s)); objects live in
 /// the store's object vector, and their env/child arrays in its arena.
+///
+/// T-NTSucc's coordinate shift is LAZY: a shifted view of a finished
+/// subtree shares the frozen env and child arrays of its base node and
+/// records only the delta in Shift; every attribute read resolves the
+/// shift on the fly (start/end only — other attributes are coordinate-
+/// free). Views compose: a view of a view accumulates deltas.
 struct Node {
   enum : unsigned char { KNode, KArray, KLeaf };
 
@@ -319,6 +612,7 @@ struct Node {
   const unsigned *KidIds = nullptr; ///< unified children / array elements
   unsigned NumKids = 0;
   Ctx *C = nullptr;
+  long long Shift = 0; ///< lazy start/end delta of a shifted view
   // Leaf payload: zero-copy window into the input.
   const unsigned char *Data = nullptr;
   size_t Len = 0;
@@ -331,14 +625,50 @@ struct Node {
   /// desynchronize.
   ChildView children() const { return ChildView{C, KidIds, NumKids}; }
 
+  /// Slot \p I's value with the lazy shift resolved — the ONE place the
+  /// view delta is applied (every reader, the canonical dump included,
+  /// goes through it, so no path can observe unshifted coordinates).
+  long long slotValue(unsigned I) const {
+    long long V = Slots[I].V;
+    if (Shift != 0 && (Slots[I].Id == IdStart || Slots[I].Id == IdEnd))
+      V += Shift;
+    return V;
+  }
+
+  /// \p Id's value with the lazy shift applied to start/end.
   bool getById(unsigned Id, long long &Out) const {
-    return envGet(Slots, NumSlots, Id, Out);
+    for (unsigned I = 0; I < NumSlots; ++I)
+      if (Slots[I].Id == Id) {
+        Out = slotValue(I);
+        return true;
+      }
+    return false;
   }
   inline bool get(const char *K, long long &Out) const;
 
   size_t kidCount() const { return NumKids; }
   inline Node *kid(size_t I) const;
 };
+
+/// What a registered blackbox parser (Section 3.4) reports back: success
+/// or failure, an integer value (surfaced as attribute `val`), how many
+/// slice bytes it consumed (drives the `end` attribute), and optional
+/// decoded output bytes (surfaced as a Leaf child). Output must stay valid
+/// until the callback is invoked again; the runtime copies it into the
+/// node arena before returning.
+struct BlackboxOut {
+  long long Value = 0;
+  long long End = 0;
+  const unsigned char *Output = nullptr;
+  size_t OutputLen = 0;
+};
+
+/// The blackbox registration hook of generated parsers: a plain function
+/// pointer plus an opaque user cookie, so bridges to any host-side decoder
+/// (or C-style closure) stay dependency-free. Returns success; on success
+/// every BlackboxOut field must be set.
+using BlackboxFn = bool (*)(void *User, const unsigned char *Data,
+                            size_t Len, BlackboxOut &Out);
 
 /// The recycled store + scratch state behind one generated parser: arena,
 /// object index, per-depth frame pool and per-nesting array scratch — the
@@ -358,9 +688,12 @@ public:
     Base = Data;
     A.reset();
     Objs.clear();
+    Memo.clear(); // O(1) generational clear; capacity is kept
     ArrayNest = 0;
     Hard = false;
     Frozen = 0;
+    Hits = 0;
+    Misses = 0;
   }
 
   /// The recursion-depth guard is a HARD failure, as in the interpreter
@@ -371,9 +704,72 @@ public:
   bool hardFailed() const { return Hard; }
 
   /// Nodes frozen by successful rule alternatives in the current parse —
-  /// the generated twin of InterpStats::NodesCreated (shifted copies,
+  /// the generated twin of InterpStats::NodesCreated (shifted views,
   /// arrays, and leaves are not counted on either side).
   size_t frozenNodeCount() const { return Frozen; }
+
+  /// Memo table hits/misses of the current parse — the generated twins of
+  /// InterpStats::MemoHits/MemoMisses.
+  size_t memoHits() const { return Hits; }
+  size_t memoMisses() const { return Misses; }
+
+  /// Memoized result of a previous parseRule_N(Rule, [AbsLo, AbsHi))
+  /// call this parse, keyed exactly as the interpreter keys its table
+  /// (Section 3.3: rule id + absolute interval). \p Ok and \p Id are set
+  /// only on a hit; failures are memoized too (Ok = false). The value is
+  /// the node id and the verdict packed into 32 bits, keeping the slot
+  /// array small enough to stay cache-resident on large parses.
+  bool memoFind(unsigned Rule, size_t AbsLo, size_t AbsHi, bool &Ok,
+                unsigned &Id) {
+    if (const unsigned *E =
+            Memo.find(IntervalKey::pack(Rule, AbsLo, AbsHi))) {
+      ++Hits;
+      Ok = memoUnpack(*E, Id);
+      return true;
+    }
+    ++Misses;
+    return false;
+  }
+
+  void memoStore(unsigned Rule, size_t AbsLo, size_t AbsHi, bool Ok,
+                 unsigned Id) {
+    Memo.insert(IntervalKey::pack(Rule, AbsLo, AbsHi), memoPack(Id, Ok));
+  }
+
+  /// Binds (or rebinds) the blackbox named by \p NameId. Generated
+  /// parsers expose this by name through Parser::registerBlackbox.
+  void registerBlackbox(unsigned NameId, BlackboxFn Fn, void *User) {
+    for (BlackboxSlot &S : Blackboxes)
+      if (S.NameId == NameId) {
+        S.Fn = Fn;
+        S.User = User;
+        return;
+      }
+    Blackboxes.push_back(BlackboxSlot{NameId, Fn, User});
+  }
+
+  /// Runs the registered blackbox over Data[0, Len). Returns 1 on success
+  /// and 0 on failure; an unregistered blackbox and a decoder that claims
+  /// to have consumed past its slice are HARD failures (they abort the
+  /// whole parse, as in the interpreter), a decoder rejection is a soft
+  /// one (the enclosing term fails).
+  int callBlackbox(unsigned NameId, const unsigned char *Data, size_t Len,
+                   BlackboxOut &Out) {
+    for (const BlackboxSlot &S : Blackboxes)
+      if (S.NameId == NameId) {
+        Out = BlackboxOut();
+        if (!S.Fn(S.User, Data, Len, Out))
+          return 0;
+        if (Out.End < 0 ||
+            static_cast<unsigned long long>(Out.End) > Len) {
+          hardFail();
+          return 0;
+        }
+        return 1;
+      }
+    hardFail();
+    return 0;
+  }
 
   const unsigned char *base() const { return Base; }
   Node *node(unsigned Id) { return &Objs[Id]; }
@@ -420,17 +816,18 @@ public:
     return add(N);
   }
 
-  /// Shallow copy of a finished subtree with start/end shifted into the
-  /// parent's coordinates (T-NTSucc); child arrays are shared.
+  /// Lazy shifted view of a finished subtree (T-NTSucc): the frozen env
+  /// and child arrays are SHARED with the base node and only the delta is
+  /// recorded; start/end resolve shifted at read time (Node::getById).
+  /// A zero delta needs no view at all — the base node is its own view —
+  /// and shifting an existing view composes the deltas, so memoized
+  /// subtrees can be re-anchored under any number of parents without ever
+  /// copying an environment.
   unsigned shifted(unsigned SubId, long long Delta) {
+    if (Delta == 0)
+      return SubId;
     Node N = Objs[SubId]; // copy first: add() may grow the vector
-    AttrSlot *S = A.makeArray<AttrSlot>(N.NumSlots);
-    for (unsigned I = 0; I < N.NumSlots; ++I) {
-      S[I] = N.Slots[I];
-      if (S[I].Id == IdStart || S[I].Id == IdEnd)
-        S[I].V += Delta;
-    }
-    N.Slots = N.NumSlots ? S : nullptr;
+    N.Shift += Delta;
     return add(N);
   }
 
@@ -439,9 +836,50 @@ public:
                    long long &BEnd) const {
     const Node &N = Objs[SubId];
     long long S = 0, E = 0;
-    bool HasS = envGet(N.Slots, N.NumSlots, IdStart, S);
-    bool HasE = envGet(N.Slots, N.NumSlots, IdEnd, E);
+    bool HasS = N.getById(IdStart, S);
+    bool HasE = N.getById(IdEnd, E);
     childSpan(HasS, S, HasE, E, SubEoi, BStart, BEnd);
+  }
+
+  /// Leaf over an arena-owned copy of \p Data (blackbox output bytes,
+  /// whose lifetime ends with the callback's next invocation).
+  unsigned leafCopy(const unsigned char *Data, size_t Len, long long Off) {
+    return leaf(A.copyArray(Data, Len), Len, Off, /*Opaque=*/false);
+  }
+
+  /// The tree a successful blackbox term contributes, mirroring the
+  /// interpreter's execBlackbox byte for byte: attributes val/start/end
+  /// (an empty consumption reads as the untouched span [sub-EOI, 0) in
+  /// the parent's coordinates), plus one Leaf child copying any decoded
+  /// output. Counts as a frozen node, as in InterpStats::NodesCreated.
+  unsigned blackboxNode(unsigned NameId, unsigned ValId,
+                        const BlackboxOut &BB, long long Lo, long long Hi) {
+    AttrSlot S[3];
+    S[0] = AttrSlot{ValId, BB.Value};
+    if (BB.End > 0) {
+      S[1] = AttrSlot{IdStart, Lo};
+      S[2] = AttrSlot{IdEnd, Lo + BB.End};
+    } else {
+      S[1] = AttrSlot{IdStart, Hi - Lo};
+      S[2] = AttrSlot{IdEnd, Lo};
+    }
+    unsigned Kids[1] = {0};
+    unsigned NumKids = 0;
+    if (BB.OutputLen) {
+      Kids[0] = leafCopy(BB.Output, BB.OutputLen, 0);
+      NumKids = 1;
+    }
+    Node N;
+    N.Kind = Node::KNode;
+    N.C = this;
+    N.NameId = NameId;
+    N.Name = name(NameId);
+    N.Slots = A.copyArray(S, 3);
+    N.NumSlots = 3;
+    N.KidIds = A.copyArray(Kids, NumKids);
+    N.NumKids = NumKids;
+    ++Frozen;
+    return add(N);
   }
 
 private:
@@ -450,13 +888,24 @@ private:
     return static_cast<unsigned>(Objs.size() - 1);
   }
 
+  struct BlackboxSlot {
+    unsigned NameId;
+    BlackboxFn Fn;
+    void *User;
+  };
+
   Arena A;
   std::vector<Node> Objs;
+  FlatIntervalMap<unsigned> Memo; ///< memoPack'd outcomes
+
+  std::vector<BlackboxSlot> Blackboxes;
   std::vector<std::unique_ptr<struct Frame>> Frames;
   std::vector<std::vector<unsigned>> ElemScratch;
   size_t ArrayNest = 0;
   bool Hard = false;
   size_t Frozen = 0;
+  size_t Hits = 0;
+  size_t Misses = 0;
   const unsigned char *Base = nullptr;
   const char *const *NamesTab = nullptr;
   size_t NumNames = 0;
@@ -472,13 +921,23 @@ struct Frame {
   Ctx *C = nullptr;
   Frame *Lexical = nullptr; ///< enclosing frame for where-clause rules
   std::vector<AttrSlot> E;
+  SlotIndex EIx; ///< O(1) id -> E position, regenerated per alternative
+  /// start/end live in dedicated fields, not E slots: updStartEnd touches
+  /// them on every byte-touching term, so the hottest two keys skip the
+  /// index entirely. freeze() folds them back into the frozen env.
+  bool HasStart = false, HasEnd = false;
+  long long StartV = 0, EndV = 0;
   std::vector<unsigned> Kids;
+  /// Per-term touch records, invalidated per alternative by generation
+  /// stamp (a rule with many failing alternatives — every Digit-style
+  /// dispatch — pays O(1) per attempt instead of refilling the array).
   struct Rec {
-    bool Has = false;
+    unsigned Gen = 0;
     long long Start = 0;
     long long End = 0;
   };
   std::vector<Rec> Recs;
+  unsigned RecGen = 0;
 
   void beginAlt(const unsigned char *B, size_t L, size_t H, Frame *Lex,
                 size_t NumTerms) {
@@ -487,30 +946,65 @@ struct Frame {
     Hi = H;
     Lexical = Lex;
     E.clear();
+    EIx.clear(); // O(1): generation bump, not a sweep
+    HasStart = HasEnd = false;
     Kids.clear();
-    Recs.assign(NumTerms, Rec());
+    if (Recs.size() < NumTerms)
+      Recs.resize(NumTerms);
+    if (++RecGen == 0) {
+      // Generation wrap (once per 2^32 alternatives): ancient stamps
+      // could alias the restarted counter, so pay one full sweep.
+      for (Rec &R : Recs)
+        R.Gen = 0;
+      RecGen = 1;
+    }
   }
 
   long long eoi() const { return static_cast<long long>(Hi - Lo); }
 
-  // Own-frame environment (updStartEnd's EnvT surface).
+  // Own-frame environment (updStartEnd's EnvT surface). Attribute ids are
+  // dense name-table indices, so a SlotIndex makes every get/set O(1)
+  // where attribute-heavy rules used to pay a linear scan per access;
+  // the two hottest ids (start/end) bypass even that through fields.
   bool getAttr(unsigned Id, long long &Out) const {
-    return envGet(E.data(), static_cast<unsigned>(E.size()), Id, Out);
+    if (Id <= IdEnd) {
+      if (Id == IdStart ? !HasStart : !HasEnd)
+        return false;
+      Out = Id == IdStart ? StartV : EndV;
+      return true;
+    }
+    uint32_t I = 0;
+    if (!EIx.lookup(Id, I))
+      return false;
+    Out = E[I].V;
+    return true;
   }
   void setAttr(unsigned Id, long long V) {
-    for (AttrSlot &S : E)
-      if (S.Id == Id) {
-        S.V = V;
-        return;
-      }
+    if (Id <= IdEnd) {
+      (Id == IdStart ? HasStart : HasEnd) = true;
+      (Id == IdStart ? StartV : EndV) = V;
+      return;
+    }
+    uint32_t I = 0;
+    if (EIx.lookup(Id, I)) {
+      E[I].V = V;
+      return;
+    }
+    EIx.record(Id, static_cast<uint32_t>(E.size()));
     E.push_back(AttrSlot{Id, V});
   }
   void eraseAttr(unsigned Id) {
-    for (size_t I = 0; I < E.size(); ++I)
-      if (E[I].Id == Id) {
-        E.erase(E.begin() + static_cast<long>(I));
-        return;
-      }
+    if (Id <= IdEnd) {
+      (Id == IdStart ? HasStart : HasEnd) = false;
+      return;
+    }
+    uint32_t I = 0;
+    if (!EIx.lookup(Id, I))
+      return;
+    E.erase(E.begin() + static_cast<long>(I));
+    EIx.forget(Id);
+    for (uint32_t J = I; J < E.size(); ++J)
+      EIx.record(E[J].Id, J); // reseat the slots the erase slid down
   }
 
   /// Lexical-chain attribute lookup (sigma of Figure 8).
@@ -544,10 +1038,10 @@ struct Frame {
   }
 
   void rec(unsigned TermIdx, long long Start, long long End) {
-    Recs[TermIdx] = Rec{true, Start, End};
+    Recs[TermIdx] = Rec{RecGen, Start, End};
   }
   bool termEnd(unsigned TermIdx, long long &Out) const {
-    if (TermIdx >= Recs.size() || !Recs[TermIdx].Has)
+    if (TermIdx >= Recs.size() || Recs[TermIdx].Gen != RecGen)
       return false;
     Out = Recs[TermIdx].End;
     return true;
@@ -563,13 +1057,28 @@ inline Frame &Ctx::frameAt(size_t Depth) {
 }
 
 inline unsigned Ctx::freeze(Frame &F, unsigned NameId) {
+  // Fold the frame's start/end fields back into the frozen env (the
+  // canonical dump sorts attributes, so their position is immaterial).
+  size_t Extra = (F.HasStart ? 1u : 0u) + (F.HasEnd ? 1u : 0u);
+  size_t Num = F.E.size() + Extra;
+  AttrSlot *Slots = nullptr;
+  if (Num) {
+    Slots = A.makeArray<AttrSlot>(Num);
+    if (!F.E.empty())
+      std::memcpy(Slots, F.E.data(), sizeof(AttrSlot) * F.E.size());
+    size_t At = F.E.size();
+    if (F.HasStart)
+      Slots[At++] = AttrSlot{IdStart, F.StartV};
+    if (F.HasEnd)
+      Slots[At++] = AttrSlot{IdEnd, F.EndV};
+  }
   Node N;
   N.Kind = Node::KNode;
   N.C = this;
   N.NameId = NameId;
   N.Name = name(NameId);
-  N.Slots = A.copyArray(F.E.data(), F.E.size());
-  N.NumSlots = static_cast<unsigned>(F.E.size());
+  N.Slots = Slots;
+  N.NumSlots = static_cast<unsigned>(Num);
   N.KidIds = A.copyArray(F.Kids.data(), F.Kids.size());
   N.NumKids = static_cast<unsigned>(F.Kids.size());
   ++Frozen;
@@ -596,7 +1105,7 @@ inline NodeRef ChildView::operator[](size_t I) const {
 inline bool Node::get(const char *K, long long &Out) const {
   for (unsigned I = 0; I < NumSlots; ++I)
     if (C && !std::strcmp(C->name(Slots[I].Id), K)) {
-      Out = Slots[I].V;
+      Out = slotValue(I);
       return true;
     }
   return false;
@@ -626,7 +1135,7 @@ inline void dumpTreeRec(const Node *N, int Indent, std::string &Out) {
     Out += "Node " + std::string(N->Name) + " {";
     std::vector<std::pair<std::string, long long>> Attrs;
     for (unsigned I = 0; I < N->NumSlots; ++I)
-      Attrs.emplace_back(N->C->name(N->Slots[I].Id), N->Slots[I].V);
+      Attrs.emplace_back(N->C->name(N->Slots[I].Id), N->slotValue(I));
     std::sort(Attrs.begin(), Attrs.end());
     for (size_t I = 0; I < Attrs.size(); ++I) {
       if (I)

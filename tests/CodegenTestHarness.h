@@ -41,10 +41,15 @@ inline std::string childDir(const std::string &Tag) {
 }
 
 /// Writes \p FullSource (generated parser + driver main) and compiles it.
-/// Returns the executable path, or "" after forwarding the compile log to
-/// stderr.
+/// \p ExtraCompileArgs is appended to the compile line — blackbox formats
+/// use it to add the library include dir and the decoder translation
+/// units their bridge needs (and a later -std=... there overrides the
+/// default C++17). Returns the executable path, or "" after forwarding
+/// the compile log to stderr.
 inline std::string compileParserSource(const std::string &FullSource,
-                                       const std::string &Tag) {
+                                       const std::string &Tag,
+                                       const std::string &ExtraCompileArgs =
+                                           "") {
   std::string Dir = childDir(Tag);
   if (std::system(("mkdir -p " + Dir).c_str()) != 0)
     return "";
@@ -61,8 +66,10 @@ inline std::string compileParserSource(const std::string &FullSource,
   const char *San = "";
 #endif
   std::string Compile = "c++ -std=c++17 -O1" + std::string(San) + " -o " +
-                        Dir + "/parser " + Dir + "/parser.cpp 2> " + Dir +
-                        "/compile.log";
+                        Dir + "/parser " + Dir + "/parser.cpp" +
+                        (ExtraCompileArgs.empty() ? ""
+                                                  : " " + ExtraCompileArgs) +
+                        " 2> " + Dir + "/compile.log";
   if (std::system(Compile.c_str()) != 0) {
     std::ifstream Log(Dir + "/compile.log");
     std::string Line;
@@ -71,6 +78,27 @@ inline std::string compileParserSource(const std::string &FullSource,
     return "";
   }
   return Dir + "/parser";
+}
+
+/// The compile arguments a GenBlackboxBridge needs: the library source
+/// dir on the include path, the bridge's extra translation units, and the
+/// library's language standard (bridges include library headers, which
+/// are C++20; plain generated parsers stay C++17). Requires the build to
+/// define IPG_SOURCE_DIR (tests get it from CMake).
+inline std::string bridgeCompileArgs(const char *ExtraSources) {
+  std::string SrcDir = IPG_SOURCE_DIR;
+  std::string Args = "-std=c++20 -I" + SrcDir;
+  std::string Rest = ExtraSources ? ExtraSources : "";
+  size_t Pos = 0;
+  while (Pos < Rest.size()) {
+    size_t Sp = Rest.find(' ', Pos);
+    if (Sp == std::string::npos)
+      Sp = Rest.size();
+    if (Sp > Pos)
+      Args += " " + SrcDir + "/" + Rest.substr(Pos, Sp - Pos);
+    Pos = Sp + 1;
+  }
+  return Args;
 }
 
 /// Writes \p Input into the child's scratch dir and runs \p Exe on it

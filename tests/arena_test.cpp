@@ -148,7 +148,8 @@ TEST(TreeStoreTest, ShiftedNodeSharesChildrenAndShiftsOnlyStartEnd) {
   E.set(SymOther, 9);
   uint32_t Base = Store.makeNode(5, 0, E, Kids, Terms, 1);
   const auto *N = cast<NodeTree>(Store.node(Base));
-  uint32_t Shifted = Store.makeShifted(*N, 10, SymStart, SymEnd);
+  uint32_t Shifted = Store.makeShifted(Base, 10, SymStart, SymEnd);
+  ASSERT_NE(Shifted, Base);
   const auto *S = cast<NodeTree>(Store.node(Shifted));
   EXPECT_EQ(S->attr(SymStart), 11);
   EXPECT_EQ(S->attr(SymEnd), 13);
@@ -158,6 +159,55 @@ TEST(TreeStoreTest, ShiftedNodeSharesChildrenAndShiftsOnlyStartEnd) {
   EXPECT_EQ(S->children()[0].get(), N->children()[0].get());
   // The original is untouched (memoized nodes are shared across parents).
   EXPECT_EQ(N->attr(SymStart), 1);
+  // Iterating the view's env resolves the lazy shift too — the canonical
+  // dump path reads environments this way.
+  bool SawStart = false;
+  for (EnvSlot Slot : S->env())
+    if (Slot.Key == SymStart) {
+      SawStart = true;
+      EXPECT_EQ(Slot.Value, 11);
+    }
+  EXPECT_TRUE(SawStart);
+}
+
+TEST(TreeStoreTest, ShiftedViewsNestAndAliasWithoutCopying) {
+  TreeStore Store;
+  const Symbol SymStart = 100, SymEnd = 101;
+  Env E;
+  E.set(SymStart, 1);
+  E.set(SymEnd, 3);
+  uint32_t Base = Store.makeNode(5, 0, E, nullptr, nullptr, 0);
+  const auto *N = cast<NodeTree>(Store.node(Base));
+
+  // A zero delta needs no view object at all: the base is its own view.
+  EXPECT_EQ(Store.makeShifted(Base, 0, SymStart, SymEnd), Base);
+
+  // Aliasing: many parents re-anchor one memoized node at different
+  // offsets; each view resolves independently, the base never changes.
+  uint32_t AtFiveId = Store.makeShifted(Base, 5, SymStart, SymEnd);
+  const auto *AtFive = cast<NodeTree>(Store.node(AtFiveId));
+  const auto *AtNine = cast<NodeTree>(
+      Store.node(Store.makeShifted(Base, 9, SymStart, SymEnd)));
+  EXPECT_EQ(AtFive->attr(SymStart), 6);
+  EXPECT_EQ(AtNine->attr(SymStart), 10);
+  EXPECT_EQ(N->attr(SymStart), 1);
+
+  // Deep nesting: a view whose base is itself a shifted view composes
+  // the deltas (lazily — no env is ever copied).
+  const auto *Nested = cast<NodeTree>(
+      Store.node(Store.makeShifted(AtFiveId, 100, SymStart, SymEnd)));
+  EXPECT_EQ(Nested->attr(SymStart), 106);
+  EXPECT_EQ(Nested->attr(SymEnd), 108);
+
+  // env().get and iteration agree on the resolved values.
+  for (EnvSlot Slot : Nested->env()) {
+    if (Slot.Key == SymStart) {
+      EXPECT_EQ(Slot.Value, 106);
+    }
+    if (Slot.Key == SymEnd) {
+      EXPECT_EQ(Slot.Value, 108);
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

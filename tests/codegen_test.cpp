@@ -84,14 +84,88 @@ TEST(CodegenTest, EmitsOneFunctionPerRule) {
   EXPECT_EQ(Code->find("runtime/Interp.h"), std::string::npos);
 }
 
-TEST(CodegenTest, RejectsBlackboxGrammars) {
+TEST(CodegenTest, EmitsMemoizationForGlobalRulesOnly) {
   Grammar G = load(R"(
-    blackbox bb ;
-    S -> bb[0, EOI] ;
+    S -> A[0, EOI] ;
+    A -> L[0, EOI] where { L -> raw ; } ;
   )");
   auto Code = emitCppParser(G, "gen");
-  ASSERT_FALSE(Code);
-  EXPECT_NE(Code.message().find("blackbox"), std::string::npos);
+  ASSERT_TRUE(Code) << Code.message();
+  // Global rules memoize; the local (where-clause) rule must not — its
+  // meaning depends on the enclosing frame, as in the interpreter.
+  EXPECT_NE(Code->find("C.memoFind("), std::string::npos);
+  RuleId Local = InvalidRuleId;
+  for (size_t I = 0; I < G.numRules(); ++I)
+    if (G.rule(static_cast<RuleId>(I)).IsLocal)
+      Local = static_cast<RuleId>(I);
+  ASSERT_NE(Local, InvalidRuleId);
+  EXPECT_EQ(Code->find("C.memoFind(" + std::to_string(Local) + "u"),
+            std::string::npos);
+
+  CppEmitterOptions Off;
+  Off.Memoize = false;
+  auto Plain = emitCppParser(G, "gen", Off);
+  ASSERT_TRUE(Plain) << Plain.message();
+  EXPECT_EQ(Plain->find("C.memoFind("), std::string::npos);
+}
+
+TEST(CodegenTest, BlackboxGrammarsCompileAndUseTheRegistrationHook) {
+  // Blackbox terms now emit calls into the ipg_rt hook instead of being
+  // rejected; without a host compiler only the structure is checked.
+  Grammar G = load(R"(
+    blackbox bb ;
+    S -> bb[0, EOI] {v = bb.val} ;
+  )");
+  auto Code = emitCppParser(G, "gen");
+  ASSERT_TRUE(Code) << Code.message();
+  EXPECT_NE(Code->find("callBlackbox"), std::string::npos);
+  EXPECT_NE(Code->find("registerBlackbox"), std::string::npos);
+
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+
+  // A driver-registered blackbox resolves: it consumes 2 bytes, reports
+  // value 7, and decodes output bytes that become a leaf child. The
+  // attribute plumbing (v = bb.val) must see the reported value.
+  std::string Bridge =
+      "static bool testBb(void *, const unsigned char *, size_t Len,\n"
+      "                   ipg_rt::BlackboxOut &Out) {\n"
+      "  static const unsigned char Decoded[3] = {9, 9, 9};\n"
+      "  if (Len < 2) return false;\n"
+      "  Out.Value = 7; Out.End = 2;\n"
+      "  Out.Output = Decoded; Out.OutputLen = 3;\n"
+      "  return true;\n"
+      "}\n";
+  std::string Source =
+      *Code + Bridge +
+      "\n#include <cstdio>\n#include <fstream>\n"
+      "int main(int argc, char **argv) {\n"
+      "  if (argc < 2) return 3;\n"
+      "  std::ifstream In(argv[1], std::ios::binary);\n"
+      "  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),"
+      " std::istreambuf_iterator<char>());\n"
+      "  gen::Parser P;\n"
+      "  bool Registered = argc > 2 && argv[2][0] == 'r';\n"
+      "  if (Registered && !P.registerBlackbox(\"bb\", testBb)) return 4;\n"
+      "  if (P.registerBlackbox(\"no_such_blackbox\", testBb)) return 5;\n"
+      "  // Grammar symbols that are not declared blackboxes (the rule\n"
+      "  // name, an attribute) must be rejected, not silently bound.\n"
+      "  if (P.registerBlackbox(\"S\", testBb)) return 5;\n"
+      "  if (P.registerBlackbox(\"v\", testBb)) return 5;\n"
+      "  gen::NodePtr Root = nullptr;\n"
+      "  if (!P.parse(Bytes.data(), Bytes.size(), Root)) return 1;\n"
+      "  long long V = 0;\n"
+      "  if (!Root->get(\"v\", V) || V != 7) return 6;\n"
+      "  std::string D = gen::dumpTree(Root);\n"
+      "  if (D.find(\"Node bb\") == std::string::npos) return 7;\n"
+      "  if (D.find(\"Leaf off=0 len=3\") == std::string::npos) return 8;\n"
+      "  return 0;\n}\n";
+  std::string Exe = testutil::compileParserSource(Source, "bb_hook");
+  ASSERT_FALSE(Exe.empty());
+  std::vector<uint8_t> In = {1, 2, 3, 4};
+  EXPECT_EQ(testutil::runChild(Exe, "bb_hook", In, "r"), 0);
+  // Unregistered: the blackbox term hard-fails the parse at run time.
+  EXPECT_EQ(testutil::runChild(Exe, "bb_hook", In), 1);
 }
 
 TEST(CodegenTest, CompiledParserAgreesOnToyGrammar) {

@@ -6,14 +6,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The differential harness: every non-blackbox format corpus is parsed by
-/// BOTH the interpreter and the compiled generated parser, and the two
-/// trees are compared node-by-node — shape, node names, start/end, every
-/// attribute value, leaf windows. The comparison goes through one
-/// canonical text rendering (ipg_rt::dumpTree, embedded in every generated
-/// parser; renderCanonical below produces the identical format from the
-/// interpreter's ParseTree), so any byte of difference is a semantic
-/// divergence between runtime/Interp.cpp and codegen/CppEmitter.cpp.
+/// The differential harness: EVERY format corpus — blackbox formats
+/// included, via the ipg_rt registration hook and the bridges in
+/// formats::genBlackboxBridge — is parsed by BOTH the interpreter and the
+/// compiled generated parser, and the two trees are compared node-by-node
+/// — shape, node names, start/end, every attribute value, leaf windows.
+/// The comparison goes through one canonical text rendering
+/// (ipg_rt::dumpTree, embedded in every generated parser; renderCanonical
+/// below produces the identical format from the interpreter's ParseTree),
+/// so any byte of difference is a semantic divergence between
+/// runtime/Interp.cpp and codegen/CppEmitter.cpp. Memoized and
+/// unmemoized generated parsers are also compared against each other:
+/// the memo table must never change a parse result.
 ///
 /// Also hosts the regression tests for the divergences this harness was
 /// built to catch: pre-seeded start/end sentinels (a byte-untouched
@@ -32,6 +36,7 @@
 
 #include "CodegenTestHarness.h"
 #include "formats/FormatRegistry.h"
+#include "formats/Zip.h"
 #include "runtime/Interp.h"
 #include "support/Casting.h"
 
@@ -113,29 +118,38 @@ std::string renderCanonical(const TreePtr &Root, const Grammar &G) {
 /// Compiles \p Generated with a driver that parses argv[1] and writes the
 /// generated runtime's canonical dump to argv[2]. Exit codes: 0 accepted,
 /// 1 rejected, >=2 infrastructure trouble. Returns false on compile
-/// failure (with the log on stderr).
+/// failure (with the log on stderr). For blackbox formats \p Bridge
+/// supplies the registration source and decoder translation units
+/// (formats::genBlackboxBridge), so e.g. zip's generated parser resolves
+/// `inflate` from the same MiniZlib implementation the interpreter uses.
 struct GenRun {
   int ExitCode = -1;
   std::string Dump;
 };
 
 bool compileGenerated(const std::string &Generated, const std::string &Tag,
-                      std::string &ExeOut) {
-  std::string Source =
-      Generated +
+                      std::string &ExeOut,
+                      const formats::GenBlackboxBridge *Bridge = nullptr) {
+  std::string Source = Generated;
+  if (Bridge)
+    Source += Bridge->DriverSource;
+  Source +=
       "\n#include <cstdio>\n#include <fstream>\n"
       "int main(int argc, char **argv) {\n"
       "  if (argc < 3) return 3;\n"
       "  std::ifstream In(argv[1], std::ios::binary);\n"
       "  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),"
       " std::istreambuf_iterator<char>());\n"
-      "  gen::Parser P;\n"
+      "  gen::Parser P;\n" +
+      std::string(Bridge ? "  ipgRegisterBlackboxes(P);\n" : "") +
       "  gen::NodePtr Root = nullptr;\n"
       "  if (!P.parse(Bytes.data(), Bytes.size(), Root)) return 1;\n"
       "  std::ofstream Out(argv[2], std::ios::binary);\n"
       "  Out << gen::dumpTree(Root);\n"
       "  return Out ? 0 : 3;\n}\n";
-  ExeOut = testutil::compileParserSource(Source, Tag);
+  ExeOut = testutil::compileParserSource(
+      Source, Tag,
+      Bridge ? testutil::bridgeCompileArgs(Bridge->ExtraSources) : "");
   return !ExeOut.empty();
 }
 
@@ -155,27 +169,32 @@ GenRun runGenerated(const std::string &Exe, const std::string &Tag,
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// The corpus sweep: interpreter == generated on every non-blackbox format.
+// The corpus sweep: interpreter == generated on EVERY format. Blackbox
+// formats (zip) participate through the registration hook: the child
+// compiles the same MiniZlib decoder the interpreter registers and binds
+// it with Parser::registerBlackbox.
 //===----------------------------------------------------------------------===//
 
-TEST(DifferentialTest, AllNonBlackboxFormatCorporaAgree) {
+TEST(DifferentialTest, AllFormatCorporaAgree) {
   if (!hostCompilerAvailable())
     GTEST_SKIP() << "no host C++ compiler";
 
   size_t Compared = 0;
   for (const formats::FormatInfo &FI : formats::allFormats()) {
-    if (FI.NeedsBlackbox)
-      continue; // generated parsers have nowhere to resolve blackboxes from
     SCOPED_TRACE("format: " + FI.Name);
 
     auto Load = formats::loadFormatGrammar(FI.Name);
     ASSERT_TRUE(Load) << Load.message();
     auto Code = emitCppParser(Load->G, "gen");
     ASSERT_TRUE(Code) << Code.message();
+    const formats::GenBlackboxBridge *Bridge =
+        formats::genBlackboxBridge(FI.Name);
+    ASSERT_EQ(Bridge != nullptr, FI.NeedsBlackbox);
     std::string Exe;
-    ASSERT_TRUE(compileGenerated(*Code, FI.Name, Exe));
+    ASSERT_TRUE(compileGenerated(*Code, FI.Name, Exe, Bridge));
 
-    Interp I(Load->G);
+    BlackboxRegistry BB = formats::standardBlackboxes();
+    Interp I(Load->G, FI.NeedsBlackbox ? &BB : nullptr);
     // Two input sizes per format so array/loop paths differ run-to-run.
     // Scales stay small: recursion-heavy grammars (PDF recurses per
     // content byte) exceed the default stack under ASan's fat Debug
@@ -208,8 +227,97 @@ TEST(DifferentialTest, AllNonBlackboxFormatCorporaAgree) {
     EXPECT_EQ(InterpAccepts, GenBad.ExitCode == 0)
         << FI.Name << ": accept/reject verdicts diverge on corrupt input";
   }
-  // zip is the only blackbox format; everything else must have compared.
-  EXPECT_EQ(Compared, 2 * (formats::allFormats().size() - 1));
+  EXPECT_EQ(Compared, 2 * formats::allFormats().size());
+}
+
+//===----------------------------------------------------------------------===//
+// The blackbox hook under load: a zip archive with DEFLATED entries runs
+// the inflate blackbox on both sides (the stored-entry corpus above never
+// reaches it). The decoded output leaf, val/start/end attributes, and the
+// check(count) plumbing that depends on them must agree byte for byte.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, ZipDeflatedEntriesAgreeThroughBlackboxHook) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+
+  auto Load = formats::loadFormatGrammar("zip");
+  ASSERT_TRUE(Load) << Load.message();
+  auto Code = emitCppParser(Load->G, "gen");
+  ASSERT_TRUE(Code) << Code.message();
+  const formats::GenBlackboxBridge *Bridge =
+      formats::genBlackboxBridge("zip");
+  ASSERT_NE(Bridge, nullptr);
+  std::string Exe;
+  ASSERT_TRUE(compileGenerated(*Code, "zip_deflated", Exe, Bridge));
+
+  BlackboxRegistry BB = formats::standardBlackboxes();
+  Interp I(Load->G, &BB);
+  std::vector<uint8_t> Bytes = formats::synthesizeZip(
+      formats::zipArchiveOfCopies(4, 2048, /*Compress=*/true));
+  auto R = I.parse(ByteSpan::of(Bytes));
+  ASSERT_TRUE(R) << R.message();
+  std::string Want = renderCanonical(*R, Load->G);
+  // The corpus really exercised the blackbox: inflate nodes are present.
+  EXPECT_NE(Want.find("Node inflate"), std::string::npos);
+
+  GenRun Gen = runGenerated(Exe, "zip_deflated", Bytes);
+  ASSERT_EQ(Gen.ExitCode, 0);
+  EXPECT_EQ(Want, Gen.Dump)
+      << "interpreter and generated trees diverge on deflated zip";
+
+  // An unregistered blackbox is a hard failure, as in the interpreter:
+  // the same child without the bridge registration must reject.
+  std::string NoRegExe;
+  ASSERT_TRUE(compileGenerated(*Code, "zip_noreg", NoRegExe));
+  EXPECT_EQ(runGenerated(NoRegExe, "zip_noreg", Bytes).ExitCode, 1)
+      << "a parse reaching an unregistered blackbox must fail";
+}
+
+//===----------------------------------------------------------------------===//
+// Memoization parity: with the memo table on (default) and off, generated
+// parsers must produce byte-identical canonical dumps — memoization is an
+// optimization, never a semantic change. PDF is the adversarial corpus
+// (backtracking-heavy, Fig. 12's memo-sensitive format).
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, MemoizedAndUnmemoizedGeneratedParsersAgree) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+
+  for (const char *Name : {"pdf", "gif", "dns"}) {
+    SCOPED_TRACE(Name);
+    auto Load = formats::loadFormatGrammar(Name);
+    ASSERT_TRUE(Load) << Load.message();
+
+    auto Memo = emitCppParser(Load->G, "gen");
+    ASSERT_TRUE(Memo) << Memo.message();
+    CppEmitterOptions Off;
+    Off.Memoize = false;
+    auto Plain = emitCppParser(Load->G, "gen", Off);
+    ASSERT_TRUE(Plain) << Plain.message();
+    // The ablation really removed the table, not just renamed things.
+    EXPECT_NE(Memo->find("C.memoFind("), std::string::npos);
+    EXPECT_EQ(Plain->find("C.memoFind("), std::string::npos);
+
+    std::string MemoExe, PlainExe;
+    ASSERT_TRUE(compileGenerated(*Memo, std::string(Name) + "_memo",
+                                 MemoExe));
+    ASSERT_TRUE(compileGenerated(*Plain, std::string(Name) + "_nomemo",
+                                 PlainExe));
+
+    for (unsigned Scale : {1u, 2u}) {
+      SCOPED_TRACE("scale: " + std::to_string(Scale));
+      std::vector<uint8_t> Bytes = formats::sampleInput(Name, Scale);
+      GenRun A = runGenerated(MemoExe, std::string(Name) + "_memo", Bytes);
+      GenRun B =
+          runGenerated(PlainExe, std::string(Name) + "_nomemo", Bytes);
+      ASSERT_EQ(A.ExitCode, 0);
+      ASSERT_EQ(B.ExitCode, 0);
+      EXPECT_EQ(A.Dump, B.Dump)
+          << Name << ": memoization changed the parse result";
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
