@@ -1,0 +1,165 @@
+//===- bench/bench_roundtrip.cpp - serializer throughput ------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Print-path twin of bench_throughput: parses each corpus once, then
+/// times serialize/Printer.cpp re-emitting the tree many times, and
+/// emits BENCH_roundtrip.json (ipg-bench-v1) with, per corpus case:
+///
+///   input_bytes, reps, mean_us, print_bytes_per_sec   (informational)
+///   covered_bytes, gap_bytes, overlap_bytes, blackbox_bytes, spans
+///                                                     (deterministic)
+///
+/// The deterministic counters are what CI gates on
+/// (scripts/check_bench_regression.py): they encode the print-exactness
+/// facts the roundtrip suite proves — a grammar or printer change that
+/// uncovers bytes (gap_bytes up), starts double-writing (overlap_bytes
+/// up), or stops re-encoding blackbox windows (blackbox_bytes collapsing
+/// would shrink covered_bytes) moves a counter. Every print is verified
+/// byte-exact against the input each rep before anything is reported.
+///
+/// Usage: bench_roundtrip [output.json] [reps]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "formats/FormatRegistry.h"
+#include "formats/Zip.h"
+#include "runtime/Interp.h"
+#include "serialize/Printer.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::bench;
+using namespace ipg::formats;
+
+namespace {
+
+struct CorpusCase {
+  std::string Name;           ///< "<format>/<variant>", bench_throughput's
+  std::string Format;         ///< registry name
+  std::vector<uint8_t> Bytes; ///< the input image
+  bool Strict;                ///< print-exact -> strict; else fill
+};
+
+std::vector<CorpusCase> buildCorpus() {
+  std::vector<CorpusCase> C;
+  // Same shapes (and names) as bench_throughput's fixed corpus, so the
+  // two artifacts line up case-by-case; pe and pdf print under
+  // FillFromBackground (their grammars leave gap bytes no leaf covers —
+  // see docs/grammar-syntax.md).
+  C.push_back({"zip/stored-8x4096", "zip",
+               synthesizeZip(zipArchiveOfCopies(8, 4096, false)), true});
+  C.push_back({"zip/deflate-4x2048", "zip",
+               synthesizeZip(zipArchiveOfCopies(4, 2048, true)), true});
+  for (const FormatInfo &FI : allFormats()) {
+    if (FI.Name == "zip")
+      continue;
+    bool Strict = FI.Name != "pe" && FI.Name != "pdf";
+    C.push_back({FI.Name + "/sample-1", FI.Name, sampleInput(FI.Name, 1),
+                 Strict});
+  }
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string OutPath = argc > 1 ? argv[1] : "BENCH_roundtrip.json";
+  size_t Reps = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 50;
+  if (Reps == 0)
+    Reps = 50;
+
+  banner("IPG serializer throughput (parse once, print many)");
+  BenchReport Report("roundtrip");
+
+  for (const CorpusCase &Case : buildCorpus()) {
+    auto Load = loadFormatGrammar(Case.Format);
+    if (!Load) {
+      std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),
+                   Load.message().c_str());
+      return 1;
+    }
+    BlackboxRegistry BB = standardBlackboxes();
+    Interp I(Load->G, &BB);
+    auto R = I.parse(ByteSpan::of(Case.Bytes));
+    if (!R) {
+      std::fprintf(stderr, "error: %s: corpus rejected: %s\n",
+                   Case.Name.c_str(), R.message().c_str());
+      return 1;
+    }
+
+    serialize::PrintOptions Opts;
+    Opts.CollectSpans = true;
+    if (!Case.Strict) {
+      Opts.Gaps = serialize::GapPolicy::FillFromBackground;
+      Opts.Background = ByteSpan::of(Case.Bytes);
+    }
+
+    // One verified print for the counters, then the timing loop — which
+    // re-verifies byte-exactness every rep so a silently wrong printer
+    // can never post a fast number.
+    auto First = serialize::printTree(**R, Load->G, &BB, Opts);
+    if (!First || First->Bytes != Case.Bytes) {
+      std::fprintf(stderr, "error: %s: print not byte-exact: %s\n",
+                   Case.Name.c_str(),
+                   First ? "byte mismatch" : First.message().c_str());
+      return 1;
+    }
+
+    bool Ok = true;
+    TimingResult T = timeIt(
+        [&] {
+          auto P = serialize::printTree(**R, Load->G, &BB, Opts);
+          if (!P || P->Bytes != Case.Bytes)
+            Ok = false;
+        },
+        Reps);
+    if (!Ok) {
+      std::fprintf(stderr, "error: %s: print diverged during timing\n",
+                   Case.Name.c_str());
+      return 1;
+    }
+
+    double BytesPerSec =
+        T.MeanUs > 0
+            ? static_cast<double>(Case.Bytes.size()) / (T.MeanUs * 1e-6)
+            : 0;
+    Report.add(Case.Name, "input_bytes",
+               static_cast<double>(Case.Bytes.size()));
+    Report.add(Case.Name, "reps", static_cast<double>(T.Reps));
+    Report.add(Case.Name, "mean_us", T.MeanUs);
+    Report.add(Case.Name, "stddev_us", T.StdDevUs);
+    Report.add(Case.Name, "print_bytes_per_sec", BytesPerSec);
+    Report.add(Case.Name, "covered_bytes",
+               static_cast<double>(First->CoveredBytes));
+    Report.add(Case.Name, "gap_bytes",
+               static_cast<double>(First->GapBytes));
+    Report.add(Case.Name, "overlap_bytes",
+               static_cast<double>(First->OverlapBytes));
+    Report.add(Case.Name, "blackbox_bytes",
+               static_cast<double>(First->BlackboxBytes));
+    Report.add(Case.Name, "spans", static_cast<double>(First->Spans.size()));
+
+    std::printf("%-22s %7zu bytes  mean %9.2f us  %8.2f MB/s  "
+                "gaps %zu  overlaps %zu  bb %zu\n",
+                Case.Name.c_str(), Case.Bytes.size(), T.MeanUs,
+                BytesPerSec / 1e6, First->GapBytes, First->OverlapBytes,
+                First->BlackboxBytes);
+  }
+
+  Report.add("process", "peak_rss_bytes",
+             static_cast<double>(peakRssBytes()));
+  return Report.writeFile(OutPath) ? 0 : 1;
+}

@@ -25,8 +25,14 @@ GATED_METRICS = [
     "nodes_per_parse",
     "terms_per_parse",
     "memo_misses",
+    # BENCH_roundtrip.json (serializer): print-exactness facts. More gap
+    # or overlap bytes means the printer (or a grammar) stopped covering
+    # the corpus the way the committed baseline proves it can.
+    "gap_bytes",
+    "overlap_bytes",
+    "spans",
 ]
-INFO_METRICS = ["bytes_per_sec", "mean_us"]
+INFO_METRICS = ["bytes_per_sec", "print_bytes_per_sec", "mean_us"]
 ADDITIVE_SLACK = 2.0
 
 

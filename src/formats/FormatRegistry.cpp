@@ -110,6 +110,10 @@ ipg::formats::loadFormatGrammar(const std::string &Name) {
 BlackboxRegistry ipg::formats::standardBlackboxes() {
   BlackboxRegistry BB;
   BB.add("inflate", miniZlibBlackbox);
+  // The inverse the serializer (serialize/Printer.cpp) re-encodes decoded
+  // entry data with: the deterministic MiniZlib compressor, so any stream
+  // it produced round-trips byte-exactly through decompress + recompress.
+  BB.addInverse("inflate", miniZlibBlackboxInverse);
   return BB;
 }
 
@@ -141,8 +145,23 @@ static bool ipgInflateBridge(void *, const unsigned char *Data, size_t Len,
   return true;
 }
 
+static bool ipgDeflateBridge(void *, const unsigned char *Decoded,
+                             size_t Len, long long Value,
+                             ipg_rt::BlackboxEncOut &Out) {
+  static std::vector<uint8_t> Buf;
+  ipg::BlackboxEncodeResult R = ipg::formats::miniZlibBlackboxInverse(
+      ipg::ByteSpan(Decoded, Len), Value);
+  if (!R.Ok)
+    return false;
+  Buf = std::move(R.Bytes);
+  Out.Data = Buf.data();
+  Out.Len = Buf.size();
+  return true;
+}
+
 template <class ParserT> void ipgRegisterBlackboxes(ParserT &P) {
   P.registerBlackbox("inflate", ipgInflateBridge, nullptr);
+  P.registerBlackboxInverse("inflate", ipgDeflateBridge, nullptr);
 }
 )BRIDGE";
 

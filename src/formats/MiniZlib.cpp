@@ -139,6 +139,17 @@ ipg::formats::miniZlibDecompress(ByteSpan In, size_t &Consumed) {
   return Out;
 }
 
+BlackboxEncodeResult
+ipg::formats::miniZlibBlackboxInverse(ByteSpan Decoded, int64_t Value) {
+  if (Value < 0 || static_cast<uint64_t>(Value) != Decoded.size())
+    return BlackboxEncodeResult::failure();
+  BlackboxEncodeResult R;
+  R.Ok = true;
+  R.Bytes = miniZlibCompress(
+      std::vector<uint8_t>(Decoded.data(), Decoded.data() + Decoded.size()));
+  return R;
+}
+
 BlackboxResult ipg::formats::miniZlibBlackbox(ByteSpan In) {
   size_t Consumed = 0;
   auto Out = miniZlibDecompress(In, Consumed);

@@ -47,6 +47,15 @@ miniZlibDecompress(ByteSpan In, size_t &Consumed);
 /// Output = decompressed bytes.
 BlackboxResult miniZlibBlackbox(ByteSpan In);
 
+/// The blackbox INVERSE: re-encodes decoded bytes with miniZlibCompress.
+/// \p Value must equal the decoded size (the forward adapter's val);
+/// printing a tree whose val disagrees with its output leaf fails here.
+/// Byte-exact round-trips additionally need the original stream to have
+/// been produced by miniZlibCompress — the compressor is deterministic,
+/// so compress(decompress(s)) == s for exactly those streams.
+BlackboxEncodeResult miniZlibBlackboxInverse(ByteSpan Decoded,
+                                             int64_t Value);
+
 } // namespace ipg::formats
 
 #endif // IPG_FORMATS_MINIZLIB_H

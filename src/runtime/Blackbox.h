@@ -44,6 +44,26 @@ struct BlackboxResult {
 
 using BlackboxFn = std::function<BlackboxResult(ByteSpan)>;
 
+/// What a blackbox INVERSE produces: the encoded bytes that, handed back
+/// to the forward blackbox, decode to the same output again. Serializers
+/// (serialize/Printer.cpp) call inverses to re-emit the consumed window
+/// of a blackbox term; the printer checks the encoding fills the window
+/// exactly.
+struct BlackboxEncodeResult {
+  bool Ok = false;
+  std::vector<uint8_t> Bytes;
+
+  static BlackboxEncodeResult failure() { return BlackboxEncodeResult(); }
+};
+
+/// A blackbox inverse: re-encodes \p Decoded (the forward blackbox's
+/// Output) given \p Value (the forward blackbox's `val` attribute). An
+/// inverse must be the deterministic encoder whose output the forward
+/// decoder accepts; round-trip exactness additionally requires that the
+/// original stream was produced by this same encoder.
+using BlackboxInvFn =
+    std::function<BlackboxEncodeResult(ByteSpan Decoded, int64_t Value)>;
+
 class BlackboxRegistry {
 public:
   void add(std::string Name, BlackboxFn Fn) {
@@ -54,8 +74,19 @@ public:
     return It == Fns.end() ? nullptr : &It->second;
   }
 
+  /// Binds the inverse of the blackbox named \p Name (parsing needs only
+  /// the forward direction; printing needs this one too).
+  void addInverse(std::string Name, BlackboxInvFn Fn) {
+    Invs[std::move(Name)] = std::move(Fn);
+  }
+  const BlackboxInvFn *findInverse(const std::string &Name) const {
+    auto It = Invs.find(Name);
+    return It == Invs.end() ? nullptr : &It->second;
+  }
+
 private:
   std::map<std::string, BlackboxFn> Fns;
+  std::map<std::string, BlackboxInvFn> Invs;
 };
 
 } // namespace ipg

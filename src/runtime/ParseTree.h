@@ -211,6 +211,13 @@ public:
 
   std::optional<int64_t> attr(Symbol S) const { return env().get(S); }
 
+  /// The lazy T-NTSucc delta of this view: the offset of the node's own
+  /// local coordinate frame within its parent's (0 for directly built
+  /// nodes). Child ids and leaf offsets under this node are stored in the
+  /// node's local frame, so a serializer walking the tree accumulates
+  /// exactly this delta per edge to recover absolute positions.
+  int64_t shift() const { return Shift; }
+
   /// The most recent child node named \p ChildName (nullptr if none).
   const NodeTree *childNode(Symbol ChildName) const;
   /// The most recent child array whose elements are named \p ElemName.

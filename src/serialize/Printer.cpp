@@ -1,0 +1,247 @@
+//===- serialize/Printer.cpp ----------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serialize/Printer.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+using namespace ipg;
+using namespace ipg::serialize;
+
+namespace {
+
+/// The walk state: output buffer, per-byte coverage, and the running
+/// counters. All offsets handled here are absolute positions in the
+/// printed output; the per-edge shift accumulation happens in the
+/// recursion (walkNode), not here.
+class Printer {
+public:
+  Printer(const Grammar &G, const BlackboxRegistry *Registry,
+          const PrintOptions &Opts)
+      : G(G), Registry(Registry), Opts(Opts) {
+    if (Opts.Gaps == GapPolicy::FillFromBackground) {
+      R.Bytes.resize(Opts.Background.size(), 0);
+      Covered.resize(Opts.Background.size(), 0);
+    }
+  }
+
+  Error run(const ParseTree &Root) {
+    if (const auto *N = dyn_cast<NodeTree>(&Root)) {
+      // The root's base frame is the whole input; a root handed over as
+      // a shifted view would re-anchor it elsewhere, which no engine
+      // produces (parse() returns the unshifted rule result).
+      if (Error E = walkNode(*N, /*BaseOrigin=*/N->shift(), /*Depth=*/0))
+        return E;
+    } else if (const auto *L = dyn_cast<LeafTree>(&Root)) {
+      if (Error E = writeLeaf(*L, 0, 0))
+        return E;
+    } else {
+      return Error::failure("cannot print a bare array root");
+    }
+    return finish();
+  }
+
+  PrintResult take() { return std::move(R); }
+
+private:
+  const Grammar &G;
+  const BlackboxRegistry *Registry;
+  const PrintOptions &Opts;
+  PrintResult R;
+  std::vector<uint8_t> Covered; ///< per-output-byte "a leaf wrote this"
+
+  /// The node-local value of attribute \p S: the frozen env stores base-
+  /// local coordinates and env() resolves the view shift on top, so
+  /// subtracting the shift recovers the frame leaf offsets and child
+  /// shifts are relative to.
+  static std::optional<int64_t> localAttr(const NodeTree &N, Symbol S,
+                                          int64_t Shift) {
+    auto V = N.env().get(S);
+    if (!V)
+      return std::nullopt;
+    return *V - Shift;
+  }
+
+  Error writeBytes(int64_t Abs, const uint8_t *Data, size_t Len) {
+    if (Abs < 0)
+      return Error::failure("print placed bytes at negative offset " +
+                            std::to_string(Abs));
+    size_t At = static_cast<size_t>(Abs);
+    if (At + Len > R.Bytes.size()) {
+      R.Bytes.resize(At + Len, 0);
+      Covered.resize(At + Len, 0);
+    }
+    for (size_t I = 0; I < Len; ++I) {
+      if (Covered[At + I]) {
+        if (R.Bytes[At + I] != Data[I])
+          return Error::failure(
+              "overlapping writes disagree at output offset " +
+              std::to_string(At + I));
+        ++R.OverlapBytes;
+        continue;
+      }
+      R.Bytes[At + I] = Data[I];
+      Covered[At + I] = 1;
+      ++R.CoveredBytes;
+    }
+    return Error::success();
+  }
+
+  Error writeLeaf(const LeafTree &L, int64_t BaseOrigin, uint32_t Depth) {
+    int64_t Abs = BaseOrigin + L.offset();
+    if (Opts.CollectSpans && L.length() > 0)
+      R.Spans.push_back(PrintSpan{PrintSpan::Kind::Leaf, InvalidSymbol, Abs,
+                                  Abs + static_cast<int64_t>(L.length()),
+                                  Depth});
+    return writeBytes(Abs,
+                      reinterpret_cast<const uint8_t *>(L.bytes().data()),
+                      L.length());
+  }
+
+  /// A blackbox node re-emits its consumed window [start, end) through
+  /// the registered inverse instead of copying children: its only child
+  /// is the DECODED output leaf, whose bytes never appeared in the input.
+  Error writeBlackbox(const NodeTree &N, int64_t BaseOrigin) {
+    int64_t Shift = N.shift();
+    auto S = localAttr(N, G.symStart(), Shift);
+    auto E = localAttr(N, G.symEnd(), Shift);
+    auto V = localAttr(N, G.symVal(), /*Shift=*/0); // val is coordinate-free
+    std::string Name(G.interner().name(N.name()));
+    if (!S || !E || !V)
+      return Error::failure("blackbox node '" + Name +
+                            "' lacks val/start/end attributes");
+
+    ByteSpan Decoded;
+    for (TreeRef C : N.children())
+      if (const auto *L = dyn_cast<LeafTree>(C.get()))
+        Decoded = ByteSpan(
+            reinterpret_cast<const uint8_t *>(L->bytes().data()),
+            L->length());
+
+    if (*E <= *S) {
+      // The untouched encoding ([sub-EOI, 0)): the blackbox consumed no
+      // bytes, so there is nothing to re-emit — unless it also claims
+      // decoded output, which zero input bytes cannot carry.
+      if (!Decoded.empty())
+        return Error::failure("blackbox node '" + Name +
+                              "' consumed no bytes but has decoded output");
+      return Error::success();
+    }
+
+    const BlackboxInvFn *Inv =
+        Registry ? Registry->findInverse(Name) : nullptr;
+    if (!Inv)
+      return Error::failure("blackbox inverse '" + Name +
+                            "' is not registered");
+    BlackboxEncodeResult Enc = (*Inv)(Decoded, *V);
+    if (!Enc.Ok)
+      return Error::failure("blackbox inverse '" + Name + "' failed");
+    if (static_cast<int64_t>(Enc.Bytes.size()) != *E - *S)
+      return Error::failure(
+          "blackbox inverse '" + Name + "' produced " +
+          std::to_string(Enc.Bytes.size()) + " bytes for a window of " +
+          std::to_string(*E - *S));
+    R.BlackboxBytes += Enc.Bytes.size();
+    return writeBytes(BaseOrigin + *S, Enc.Bytes.data(), Enc.Bytes.size());
+  }
+
+  /// \p BaseOrigin is the absolute position of N's base-local frame
+  /// origin (parent origin + this edge's shift delta): leaf offsets and
+  /// child shifts stored under N are relative to it.
+  Error walkNode(const NodeTree &N, int64_t BaseOrigin, uint32_t Depth) {
+    int64_t Shift = N.shift();
+    bool IsBlackbox = G.isBlackbox(N.name());
+    if (Opts.CollectSpans) {
+      auto S = localAttr(N, G.symStart(), Shift);
+      auto E = localAttr(N, G.symEnd(), Shift);
+      if (S && E && *E > *S)
+        R.Spans.push_back(PrintSpan{IsBlackbox ? PrintSpan::Kind::Blackbox
+                                               : PrintSpan::Kind::Node,
+                                    N.name(), BaseOrigin + *S,
+                                    BaseOrigin + *E, Depth});
+    }
+    if (IsBlackbox)
+      return writeBlackbox(N, BaseOrigin);
+
+    for (TreeRef C : N.children()) {
+      switch (C->kind()) {
+      case ParseTree::Kind::Leaf:
+        if (Error E = writeLeaf(*cast<LeafTree>(C.get()), BaseOrigin,
+                                Depth + 1))
+          return E;
+        break;
+      case ParseTree::Kind::Node: {
+        const auto *Sub = cast<NodeTree>(C.get());
+        if (Error E =
+                walkNode(*Sub, BaseOrigin + Sub->shift(), Depth + 1))
+          return E;
+        break;
+      }
+      case ParseTree::Kind::Array: {
+        const auto *A = cast<ArrayTree>(C.get());
+        // Array objects carry no shift of their own: element views are
+        // shifted relative to the frame that executed the for-term —
+        // this node's base frame.
+        for (TreeRef El : A->elements()) {
+          const auto *Elem = cast<NodeTree>(El.get());
+          if (Error E = walkNode(*Elem, BaseOrigin + Elem->shift(),
+                                 Depth + 1))
+            return E;
+        }
+        break;
+      }
+      }
+    }
+    return Error::success();
+  }
+
+  Error finish() {
+    if (Opts.Gaps == GapPolicy::Strict) {
+      for (size_t I = 0; I < R.Bytes.size(); ++I)
+        if (!Covered[I])
+          return Error::failure(
+              "no leaf covers output offset " + std::to_string(I) +
+              " (tree is not print-exact; see GapPolicy)");
+      return Error::success();
+    }
+    // FillFromBackground: the output size is the background's; a tree
+    // that wrote past it is a placement bug, not a gap.
+    if (R.Bytes.size() > Opts.Background.size())
+      return Error::failure(
+          "print wrote past the background (" +
+          std::to_string(R.Bytes.size()) + " > " +
+          std::to_string(Opts.Background.size()) + " bytes)");
+    for (size_t I = 0; I < R.Bytes.size(); ++I) {
+      if (Covered[I])
+        continue;
+      R.Bytes[I] = Opts.Background[I];
+      ++R.GapBytes;
+    }
+    return Error::success();
+  }
+};
+
+} // namespace
+
+Expected<PrintResult>
+ipg::serialize::printTree(const ParseTree &Root, const Grammar &G,
+                          const BlackboxRegistry *Registry,
+                          const PrintOptions &Opts) {
+  if (Opts.Gaps == GapPolicy::FillFromBackground &&
+      Opts.Background.data() == nullptr && Opts.Background.size() > 0)
+    return Expected<PrintResult>::failure("background span has no data");
+  Printer P(G, Registry, Opts);
+  if (Error E = P.run(Root))
+    return Expected<PrintResult>(std::move(E));
+  return P.take();
+}

@@ -618,6 +618,11 @@ struct Node {
   size_t Len = 0;
   long long Off = 0;
   bool Opaque = false;
+  /// True for nodes built by blackboxNode: their one leaf child carries
+  /// DECODED bytes, so the serializer (printTree) must re-encode through
+  /// the inverse hook instead of copying children. Copied along by
+  /// shifted() like every other field.
+  bool Bb = false;
 
   /// Child-node view over this node's unified child list (the accessor
   /// surface generated-parser drivers use: `Root->children()[0].get()`).
@@ -669,6 +674,22 @@ struct BlackboxOut {
 /// every BlackboxOut field must be set.
 using BlackboxFn = bool (*)(void *User, const unsigned char *Data,
                             size_t Len, BlackboxOut &Out);
+
+/// What a blackbox INVERSE hands back: the re-encoded bytes. Like
+/// BlackboxOut's Output, the buffer must stay valid until the callback's
+/// next invocation; printTree copies it into the output before returning.
+struct BlackboxEncOut {
+  const unsigned char *Data = nullptr;
+  size_t Len = 0;
+};
+
+/// The inverse hook next to BlackboxFn: re-encodes \p Decoded (a forward
+/// blackbox's Output) given \p Value (its val attribute). Serializers
+/// call it to re-emit the consumed window of a blackbox node; parsing
+/// never needs it.
+using BlackboxInvFn = bool (*)(void *User, const unsigned char *Decoded,
+                               size_t DecodedLen, long long Value,
+                               BlackboxEncOut &Out);
 
 /// The recycled store + scratch state behind one generated parser: arena,
 /// object index, per-depth frame pool and per-nesting array scratch — the
@@ -739,13 +760,32 @@ public:
   /// Binds (or rebinds) the blackbox named by \p NameId. Generated
   /// parsers expose this by name through Parser::registerBlackbox.
   void registerBlackbox(unsigned NameId, BlackboxFn Fn, void *User) {
-    for (BlackboxSlot &S : Blackboxes)
+    slotFor(NameId).Fn = Fn;
+    slotFor(NameId).User = User;
+  }
+
+  /// Binds (or rebinds) the INVERSE of the blackbox named by \p NameId
+  /// (Parser::registerBlackboxInverse). Only printTree consults it.
+  void registerBlackboxInverse(unsigned NameId, BlackboxInvFn Fn,
+                               void *User) {
+    slotFor(NameId).InvFn = Fn;
+    slotFor(NameId).InvUser = User;
+  }
+
+  /// Runs the registered inverse over Decoded[0, DecodedLen). Returns
+  /// false when no inverse is registered or the inverse rejects; printing
+  /// reports either as a print error (there is no parse to hard-fail).
+  bool callBlackboxInverse(unsigned NameId, const unsigned char *Decoded,
+                           size_t DecodedLen, long long Value,
+                           BlackboxEncOut &Out) const {
+    for (const BlackboxSlot &S : Blackboxes)
       if (S.NameId == NameId) {
-        S.Fn = Fn;
-        S.User = User;
-        return;
+        if (!S.InvFn)
+          return false;
+        Out = BlackboxEncOut();
+        return S.InvFn(S.InvUser, Decoded, DecodedLen, Value, Out);
       }
-    Blackboxes.push_back(BlackboxSlot{NameId, Fn, User});
+    return false;
   }
 
   /// Runs the registered blackbox over Data[0, Len). Returns 1 on success
@@ -757,6 +797,8 @@ public:
                    BlackboxOut &Out) {
     for (const BlackboxSlot &S : Blackboxes)
       if (S.NameId == NameId) {
+        if (!S.Fn)
+          break; // inverse-only slot: the forward direction is unbound
         Out = BlackboxOut();
         if (!S.Fn(S.User, Data, Len, Out))
           return 0;
@@ -878,6 +920,7 @@ public:
     N.NumSlots = 3;
     N.KidIds = A.copyArray(Kids, NumKids);
     N.NumKids = NumKids;
+    N.Bb = true; // printTree re-encodes this node through the inverse hook
     ++Frozen;
     return add(N);
   }
@@ -889,10 +932,21 @@ private:
   }
 
   struct BlackboxSlot {
-    unsigned NameId;
-    BlackboxFn Fn;
-    void *User;
+    unsigned NameId = 0;
+    BlackboxFn Fn = nullptr;
+    void *User = nullptr;
+    BlackboxInvFn InvFn = nullptr;
+    void *InvUser = nullptr;
   };
+
+  BlackboxSlot &slotFor(unsigned NameId) {
+    for (BlackboxSlot &S : Blackboxes)
+      if (S.NameId == NameId)
+        return S;
+    Blackboxes.push_back(BlackboxSlot());
+    Blackboxes.back().NameId = NameId;
+    return Blackboxes.back();
+  }
 
   Arena A;
   std::vector<Node> Objs;
@@ -1155,6 +1209,212 @@ inline std::string dumpTree(const Node *Root) {
   if (Root)
     dumpTreeRec(Root, 0, Out);
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Tree serializer — the generated twin of serialize/Printer.cpp, embedded
+// into every generated parser so both execution modes can prove
+// parse(print(tree)) round-trips. The walk runs T-NTSucc's coordinate
+// model backwards: each child edge contributes its lazy Shift delta, the
+// accumulated origin places every leaf absolutely, leaves copy their
+// zero-copy windows, and blackbox nodes (Node::Bb) re-emit their consumed
+// window through the inverse hook (Ctx::callBlackboxInverse). Overlapping
+// writes (memoized subtrees re-anchored under several parents) must agree
+// byte-for-byte; uncovered bytes are gaps — fatal in strict mode, filled
+// from a caller-supplied background otherwise.
+//===----------------------------------------------------------------------===//
+
+struct PrintOptions {
+  /// Fail on any uncovered byte. When false, gaps fill from Background
+  /// (whose length fixes the output size).
+  bool Strict = true;
+  const unsigned char *Background = nullptr;
+  size_t BackgroundLen = 0;
+};
+
+struct PrintOut {
+  std::vector<unsigned char> Bytes;
+  size_t CoveredBytes = 0;
+  size_t GapBytes = 0;
+  size_t OverlapBytes = 0;
+  size_t BlackboxBytes = 0;
+  std::string Error; ///< set when printTree returns false
+};
+
+class TreePrinter {
+public:
+  TreePrinter(const PrintOptions &O, PrintOut &R) : O(O), R(R) {
+    if (!O.Strict) {
+      R.Bytes.assign(O.BackgroundLen, 0);
+      Covered.assign(O.BackgroundLen, 0);
+    }
+  }
+
+  bool run(const Node *Root) {
+    if (!Root)
+      return fail("cannot print a null tree");
+    if (Root->Kind == Node::KArray)
+      return fail("cannot print a bare array root");
+    if (Root->Kind == Node::KLeaf)
+      return writeBytes(Root->Off, Root->Data, Root->Len);
+    if (!walkNode(Root, Root->Shift))
+      return false;
+    return finish();
+  }
+
+private:
+  const PrintOptions &O;
+  PrintOut &R;
+  std::vector<unsigned char> Covered;
+
+  bool fail(const std::string &Msg) {
+    R.Error = Msg;
+    return false;
+  }
+
+  bool writeBytes(long long Abs, const unsigned char *Data, size_t Len) {
+    if (Abs < 0)
+      return fail("print placed bytes at negative offset " +
+                  std::to_string(Abs));
+    size_t At = static_cast<size_t>(Abs);
+    if (At + Len > R.Bytes.size()) {
+      R.Bytes.resize(At + Len, 0);
+      Covered.resize(At + Len, 0);
+    }
+    for (size_t I = 0; I < Len; ++I) {
+      if (Covered[At + I]) {
+        if (R.Bytes[At + I] != Data[I])
+          return fail("overlapping writes disagree at output offset " +
+                      std::to_string(At + I));
+        ++R.OverlapBytes;
+        continue;
+      }
+      R.Bytes[At + I] = Data[I];
+      Covered[At + I] = 1;
+      ++R.CoveredBytes;
+    }
+    return true;
+  }
+
+  /// Raw (base-local) start/end of \p N: the frozen slots hold base
+  /// coordinates; Shift maps them into the parent frame, which is not
+  /// the frame leaf offsets under N live in.
+  static bool localSpan(const Node *N, long long &S, long long &E) {
+    bool HasS = false, HasE = false;
+    for (unsigned I = 0; I < N->NumSlots; ++I) {
+      if (N->Slots[I].Id == IdStart) {
+        S = N->Slots[I].V;
+        HasS = true;
+      } else if (N->Slots[I].Id == IdEnd) {
+        E = N->Slots[I].V;
+        HasE = true;
+      }
+    }
+    return HasS && HasE;
+  }
+
+  bool writeBlackbox(const Node *N, long long BaseOrigin) {
+    long long S = 0, E = 0, Val = 0;
+    bool HasVal = false;
+    for (unsigned I = 0; I < N->NumSlots; ++I)
+      if (N->Slots[I].Id != IdStart && N->Slots[I].Id != IdEnd) {
+        Val = N->Slots[I].V;
+        HasVal = true;
+      }
+    std::string Name(N->Name ? N->Name : "?");
+    if (!localSpan(N, S, E) || !HasVal)
+      return fail("blackbox node '" + Name +
+                  "' lacks val/start/end attributes");
+
+    const unsigned char *Decoded = nullptr;
+    size_t DecodedLen = 0;
+    for (unsigned I = 0; I < N->NumKids; ++I) {
+      const Node *K = N->kid(I);
+      if (K->Kind == Node::KLeaf) {
+        Decoded = K->Data;
+        DecodedLen = K->Len;
+      }
+    }
+
+    if (E <= S) {
+      // Untouched encoding ([sub-EOI, 0)): nothing was consumed.
+      if (DecodedLen)
+        return fail("blackbox node '" + Name +
+                    "' consumed no bytes but has decoded output");
+      return true;
+    }
+
+    BlackboxEncOut Enc;
+    if (!N->C->callBlackboxInverse(N->NameId, Decoded, DecodedLen, Val,
+                                   Enc))
+      return fail("blackbox inverse '" + Name +
+                  "' is not registered or failed");
+    if (static_cast<long long>(Enc.Len) != E - S)
+      return fail("blackbox inverse '" + Name + "' produced " +
+                  std::to_string(Enc.Len) + " bytes for a window of " +
+                  std::to_string(E - S));
+    R.BlackboxBytes += Enc.Len;
+    return writeBytes(BaseOrigin + S, Enc.Data, Enc.Len);
+  }
+
+  /// \p BaseOrigin: absolute position of N's base-local frame origin
+  /// (parent origin + this edge's Shift).
+  bool walkNode(const Node *N, long long BaseOrigin) {
+    if (N->Bb)
+      return writeBlackbox(N, BaseOrigin);
+    for (unsigned I = 0; I < N->NumKids; ++I) {
+      const Node *K = N->kid(I);
+      switch (K->Kind) {
+      case Node::KLeaf:
+        if (!writeBytes(BaseOrigin + K->Off, K->Data, K->Len))
+          return false;
+        break;
+      case Node::KNode:
+        if (!walkNode(K, BaseOrigin + K->Shift))
+          return false;
+        break;
+      case Node::KArray:
+        // Arrays carry no shift of their own; element views are shifted
+        // relative to this node's base frame.
+        for (unsigned J = 0; J < K->NumKids; ++J) {
+          const Node *El = K->kid(J);
+          if (!walkNode(El, BaseOrigin + El->Shift))
+            return false;
+        }
+        break;
+      }
+    }
+    return true;
+  }
+
+  bool finish() {
+    if (O.Strict) {
+      for (size_t I = 0; I < R.Bytes.size(); ++I)
+        if (!Covered[I])
+          return fail("no leaf covers output offset " + std::to_string(I) +
+                      " (tree is not print-exact)");
+      return true;
+    }
+    if (R.Bytes.size() > O.BackgroundLen)
+      return fail("print wrote past the background (" +
+                  std::to_string(R.Bytes.size()) + " > " +
+                  std::to_string(O.BackgroundLen) + " bytes)");
+    for (size_t I = 0; I < R.Bytes.size(); ++I) {
+      if (Covered[I])
+        continue;
+      R.Bytes[I] = O.Background[I];
+      ++R.GapBytes;
+    }
+    return true;
+  }
+};
+
+/// Serializes \p Root back into bytes; false leaves the diagnostic in
+/// \p R.Error. Blackbox formats must have registered inverses
+/// (Parser::registerBlackboxInverse) for every blackbox the tree reached.
+inline bool printTree(const Node *Root, const PrintOptions &O,
+                      PrintOut &R) {
+  return TreePrinter(O, R).run(Root);
 }
 
 } // namespace ipg_rt

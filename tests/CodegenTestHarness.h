@@ -27,6 +27,7 @@
 #include <fstream>
 #include <gtest/gtest.h>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 namespace ipg::testutil {
@@ -35,9 +36,16 @@ inline bool hostCompilerAvailable() {
   return std::system("c++ --version > /dev/null 2>&1") == 0;
 }
 
-/// The per-\p Tag scratch directory children compile and run in.
+/// The per-\p Tag scratch directory children compile and run in. The
+/// test runner's pid is part of the path: several test binaries reuse
+/// tags (differential_test and roundtrip_test both compile a "gif"
+/// parser), so fixed paths made `ctest -j` a latent artifact race. The
+/// pid is cached so every call within a process re-derives the same
+/// directory (compileParserSource and runChild must agree on it).
 inline std::string childDir(const std::string &Tag) {
-  return ::testing::TempDir() + "ipg_codegen_" + Tag;
+  static const long Pid = static_cast<long>(::getpid());
+  return ::testing::TempDir() + "ipg_codegen_" + std::to_string(Pid) +
+         "_" + Tag;
 }
 
 /// Writes \p FullSource (generated parser + driver main) and compiles it.

@@ -210,6 +210,51 @@ TEST(TreeStoreTest, ShiftedViewsNestAndAliasWithoutCopying) {
   }
 }
 
+TEST(TreeStoreTest, ComposedShiftChainsResolveAtDepthThreePlus) {
+  TreeStore Store;
+  const Symbol SymStart = 100, SymEnd = 101, SymOther = 102;
+  Env E;
+  E.set(SymStart, 4);
+  E.set(SymEnd, 7);
+  E.set(SymOther, -2);
+  uint32_t Base = Store.makeNode(5, 0, E, nullptr, nullptr, 0);
+
+  // A four-level chain with mixed-sign deltas: each level is a view of
+  // the PREVIOUS VIEW (not of the base), and every read resolves the
+  // whole composition lazily — no env is copied at any level.
+  uint32_t V1 = Store.makeShifted(Base, 10, SymStart, SymEnd);
+  uint32_t V2 = Store.makeShifted(V1, -3, SymStart, SymEnd);
+  uint32_t V3 = Store.makeShifted(V2, 100, SymStart, SymEnd);
+  uint32_t V4 = Store.makeShifted(V3, 1, SymStart, SymEnd);
+  const auto *N4 = cast<NodeTree>(Store.node(V4));
+  EXPECT_EQ(N4->attr(SymStart), 4 + 10 - 3 + 100 + 1);
+  EXPECT_EQ(N4->attr(SymEnd), 7 + 10 - 3 + 100 + 1);
+  EXPECT_EQ(N4->attr(SymOther), -2); // coordinate-free: never shifted
+
+  // Intermediate levels read their own prefix of the chain; the base is
+  // untouched (it may be memo-shared under other parents).
+  EXPECT_EQ(cast<NodeTree>(Store.node(V2))->attr(SymStart), 11);
+  EXPECT_EQ(cast<NodeTree>(Store.node(V3))->attr(SymStart), 111);
+  EXPECT_EQ(cast<NodeTree>(Store.node(Base))->attr(SymStart), 4);
+
+  // A zero-delta link collapses instead of deepening the chain.
+  EXPECT_EQ(Store.makeShifted(V3, 0, SymStart, SymEnd), V3);
+
+  // env() iteration — the canonical-dump and serializer read path —
+  // composes identically to attr().
+  for (EnvSlot Slot : N4->env()) {
+    if (Slot.Key == SymStart) {
+      EXPECT_EQ(Slot.Value, 112);
+    }
+    if (Slot.Key == SymEnd) {
+      EXPECT_EQ(Slot.Value, 115);
+    }
+    if (Slot.Key == SymOther) {
+      EXPECT_EQ(Slot.Value, -2);
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Interp store recycling and tree lifetime
 //===----------------------------------------------------------------------===//
@@ -235,6 +280,52 @@ TEST(StoreRecycling, SteadyStateRecyclesWhenResultDropped) {
     ASSERT_TRUE(R) << R.message();
     EXPECT_TRUE(I.stats().StoreRecycled);
   }
+}
+
+TEST(StoreRecycling, RecycledStoreSurvivesTreePtrMoves) {
+  Grammar G = loadOrDie(TinyGrammar);
+  Interp I(G);
+  std::vector<uint8_t> In = {'a', 'b', 4};
+  {
+    auto R = I.parse(ByteSpan::of(In));
+    ASSERT_TRUE(R) << R.message();
+    // The engine moved its sole reference into *R; keep moving it. The
+    // store must come back to the recycler EXACTLY once no matter how
+    // many moved-from shells die along the way.
+    TreePtr A = std::move(*R);
+    TreePtr B(std::move(A));
+    TreePtr C;
+    C = std::move(B);
+    EXPECT_EQ(A.get(), nullptr);
+    EXPECT_EQ(B.get(), nullptr);
+    EXPECT_EQ(cast<NodeTree>(C.get())->attr(G.intern("x")), 4);
+  } // last live handle dies here
+  // Both the park (above) and the re-park after reuse must work.
+  for (int K = 0; K < 2; ++K) {
+    auto R = I.parse(ByteSpan::of(In));
+    ASSERT_TRUE(R) << R.message();
+    EXPECT_TRUE(I.stats().StoreRecycled);
+  }
+}
+
+TEST(StoreRecycling, MoveAssignOverLiveTreeReturnsTheOldStore) {
+  Grammar G = loadOrDie(TinyGrammar);
+  Interp I(G);
+  std::vector<uint8_t> In = {'a', 'b', 1};
+  auto R1 = I.parse(ByteSpan::of(In));
+  ASSERT_TRUE(R1);
+  TreePtr Held = std::move(*R1);
+  auto R2 = I.parse(ByteSpan::of(In)); // Held alive -> fresh store
+  ASSERT_TRUE(R2);
+  EXPECT_FALSE(I.stats().StoreRecycled);
+  // Move-assigning over a live tree drops the FIRST store's last
+  // reference mid-assignment; it must park, and the handle must end up
+  // owning the second store.
+  Held = std::move(*R2);
+  EXPECT_EQ(cast<NodeTree>(Held.get())->attr(G.intern("x")), 1);
+  auto R3 = I.parse(ByteSpan::of(In));
+  ASSERT_TRUE(R3);
+  EXPECT_TRUE(I.stats().StoreRecycled);
 }
 
 TEST(StoreRecycling, HeldResultForcesFreshStoreAndStaysValid) {

@@ -231,6 +231,82 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
 }
 
 //===----------------------------------------------------------------------===//
+// Corrupt-at-offset sweep: the single corrupt-first-byte probe above only
+// sees one failure path per format. This sweep plants flips and
+// truncations at fixed offsets spread across each corpus — headers,
+// directory structures, payload middles, trailers — and demands verdict
+// agreement at every one; when both engines accept a corruption (a flip
+// in don't-care payload bytes), their trees must still be identical.
+// The per-offset verdict grid is the seed of ROADMAP item 4's robustness
+// bench schema.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
+  if (!hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+
+  // Deterministic probe positions: K evenly spread interior offsets plus
+  // both extremes (offset 0 and the final byte).
+  constexpr size_t ProbesPerFormat = 8;
+
+  size_t Checked = 0;
+  for (const formats::FormatInfo &FI : formats::allFormats()) {
+    SCOPED_TRACE("format: " + FI.Name);
+    auto Load = formats::loadFormatGrammar(FI.Name);
+    ASSERT_TRUE(Load) << Load.message();
+    auto Code = emitCppParser(Load->G, "gen");
+    ASSERT_TRUE(Code) << Code.message();
+    std::string Exe;
+    ASSERT_TRUE(compileGenerated(*Code, "sweep_" + FI.Name, Exe,
+                                 formats::genBlackboxBridge(FI.Name)));
+
+    BlackboxRegistry BB = formats::standardBlackboxes();
+    Interp I(Load->G, FI.NeedsBlackbox ? &BB : nullptr);
+    const std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, 1);
+    ASSERT_GE(Bytes.size(), ProbesPerFormat);
+
+    std::vector<size_t> Offsets = {0, Bytes.size() - 1};
+    for (size_t K = 1; K + 1 < ProbesPerFormat; ++K)
+      Offsets.push_back(K * Bytes.size() / (ProbesPerFormat - 1));
+
+    for (size_t Off : Offsets) {
+      // Flip: same length, one damaged byte.
+      {
+        SCOPED_TRACE("flip @" + std::to_string(Off));
+        std::vector<uint8_t> Bad = Bytes;
+        Bad[Off] ^= 0xff;
+        auto R = I.parse(ByteSpan::of(Bad));
+        GenRun Gen = runGenerated(Exe, "sweep_" + FI.Name, Bad);
+        ASSERT_GE(Gen.ExitCode, 0);
+        ASSERT_LE(Gen.ExitCode, 1);
+        EXPECT_EQ(static_cast<bool>(R), Gen.ExitCode == 0)
+            << "accept/reject verdicts diverge";
+        if (R && Gen.ExitCode == 0) {
+          EXPECT_EQ(renderCanonical(*R, Load->G), Gen.Dump)
+              << "both accepted the flip but built different trees";
+        }
+        ++Checked;
+      }
+      // Truncate: structure cut mid-construct.
+      {
+        SCOPED_TRACE("truncate @" + std::to_string(Off));
+        std::vector<uint8_t> Bad(Bytes.begin(),
+                                 Bytes.begin() +
+                                     static_cast<std::ptrdiff_t>(Off));
+        auto R = I.parse(ByteSpan::of(Bad));
+        GenRun Gen = runGenerated(Exe, "sweep_" + FI.Name, Bad);
+        ASSERT_GE(Gen.ExitCode, 0);
+        ASSERT_LE(Gen.ExitCode, 1);
+        EXPECT_EQ(static_cast<bool>(R), Gen.ExitCode == 0)
+            << "accept/reject verdicts diverge";
+        ++Checked;
+      }
+    }
+  }
+  EXPECT_EQ(Checked, 2 * ProbesPerFormat * formats::allFormats().size());
+}
+
+//===----------------------------------------------------------------------===//
 // The blackbox hook under load: a zip archive with DEFLATED entries runs
 // the inflate blackbox on both sides (the stored-entry corpus above never
 // reaches it). The decoded output leaf, val/start/end attributes, and the
