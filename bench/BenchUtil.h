@@ -25,6 +25,7 @@
 #ifndef IPG_BENCH_BENCHUTIL_H
 #define IPG_BENCH_BENCHUTIL_H
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -239,8 +240,11 @@ inline std::string benchJsonPath(int Argc, char **Argv,
 
 namespace ipg::bench {
 namespace detail {
-inline uint64_t &allocCounterStorage() {
-  static uint64_t Count = 0; // benches are single-threaded
+// Relaxed atomic: bench_service allocates from several worker threads at
+// once, and a torn plain counter would make the allocation gates flaky.
+// Relaxed ordering keeps the count exact without fencing the hot path.
+inline std::atomic<uint64_t> &allocCounterStorage() {
+  static std::atomic<uint64_t> Count{0};
   return Count;
 }
 } // namespace detail
@@ -252,37 +256,44 @@ inline std::size_t alignUp(std::size_t Size, std::align_val_t Align) {
 }
 
 /// Number of operator-new calls since process start.
-inline uint64_t allocCount() { return detail::allocCounterStorage(); }
+inline uint64_t allocCount() {
+  return detail::allocCounterStorage().load(std::memory_order_relaxed);
+}
 } // namespace ipg::bench
 
 void *operator new(std::size_t Size) {
-  ++ipg::bench::detail::allocCounterStorage();
+  ipg::bench::detail::allocCounterStorage().fetch_add(
+      1, std::memory_order_relaxed);
   if (void *P = std::malloc(Size ? Size : 1))
     return P;
   throw std::bad_alloc();
 }
 
 void *operator new[](std::size_t Size) {
-  ++ipg::bench::detail::allocCounterStorage();
+  ipg::bench::detail::allocCounterStorage().fetch_add(
+      1, std::memory_order_relaxed);
   if (void *P = std::malloc(Size ? Size : 1))
     return P;
   throw std::bad_alloc();
 }
 
 void *operator new(std::size_t Size, const std::nothrow_t &) noexcept {
-  ++ipg::bench::detail::allocCounterStorage();
+  ipg::bench::detail::allocCounterStorage().fetch_add(
+      1, std::memory_order_relaxed);
   return std::malloc(Size ? Size : 1);
 }
 
 void *operator new[](std::size_t Size, const std::nothrow_t &) noexcept {
-  ++ipg::bench::detail::allocCounterStorage();
+  ipg::bench::detail::allocCounterStorage().fetch_add(
+      1, std::memory_order_relaxed);
   return std::malloc(Size ? Size : 1);
 }
 
 // Over-aligned news must be counted too, or alignas(32) runtime types
 // would silently bypass the CI allocation gate.
 void *operator new(std::size_t Size, std::align_val_t Align) {
-  ++ipg::bench::detail::allocCounterStorage();
+  ipg::bench::detail::allocCounterStorage().fetch_add(
+      1, std::memory_order_relaxed);
   if (void *P = std::aligned_alloc(static_cast<std::size_t>(Align),
                                    ipg::bench::alignUp(Size, Align)))
     return P;
@@ -290,7 +301,8 @@ void *operator new(std::size_t Size, std::align_val_t Align) {
 }
 
 void *operator new[](std::size_t Size, std::align_val_t Align) {
-  ++ipg::bench::detail::allocCounterStorage();
+  ipg::bench::detail::allocCounterStorage().fetch_add(
+      1, std::memory_order_relaxed);
   if (void *P = std::aligned_alloc(static_cast<std::size_t>(Align),
                                    ipg::bench::alignUp(Size, Align)))
     return P;

@@ -41,7 +41,7 @@
 
 #include "codegen/CppEmitter.h"
 #include "formats/FormatRegistry.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -222,15 +222,15 @@ int main(int argc, char **argv) {
               "mean us", "MB/s", "allocs");
   int Failures = 0;
 
-  BlackboxRegistry Blackboxes = formats::standardBlackboxes();
   for (const formats::FormatInfo &FI : formats::allFormats()) {
     // zip's bench corpus is all stored entries, so neither side invokes
-    // the inflate decoder; the registry is bound for hygiene (and the
-    // generated child simply never reaches an unregistered blackbox).
-    auto Load = formats::loadFormatGrammar(FI.Name);
-    if (!Load) {
+    // the inflate decoder; the factory binds the registry for hygiene
+    // (and the generated child simply never reaches an unregistered
+    // blackbox).
+    auto FE = formats::makeFormatEngine(FI.Name, EngineKind::Interp);
+    if (!FE) {
       std::fprintf(stderr, "error: %s: %s\n", FI.Name.c_str(),
-                   Load.message().c_str());
+                   FE.message().c_str());
       return 1;
     }
     std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name);
@@ -238,7 +238,7 @@ int main(int argc, char **argv) {
 
     // In-process interpreter side, measured exactly like bench_throughput.
     {
-      Interp I(Load->G, &Blackboxes);
+      Engine &I = **FE;
       ByteSpan Image = ByteSpan::of(Bytes);
       auto R = I.parse(Image);
       if (!R) {
@@ -284,7 +284,7 @@ int main(int argc, char **argv) {
     if (!HaveCompiler)
       continue;
 
-    std::string Exe = buildGenerated(FI.Name, Load->G);
+    std::string Exe = buildGenerated(FI.Name, FE->Load->G);
     std::map<std::string, double> M;
     if (Exe.empty() || !runGenerated(Exe, FI.Name, Bytes, Reps, M)) {
       std::fprintf(stderr, "error: %s: generated-parser bench failed\n",

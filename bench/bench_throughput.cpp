@@ -43,7 +43,7 @@
 #include "formats/Pdf.h"
 #include "formats/Pe.h"
 #include "formats/Zip.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -167,7 +167,6 @@ int main(int argc, char **argv) {
   if (Reps == 0)
     Reps = 1;
 
-  BlackboxRegistry BB = standardBlackboxes();
   BenchReport Report("throughput");
   banner(Scales.empty()
              ? "Corpus throughput (" + std::to_string(Reps) +
@@ -180,13 +179,13 @@ int main(int argc, char **argv) {
   std::vector<CorpusCase> Corpus =
       Scales.empty() ? buildCorpus() : buildScaledCorpus(Scales);
   for (const CorpusCase &Case : Corpus) {
-    auto Load = loadFormatGrammar(Case.Format);
-    if (!Load) {
+    auto FE = makeFormatEngine(Case.Format, EngineKind::Interp);
+    if (!FE) {
       std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),
-                   Load.message().c_str());
+                   FE.message().c_str());
       return 1;
     }
-    Interp I(Load->G, &BB);
+    Engine &I = **FE;
     ByteSpan Image = ByteSpan::of(Case.Bytes);
 
     // Warmup: proves the input parses and lets the interpreter size its
@@ -216,7 +215,7 @@ int main(int argc, char **argv) {
         Timing.MeanUs > 0
             ? static_cast<double>(Case.Bytes.size()) / (Timing.MeanUs * 1e-6)
             : 0;
-    const InterpStats &S = I.stats();
+    const EngineStats &S = I.stats();
 
     Report.add(Case.Name, "input_bytes",
                static_cast<double>(Case.Bytes.size()));

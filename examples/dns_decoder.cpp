@@ -13,7 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "formats/Dns.h"
-#include "runtime/Interp.h"
+#include "formats/FormatRegistry.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -31,18 +31,17 @@ int main() {
   auto Bytes = synthesizeDns(Spec, &Model);
   std::printf("packet: %zu bytes\n", Bytes.size());
 
-  auto Loaded = loadDnsGrammar();
-  if (!Loaded) {
-    std::printf("grammar error: %s\n", Loaded.message().c_str());
+  auto E = makeFormatEngine("dns", EngineKind::Interp);
+  if (!E) {
+    std::printf("engine error: %s\n", E.message().c_str());
     return 1;
   }
-  Interp I(Loaded->G);
-  auto Tree = I.parse(ByteSpan::of(Bytes));
+  auto Tree = (*E)->parse(ByteSpan::of(Bytes));
   if (!Tree) {
     std::printf("parse failed: %s\n", Tree.message().c_str());
     return 1;
   }
-  auto P = extractDns(*Tree, Loaded->G, ByteSpan::of(Bytes));
+  auto P = extractDns(*Tree, E->Load->G, ByteSpan::of(Bytes));
   if (!P) {
     std::printf("extraction error: %s\n", P.message().c_str());
     return 1;
@@ -59,7 +58,7 @@ int main() {
   // Malformed packets are rejected, not mis-parsed.
   auto Bad = Bytes;
   Bad[7] = static_cast<uint8_t>(Spec.NumAnswers + 1); // lie about ANCOUNT
-  auto BadTree = I.parse(ByteSpan::of(Bad));
+  auto BadTree = (*E)->parse(ByteSpan::of(Bad));
   std::printf("\npacket with inflated answer count: %s\n",
               BadTree ? "accepted (?!)" : "rejected");
   return 0;

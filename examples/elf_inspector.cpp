@@ -14,7 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "formats/Elf.h"
-#include "runtime/Interp.h"
+#include "formats/FormatRegistry.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -63,19 +63,18 @@ int main(int argc, char **argv) {
                 Bytes.size());
   }
 
-  auto Loaded = loadElfGrammar();
-  if (!Loaded) {
-    std::printf("grammar error: %s\n", Loaded.message().c_str());
+  auto E = makeFormatEngine("elf", EngineKind::Interp);
+  if (!E) {
+    std::printf("engine error: %s\n", E.message().c_str());
     return 1;
   }
-  Interp I(Loaded->G);
-  auto Tree = I.parse(ByteSpan::of(Bytes));
+  auto Tree = (*E)->parse(ByteSpan::of(Bytes));
   if (!Tree) {
     std::printf("not parseable by the ELF grammar: %s\n",
                 Tree.message().c_str());
     return 1;
   }
-  auto P = extractElf(*Tree, Loaded->G);
+  auto P = extractElf(*Tree, E->Load->G);
   if (!P) {
     std::printf("extraction error: %s\n", P.message().c_str());
     return 1;

@@ -32,7 +32,7 @@ int main(int argc, char **argv) {
   std::string Path;
   for (int I = 1; I < argc; ++I) {
     if (std::string(argv[I]) == "--no-memo")
-      Opts.Memoize = false;
+      Opts.Engine.UseMemo = false;
     else
       Path = argv[I];
   }

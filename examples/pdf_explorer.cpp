@@ -13,8 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "formats/FormatRegistry.h"
 #include "formats/Pdf.h"
-#include "runtime/Interp.h"
 
 #include <cstddef>
 #include <cstdio>
@@ -33,18 +33,17 @@ int main() {
   std::printf("tail of file: ...startxref\\n%zu\\n%%%%EOF\n",
               Model.XrefOffset);
 
-  auto Loaded = loadPdfGrammar();
-  if (!Loaded) {
-    std::printf("grammar error: %s\n", Loaded.message().c_str());
+  auto E = makeFormatEngine("pdf", EngineKind::Interp);
+  if (!E) {
+    std::printf("engine error: %s\n", E.message().c_str());
     return 1;
   }
-  Interp I(Loaded->G);
-  auto Tree = I.parse(ByteSpan::of(Bytes));
+  auto Tree = (*E)->parse(ByteSpan::of(Bytes));
   if (!Tree) {
     std::printf("parse failed: %s\n", Tree.message().c_str());
     return 1;
   }
-  auto P = extractPdf(*Tree, Loaded->G);
+  auto P = extractPdf(*Tree, E->Load->G);
   if (!P) {
     std::printf("extraction error: %s\n", P.message().c_str());
     return 1;

@@ -14,7 +14,7 @@
 
 #include "analysis/AttributeCheck.h"
 #include "analysis/Termination.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 #include "support/Casting.h"
 
 #include <cstdio>
@@ -57,8 +57,14 @@ int main() {
   W.raw("101101"); // the payload
   auto Bytes = W.take();
 
-  // 4. Parse and read attributes off the tree.
-  Interp I(G);
+  // 4. Build an engine through the one factory (EngineKind::Generated
+  //    would compile this same grammar to C++ instead) and parse.
+  auto Eng = makeEngine(EngineKind::Interp, G);
+  if (!Eng) {
+    std::printf("engine error: %s\n", Eng.message().c_str());
+    return 1;
+  }
+  Engine &I = **Eng;
   auto Tree = I.parse(ByteSpan::of(Bytes));
   if (!Tree) {
     std::printf("parse failed: %s\n", Tree.message().c_str());

@@ -15,7 +15,6 @@
 
 #include "formats/FormatRegistry.h"
 #include "formats/Zip.h"
-#include "runtime/Interp.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -42,19 +41,18 @@ int main() {
   std::printf("archive: %zu bytes, %zu entries\n", Bytes.size(),
               Spec.Entries.size());
 
-  auto Loaded = loadZipGrammar();
-  if (!Loaded) {
-    std::printf("grammar error: %s\n", Loaded.message().c_str());
+  // The factory wires the `inflate` blackbox in automatically for zip.
+  auto E = makeFormatEngine("zip", EngineKind::Interp);
+  if (!E) {
+    std::printf("engine error: %s\n", E.message().c_str());
     return 1;
   }
-  BlackboxRegistry BB = standardBlackboxes();
-  Interp I(Loaded->G, &BB);
-  auto Tree = I.parse(ByteSpan::of(Bytes));
+  auto Tree = (*E)->parse(ByteSpan::of(Bytes));
   if (!Tree) {
     std::printf("parse failed: %s\n", Tree.message().c_str());
     return 1;
   }
-  auto P = extractZip(*Tree, Loaded->G);
+  auto P = extractZip(*Tree, E->Load->G);
   if (!P) {
     std::printf("extraction error: %s\n", P.message().c_str());
     return 1;

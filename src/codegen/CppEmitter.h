@@ -54,6 +54,7 @@
 #define IPG_CODEGEN_CPPEMITTER_H
 
 #include "grammar/Grammar.h"
+#include "runtime/EngineOptions.h"
 #include "support/Result.h"
 
 #include <string>
@@ -61,10 +62,14 @@
 namespace ipg {
 
 struct CppEmitterOptions {
-  /// Memoize non-local (rule, interval) results in the generated parser
-  /// (on by default, matching InterpOptions::UseMemo). Off emits the
-  /// paper's plain recursive descent; results are byte-identical.
-  bool Memoize = true;
+  /// The SAME runtime knobs the interpreter consumes, so the two engines
+  /// cannot drift on defaults. Engine.UseMemo picks between memoized
+  /// rule functions and the paper's plain recursive descent (trees are
+  /// byte-identical either way); Engine.MaxDepth is baked in as the
+  /// emitted parser's default depth limit (still runtime-adjustable via
+  /// Parser::setDepthLimit). Engine.DetectReentry is interpreter-only
+  /// and ignored here.
+  EngineOptions Engine;
 };
 
 /// Emits a standalone recursive-descent parser for \p G (which must be

@@ -16,8 +16,11 @@
 #include "formats/Pe.h"
 #include "formats/Zip.h"
 
+#include "codegen/GenEngine.h"
+
 #include <cstddef>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -175,6 +178,57 @@ ipg::formats::genBlackboxBridge(const std::string &Name) {
   if (Name == "zip")
     return &ZipGenBridge;
   return nullptr;
+}
+
+GenModuleConfig ipg::formats::genModuleConfig(const std::string &Name) {
+  GenModuleConfig Config;
+  const GenBlackboxBridge *Br = genBlackboxBridge(Name);
+  if (!Br)
+    return Config;
+  // The module compiles the same decoder TUs the interpreter links, and
+  // its epilogue registers them through the bridge hook.
+  Config.BridgeSource = Br->DriverSource;
+  Config.RegisterBlackboxes = true;
+  Config.Std = "c++20"; // the bridge includes library headers
+  Config.ExtraCompileArgs = "-I" IPG_SOURCE_DIR;
+  std::istringstream Toks(Br->ExtraSources);
+  std::string T;
+  while (Toks >> T)
+    Config.ExtraCompileArgs += " " IPG_SOURCE_DIR "/" + T;
+  return Config;
+}
+
+Expected<FormatEngine>
+ipg::formats::makeFormatEngine(const std::string &Name, EngineKind Kind,
+                               const EngineOptions &Opts) {
+  using Ret = Expected<FormatEngine>;
+  const FormatInfo *Info = nullptr;
+  for (const FormatInfo &F : allFormats())
+    if (F.Name == Name)
+      Info = &F;
+  if (!Info)
+    return Ret::failure("unknown format '" + Name + "'");
+
+  Expected<LoadResult> Load = loadGrammar(Info->GrammarText);
+  if (!Load)
+    return Ret::failure(Load.message());
+
+  FormatEngine FE;
+  FE.Load = std::make_shared<LoadResult>(std::move(*Load));
+
+  const BlackboxRegistry *BB = nullptr;
+  if (Info->NeedsBlackbox && Kind == EngineKind::Interp) {
+    FE.Blackboxes = std::make_shared<BlackboxRegistry>(standardBlackboxes());
+    BB = FE.Blackboxes.get();
+  }
+  GenModuleConfig Config = genModuleConfig(Name);
+
+  Expected<std::unique_ptr<Engine>> E =
+      makeEngine(Kind, FE.Load->G, BB, Opts, &Config);
+  if (!E)
+    return Ret::failure(E.message());
+  FE.E = std::move(*E);
+  return Ret(std::move(FE));
 }
 
 std::vector<uint8_t> ipg::formats::sampleInput(const std::string &Name,

@@ -17,10 +17,13 @@
 #define IPG_FORMATS_FORMATREGISTRY_H
 
 #include "analysis/AttributeCheck.h"
+#include "codegen/GenEngine.h"
 #include "runtime/Blackbox.h"
+#include "runtime/Engine.h"
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +68,39 @@ struct GenBlackboxBridge {
 /// The bridge for the named format, or nullptr when its grammar needs no
 /// blackboxes.
 const GenBlackboxBridge *genBlackboxBridge(const std::string &Name);
+
+/// The GenModule build configuration for the named format: default for
+/// plain formats, bridge source + decoder translation units for blackbox
+/// ones. Used by makeFormatEngine and by ParseService (which compiles
+/// ONE module per format and shares it across workers).
+GenModuleConfig genModuleConfig(const std::string &Name);
+
+/// A ready-to-parse engine over a named format. The bundle owns what the
+/// engine only borrows (the loaded grammar, the interpreter's blackbox
+/// registry), so it can be moved around and stored without lifetime
+/// bookkeeping — this is the ONE way examples, tests, benches, and
+/// ParseService set up an engine. The engine itself remains one-per-thread.
+struct FormatEngine {
+  std::shared_ptr<LoadResult> Load;
+  /// Set for blackbox formats driven by the interpreter; generated
+  /// engines bind their blackboxes inside the compiled module instead.
+  std::shared_ptr<BlackboxRegistry> Blackboxes;
+  std::unique_ptr<Engine> E;
+
+  Engine *operator->() const { return E.get(); }
+  Engine &operator*() const { return *E; }
+  explicit operator bool() const { return E != nullptr; }
+};
+
+/// Loads the named format's grammar and builds an engine of the requested
+/// kind over it, wiring blackboxes the right way for that kind
+/// (standardBlackboxes() for the interpreter, the GenBlackboxBridge
+/// compiled into the module for generated engines). EngineKind::Generated
+/// fails with a diagnostic when no host C++ compiler is available —
+/// callers that can fall back should check GenModule::hostCompilerAvailable.
+Expected<FormatEngine> makeFormatEngine(const std::string &Name,
+                                        EngineKind Kind,
+                                        const EngineOptions &Opts = {});
 
 /// A deterministic valid-by-construction sample input for the named
 /// format (the same synthesizer family the corpus benchmarks use).

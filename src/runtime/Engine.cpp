@@ -1,0 +1,40 @@
+//===- runtime/Engine.cpp - engine factory --------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Engine.h"
+#include "codegen/GenEngine.h"
+#include "runtime/Interp.h"
+
+using namespace ipg;
+
+Engine::~Engine() = default;
+
+const char *ipg::engineKindName(EngineKind K) {
+  return K == EngineKind::Interp ? "interp" : "generated";
+}
+
+Expected<std::unique_ptr<Engine>>
+ipg::makeEngine(EngineKind Kind, const Grammar &G,
+                const BlackboxRegistry *Blackboxes, const EngineOptions &Opts,
+                const GenModuleConfig *GenConfig) {
+  using Ret = Expected<std::unique_ptr<Engine>>;
+  switch (Kind) {
+  case EngineKind::Interp:
+    return Ret(std::make_unique<Interp>(G, Blackboxes, Opts));
+  case EngineKind::Generated: {
+    // The module compiles the options in (memoization policy, default
+    // depth limit); blackboxes bind through GenConfig's bridge source,
+    // not the host registry — reject a silent mismatch.
+    auto M = GenModule::compile(G, Opts,
+                                GenConfig ? *GenConfig : GenModuleConfig());
+    if (!M)
+      return Ret::failure(M.message());
+    return Ret(std::make_unique<GenEngine>(std::move(*M), G));
+  }
+  }
+  return Ret::failure("unknown engine kind");
+}

@@ -1,0 +1,61 @@
+//===- runtime/EngineOptions.h - Shared engine knobs ------------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime knobs and counters shared by every execution mode. Both
+/// engines (the interpreter and generated parsers) consume the SAME
+/// EngineOptions struct, so defaults cannot drift between them: a depth
+/// limit of 64 means the same hard failure in both, and UseMemo toggles
+/// the same Section-3.3 (rule, absolute-interval) policy on both sides —
+/// tests/engine_test.cpp regression-tests the parity.
+///
+/// EngineStats is the uniform counter block `Engine::stats()` returns.
+/// Counters are reset at the ENTRY of every parse() — including parses
+/// that fail before doing any work — so a caller reading stats() after a
+/// failure always sees that failure's numbers, never the previous call's.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_RUNTIME_ENGINEOPTIONS_H
+#define IPG_RUNTIME_ENGINEOPTIONS_H
+
+#include <cstddef>
+
+namespace ipg {
+
+struct EngineOptions {
+  /// Packrat memoization of (rule, absolute interval) results
+  /// (Section 3.3). The interpreter honors it per parse; the code
+  /// generator bakes it into the emitted rule functions.
+  bool UseMemo = true;
+  /// Treat re-entry of an in-progress (rule, slice) as failure instead of
+  /// recursing; off by default for fidelity to the formal semantics.
+  /// Interpreter-only: generated parsers rely on the depth limit.
+  bool DetectReentry = false;
+  /// Hard limit on rule recursion depth. Tripping it aborts the whole
+  /// parse (no backtracking into sibling alternatives) in BOTH engines.
+  size_t MaxDepth = 8192;
+};
+
+struct EngineStats {
+  size_t NodesCreated = 0;
+  size_t TermsExecuted = 0; ///< interpreter-only; 0 for generated parsers
+  size_t MemoHits = 0;
+  size_t MemoMisses = 0;
+  size_t PeakDepth = 0; ///< interpreter-only; 0 for generated parsers
+  /// Arena bytes allocated during the parse — includes nodes built for
+  /// alternatives that later failed and memoized subtrees not reachable
+  /// from the result, so it bounds (not equals) the tree's footprint.
+  size_t ArenaBytesUsed = 0;
+  /// Whether this parse recycled a previous parse's TreeStore (true in
+  /// the allocation-free steady state).
+  bool StoreRecycled = false;
+};
+
+} // namespace ipg
+
+#endif // IPG_RUNTIME_ENGINEOPTIONS_H

@@ -688,12 +688,15 @@ Expected<TreePtr> Interp::parse(ByteSpan Input) {
 }
 
 Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
+  // Reset FIRST: stats() must describe this call even when it fails
+  // before doing any work (a stale-stats regression lives in
+  // tests/engine_test.cpp and is asserted by the differential harness).
+  Stats = InterpStats();
   RuleId Start = G.findGlobal(StartNT);
   if (Start == InvalidRuleId)
     return Expected<TreePtr>::failure(
         "start nonterminal '" +
         std::string(G.interner().name(StartNT)) + "' has no rule");
-  Stats = InterpStats();
   // Recycle a store when one is available: either the engine still holds
   // one (the previous parse failed, so no result escaped) or a dropped
   // TreePtr parked its store in the recycler. Otherwise — first parse, or
@@ -713,4 +716,18 @@ Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
   S->ArrayNest = 0;
   Runner R(G, Blackboxes, Opts, Stats, *S);
   return R.run(Input, Start);
+}
+
+bool Interp::adoptStore(TreeStore *Store) {
+  if (!Store)
+    return false;
+  // Engine-thread only: bindRecycler stamps this thread as the store's
+  // owner and the recycler counters are plain. Decline when a store is
+  // already parked (or in flight) — one spare is all a worker needs.
+  if (S->Cur || S->Pool->Returned)
+    return false;
+  Store->bindRecycler(S->Pool);
+  Store->reset();
+  S->Pool->Returned = Store;
+  return true;
 }

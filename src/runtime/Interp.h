@@ -52,6 +52,8 @@
 
 #include "grammar/Grammar.h"
 #include "runtime/Blackbox.h"
+#include "runtime/Engine.h"
+#include "runtime/EngineOptions.h"
 #include "runtime/ParseTree.h"
 #include "support/Bytes.h"
 #include "support/Result.h"
@@ -61,30 +63,11 @@
 
 namespace ipg {
 
-struct InterpOptions {
-  /// Packrat memoization of (rule, slice) results (Section 3.3).
-  bool UseMemo = true;
-  /// Treat re-entry of an in-progress (rule, slice) as failure instead of
-  /// recursing; off by default for fidelity to the formal semantics.
-  bool DetectReentry = false;
-  /// Hard limit on parseRule recursion depth.
-  size_t MaxDepth = 8192;
-};
-
-struct InterpStats {
-  size_t NodesCreated = 0;
-  size_t TermsExecuted = 0;
-  size_t MemoHits = 0;
-  size_t MemoMisses = 0;
-  size_t PeakDepth = 0;
-  /// Arena bytes allocated during the parse — includes nodes built for
-  /// alternatives that later failed and memoized subtrees not reachable
-  /// from the result, so it bounds (not equals) the tree's footprint.
-  size_t ArenaBytesUsed = 0;
-  /// Whether this parse recycled the previous parse's TreeStore (true in
-  /// the allocation-free steady state).
-  bool StoreRecycled = false;
-};
+/// The interpreter consumes the engine-wide knob/counter structs
+/// directly (runtime/EngineOptions.h) so its defaults cannot drift from
+/// the generated engine's; the old names remain as aliases.
+using InterpOptions = EngineOptions;
+using InterpStats = EngineStats;
 
 /// Reusable engine internals (tree store, memo table, frame pool); owned
 /// via unique_ptr so the hot-path types stay out of this header.
@@ -93,24 +76,30 @@ struct InterpState;
 /// One engine instance per (grammar, options); parse() may be called many
 /// times and results are independent, but the instance recycles its
 /// internal storage across calls — see the memory-discipline notes above.
-/// Not copyable; create one per thread.
-class Interp {
+/// Not copyable; create one per thread (or through makeEngine /
+/// ParseService, which enforce that).
+class Interp : public Engine {
 public:
   explicit Interp(const Grammar &G, const BlackboxRegistry *Blackboxes = nullptr,
                   InterpOptions Opts = InterpOptions());
-  ~Interp();
-  Interp(const Interp &) = delete;
-  Interp &operator=(const Interp &) = delete;
+  ~Interp() override;
 
   /// Parses from the grammar's start symbol.
-  Expected<TreePtr> parse(ByteSpan Input);
+  Expected<TreePtr> parse(ByteSpan Input) override;
   /// Parses from an explicit (global) start nonterminal.
   Expected<TreePtr> parse(ByteSpan Input, Symbol StartNT);
 
   /// Statistics of the most recent parse() call.
-  const InterpStats &stats() const { return Stats; }
+  const InterpStats &stats() const override { return Stats; }
 
-  const Grammar &grammar() const { return G; }
+  const Grammar &grammar() const override { return G; }
+
+  EngineKind kind() const override { return EngineKind::Interp; }
+
+  /// Adopts a store coming home from a FrozenTree round trip: re-binds
+  /// it to this engine's recycler and parks it for the next parse().
+  /// Declines (returns false) when a parked store already waits.
+  bool adoptStore(TreeStore *Store) override;
 
 private:
   const Grammar &G;

@@ -36,6 +36,19 @@
 /// atomic): a tree must be shared and released on the thread of the engine
 /// that produced it, matching Interp's one-instance-per-thread contract.
 ///
+/// Cross-thread handoff (the ParseService seam) is EXPLICIT, never
+/// implicit: TreePtr::detach() turns the sole handle into a FrozenTree —
+/// an owning, immutable, move-only tree whose store has been unbound from
+/// its engine's recycler. Detaching is the single mutation point and must
+/// happen on the engine's thread; after it the store has no refcount
+/// traffic and no recycler rendezvous left, so the FrozenTree may be
+/// read and destroyed on ANY thread (synchronize the handoff itself — a
+/// promise/future or queue — as with any published object). No atomics
+/// are involved at any point: the hot path stays plain, and thread
+/// safety comes from ownership being exclusive by construction. Builds
+/// with -DIPG_CHECK_OWNERSHIP=1 additionally record the owning thread
+/// per store and abort on a TreePtr touched from any other thread.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPG_RUNTIME_PARSETREE_H
@@ -54,6 +67,12 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#ifdef IPG_CHECK_OWNERSHIP
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#endif
 
 namespace ipg {
 
@@ -318,9 +337,39 @@ public:
   explicit TreeStore(Recycler *Pool = nullptr) : Pool(Pool) {
     if (Pool)
       ++Pool->LiveStores;
+#ifdef IPG_CHECK_OWNERSHIP
+    Owner = std::this_thread::get_id();
+#endif
   }
   TreeStore(const TreeStore &) = delete;
   TreeStore &operator=(const TreeStore &) = delete;
+
+  /// Severs the store from its recycler: the engine will never see it
+  /// again, and release()/destroy() paths stop rendezvousing with the
+  /// engine's Recycler entirely. This is what makes a detached tree safe
+  /// to destroy on another thread. Must run on the owning engine's
+  /// thread (it touches the Recycler's plain counters).
+  void unbindRecycler() {
+    if (!Pool)
+      return;
+    Recycler *P = Pool;
+    Pool = nullptr;
+    if (--P->LiveStores == 0 && !P->OwnerAlive)
+      delete P;
+  }
+
+  /// Re-binds a store that came home from a cross-thread trip (see
+  /// Engine::adoptStore) to \p P. The store must be unbound and the call
+  /// must run on the adopting engine's thread, which becomes the owner.
+  void bindRecycler(Recycler *P) {
+    assert(!Pool && "bindRecycler on a store that still has a recycler");
+    Pool = P;
+    if (P)
+      ++P->LiveStores;
+#ifdef IPG_CHECK_OWNERSHIP
+    Owner = std::this_thread::get_id();
+#endif
+  }
 
   /// Deletes \p S and, when it was the recycler's last store and the
   /// owner is already gone, the recycler too.
@@ -409,10 +458,34 @@ private:
     return static_cast<uint32_t>(Nodes.size() - 1);
   }
 
-  void retain() const { ++RefCount; }
+#ifdef IPG_CHECK_OWNERSHIP
+  /// Debug-only single-mutator enforcement: every refcount touch must
+  /// happen on the thread that owns the store (a default-constructed id
+  /// — set by detach — disables the check: FrozenTree destruction is
+  /// legal anywhere). Abort, not assert: the TSan job runs release
+  /// builds too.
+  void checkOwner() const {
+    if (Owner == std::thread::id() || Owner == std::this_thread::get_id())
+      return;
+    std::fprintf(stderr,
+                 "ipg: TreePtr refcount touched off the owning engine "
+                 "thread (detach() first)\n");
+    std::abort();
+  }
+#endif
+
+  void retain() const {
+#ifdef IPG_CHECK_OWNERSHIP
+    checkOwner();
+#endif
+    ++RefCount;
+  }
   /// Drops one reference; on the last one the store parks itself in its
   /// recycler (owner alive, slot free) or deletes itself.
   void release() const {
+#ifdef IPG_CHECK_OWNERSHIP
+    checkOwner();
+#endif
     assert(RefCount > 0 && "release without retain");
     if (--RefCount > 0)
       return;
@@ -430,6 +503,11 @@ private:
   mutable size_t RefCount = 0; ///< plain count: engine-thread only
   Symbol ShiftStartSym = InvalidSymbol;
   Symbol ShiftEndSym = InvalidSymbol;
+#ifdef IPG_CHECK_OWNERSHIP
+  /// The thread allowed to touch the refcount; default-constructed after
+  /// detach() (meaning: any thread may destroy, none may share).
+  std::thread::id Owner;
+#endif
 };
 
 inline TreeRef ChildList::operator[](size_t I) const {
@@ -492,10 +570,87 @@ public:
 
   const TreeStore *store() const { return Store; }
 
+  /// Turns this — the SOLE handle on its store — into a FrozenTree and
+  /// empties the TreePtr. The one legal way to move a parse result off
+  /// the engine's thread: the store is unbound from the engine's
+  /// recycler here, on the engine's thread, so nothing about the frozen
+  /// tree ever rendezvouses with the engine again. Asserts sole
+  /// ownership (copies would still hold plain refcounts).
+  inline class FrozenTree detach();
+
 private:
   const TreeStore *Store = nullptr;
   const ParseTree *Root = nullptr;
 };
+
+/// An owning, immutable parse result with NO ties left to the engine
+/// that produced it: move-only (exclusive ownership — no refcount, no
+/// atomics), safe to read and to destroy on any thread once the handoff
+/// itself is synchronized (promise/future, queue). Destruction frees the
+/// store; releaseStore() instead surrenders it intact so a pool can
+/// route it back to a worker for Engine::adoptStore (the ParseService
+/// steady-state path).
+class FrozenTree {
+public:
+  FrozenTree() = default;
+  FrozenTree(const FrozenTree &) = delete;
+  FrozenTree &operator=(const FrozenTree &) = delete;
+  FrozenTree(FrozenTree &&O) noexcept : Store(O.Store), Root(O.Root) {
+    O.Store = nullptr;
+    O.Root = nullptr;
+  }
+  FrozenTree &operator=(FrozenTree &&O) noexcept {
+    std::swap(Store, O.Store);
+    std::swap(Root, O.Root);
+    return *this;
+  }
+  ~FrozenTree() {
+    if (Store)
+      TreeStore::destroy(Store);
+  }
+
+  const ParseTree *get() const { return Root; }
+  const ParseTree &operator*() const { return *Root; }
+  const ParseTree *operator->() const { return Root; }
+  explicit operator bool() const { return Root != nullptr; }
+
+  const TreeStore *store() const { return Store; }
+
+  /// Gives up the store (and invalidates the tree). The caller owns it:
+  /// destroy it with TreeStore::destroy or hand it to an engine via
+  /// Engine::adoptStore on that engine's thread.
+  TreeStore *releaseStore() {
+    TreeStore *S = Store;
+    Store = nullptr;
+    Root = nullptr;
+    return S;
+  }
+
+private:
+  friend class TreePtr;
+  FrozenTree(TreeStore *Store, const ParseTree *Root)
+      : Store(Store), Root(Root) {}
+
+  TreeStore *Store = nullptr;
+  const ParseTree *Root = nullptr;
+};
+
+inline FrozenTree TreePtr::detach() {
+  if (!Store)
+    return FrozenTree();
+  assert(Store->RefCount == 1 &&
+         "detach() requires the sole TreePtr on the store");
+  TreeStore *S = const_cast<TreeStore *>(Store);
+  S->RefCount = 0; // exclusive from here on: no handle counting
+  S->unbindRecycler();
+#ifdef IPG_CHECK_OWNERSHIP
+  S->Owner = std::thread::id(); // any thread may destroy a frozen tree
+#endif
+  const ParseTree *R = Root;
+  Store = nullptr;
+  Root = nullptr;
+  return FrozenTree(S, R);
+}
 
 /// Total number of tree objects under \p T (diagnostics / benchmarks).
 size_t treeSize(const ParseTree &T);

@@ -1,0 +1,79 @@
+//===- service/InputSource.cpp --------------------------------------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/InputSource.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ipg;
+
+std::shared_ptr<InputSource>
+InputSource::fromBytes(std::vector<uint8_t> Bytes) {
+  std::shared_ptr<InputSource> S(new InputSource());
+  S->Owned = std::move(Bytes);
+  S->Data = S->Owned.data();
+  S->Size = S->Owned.size();
+  return S;
+}
+
+Expected<std::shared_ptr<InputSource>>
+InputSource::mapFile(const std::string &Path) {
+  using Ret = Expected<std::shared_ptr<InputSource>>;
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return Ret::failure("cannot open " + Path + ": " +
+                        std::strerror(errno));
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    int E = errno;
+    ::close(Fd);
+    return Ret::failure("cannot stat " + Path + ": " + std::strerror(E));
+  }
+  size_t Len = static_cast<size_t>(St.st_size);
+  std::shared_ptr<InputSource> S(new InputSource());
+
+  if (Len > 0) {
+    void *M = ::mmap(nullptr, Len, PROT_READ, MAP_PRIVATE, Fd, 0);
+    if (M != MAP_FAILED) {
+      S->Map = M;
+      S->MapLen = Len;
+      S->Data = static_cast<const uint8_t *>(M);
+      S->Size = Len;
+      ::close(Fd); // the mapping survives the descriptor
+      return Ret(std::move(S));
+    }
+  }
+
+  // Fallback (and the empty-file path): read into an owned buffer.
+  S->Owned.resize(Len);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t N = ::read(Fd, S->Owned.data() + Off, Len - Off);
+    if (N <= 0) {
+      int E = errno;
+      ::close(Fd);
+      return Ret::failure("short read of " + Path + ": " +
+                          (N < 0 ? std::strerror(E) : "EOF"));
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::close(Fd);
+  S->Data = S->Owned.data();
+  S->Size = Len;
+  return Ret(std::move(S));
+}
+
+InputSource::~InputSource() {
+  if (Map)
+    ::munmap(Map, MapLen);
+}

@@ -1,0 +1,71 @@
+//===- service/InputSource.h - owned or mapped parse input ------*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input half of a ParseRequest: a stable byte buffer the parse (and
+/// the resulting tree, whose ordinary leaves alias these bytes) can refer
+/// to for as long as anyone holds a reference. Two flavors:
+///
+///  - fromBytes: the source owns a std::vector (synthesized corpora,
+///    network payloads, test inputs);
+///  - mapFile: a read-only mmap of a file, falling back to an owned read
+///    when mapping is unavailable. Mapping is released on destruction.
+///
+/// Sources are handed around as shared_ptr<InputSource>: the request
+/// holds one while queued and every ParseResult keeps one, so a result
+/// stays self-contained after the caller drops the request — the paper's
+/// interval semantics never needs the input mutated, and the buffer is
+/// immutable for the source's whole life (what makes sharing it across
+/// service threads safe without synchronization).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SERVICE_INPUTSOURCE_H
+#define IPG_SERVICE_INPUTSOURCE_H
+
+#include "support/Bytes.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+class InputSource {
+public:
+  /// Wraps an owned buffer (moved in; no copy).
+  static std::shared_ptr<InputSource> fromBytes(std::vector<uint8_t> Bytes);
+
+  /// Maps \p Path read-only. Falls back to reading the file into an
+  /// owned buffer when mmap is not usable (empty files, odd
+  /// filesystems). Fails when the file cannot be opened.
+  static Expected<std::shared_ptr<InputSource>>
+  mapFile(const std::string &Path);
+
+  ~InputSource();
+  InputSource(const InputSource &) = delete;
+  InputSource &operator=(const InputSource &) = delete;
+
+  ByteSpan span() const { return ByteSpan(Data, Size); }
+  size_t size() const { return Size; }
+  bool mapped() const { return Map != nullptr; }
+
+private:
+  InputSource() = default;
+
+  std::vector<uint8_t> Owned;
+  void *Map = nullptr;  ///< mmap base (null for owned buffers)
+  size_t MapLen = 0;    ///< mapped length (>= Size, page-rounded by the OS)
+  const uint8_t *Data = nullptr;
+  size_t Size = 0;
+};
+
+} // namespace ipg
+
+#endif // IPG_SERVICE_INPUTSOURCE_H

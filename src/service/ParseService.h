@@ -1,0 +1,163 @@
+//===- service/ParseService.h - batched multi-threaded parsing --*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-pooled front end over the two parsing engines: N workers,
+/// each owning ONE engine instance per configured format, pulling
+/// ParseRequests from a shared queue and fulfilling futures with
+/// self-contained ParseResults.
+///
+/// Threading model (the part worth reading twice):
+///
+///  - Engines are strictly one-per-thread. The service never shares an
+///    engine between workers; what IS shared is immutable — the loaded
+///    Grammar (its interner is only written during loading) and, in
+///    generated mode, the dlopen'd GenModule (fn pointers only). So the
+///    hot path has no locks and NO atomic refcounts: each worker's
+///    TreeStore recycler is touched by that worker alone.
+///
+///  - A successful parse is detach()ed on the worker into a FrozenTree —
+///    the single mutation point that ends the store's engine-thread
+///    affinity (runtime/ParseTree.h). The ParseResult owning it may be
+///    read and destroyed on ANY thread.
+///
+///  - Recycling still works across the handoff: every result carries a
+///    reference to its worker's ReturnSlot. When the consumer destroys
+///    the result, the store is pushed into the slot (one mutex op on the
+///    *consumer's* cold path, not the parse path) and the worker adopts
+///    it at the top of its loop — steady-state service throughput does
+///    zero parse-path heap allocation per request, exactly like the
+///    single-threaded engines. If the worker is gone or the slot is
+///    full, the store is simply destroyed.
+///
+///  - Results also keep their InputSource alive (ordinary leaves alias
+///    the input bytes), so a ParseResult is valid after the request, the
+///    batch, and even the service are gone.
+///
+/// Shutdown: the destructor finishes every queued request (no future is
+/// ever abandoned), then joins the workers. submit() after shutdown
+/// began returns an already-failed result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_SERVICE_PARSESERVICE_H
+#define IPG_SERVICE_PARSESERVICE_H
+
+#include "runtime/Engine.h"
+#include "runtime/ParseTree.h"
+#include "service/InputSource.h"
+#include "support/Result.h"
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipg {
+
+class ParseService;
+
+/// One unit of work: parse \p Input as the (pre-configured) format
+/// \p Format. The source is shared so the result can keep it alive.
+struct ParseRequest {
+  std::string Format;
+  std::shared_ptr<InputSource> Input;
+};
+
+namespace detail {
+/// The store-return channel between result consumers (any thread) and
+/// the owning worker; see the ParseService file comment.
+struct ReturnSlot;
+} // namespace detail
+
+/// The outcome of one request. Move-only and self-contained: owns the
+/// tree (FrozenTree), the input bytes backing its leaves, and a copy of
+/// the engine stats for the parse. Destroying it on any thread is safe
+/// and routes the tree's store back to the worker for recycling.
+class ParseResult {
+public:
+  ParseResult() = default;
+  ParseResult(ParseResult &&) = default;
+  ParseResult &operator=(ParseResult &&) = default;
+  ParseResult(const ParseResult &) = delete;
+  ParseResult &operator=(const ParseResult &) = delete;
+  ~ParseResult();
+
+  bool ok() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+  const std::string &format() const { return Format; }
+
+  /// Root of the parsed tree (null on failure).
+  const ParseTree *root() const { return Tree.get(); }
+  const FrozenTree &tree() const { return Tree; }
+
+  /// Engine stats of this parse (copied out of the worker's engine
+  /// before it moved on).
+  const EngineStats &stats() const { return Stats; }
+
+  /// End-to-end latency: submit() to result-ready, microseconds.
+  uint64_t latencyUs() const { return LatencyUs; }
+
+private:
+  friend class ParseService;
+
+  FrozenTree Tree;
+  std::shared_ptr<InputSource> Input;
+  std::shared_ptr<detail::ReturnSlot> Slot;
+  EngineStats Stats;
+  std::string Err;
+  std::string Format;
+  uint64_t LatencyUs = 0;
+};
+
+struct ParseServiceOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  unsigned Workers = 0;
+  /// Which engine each worker instantiates.
+  EngineKind Mode = EngineKind::Interp;
+  /// Knobs applied to every engine (and baked into generated modules).
+  EngineOptions Engine;
+};
+
+class ParseService {
+public:
+  /// Loads every named format up front (grammars once, generated modules
+  /// compiled once and shared) and starts the workers. Fails — without
+  /// leaking threads — if any format fails to load or compile.
+  static Expected<std::unique_ptr<ParseService>>
+  create(const std::vector<std::string> &Formats,
+         const ParseServiceOptions &Opts = {});
+
+  /// Finishes all queued work, then stops the workers.
+  ~ParseService();
+  ParseService(const ParseService &) = delete;
+  ParseService &operator=(const ParseService &) = delete;
+
+  /// Enqueues one request. The future becomes ready when a worker
+  /// finishes it; a request for a format not passed to create() (or a
+  /// null input) fails fast without touching a worker.
+  std::future<ParseResult> submit(ParseRequest Request);
+
+  /// Enqueues a batch in submission order (one queue broadcast instead
+  /// of M). Results complete out of order across workers; index I of the
+  /// returned vector corresponds to Requests[I].
+  std::vector<std::future<ParseResult>>
+  submitBatch(std::vector<ParseRequest> Requests);
+
+  unsigned workers() const;
+  EngineKind mode() const;
+
+private:
+  ParseService();
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace ipg
+
+#endif // IPG_SERVICE_PARSESERVICE_H

@@ -66,11 +66,14 @@ namespace ipg_rt {
 // Shared scalar semantics (used by the interpreter AND generated parsers).
 //===----------------------------------------------------------------------===//
 
-/// Recursion guard shared with InterpOptions::MaxDepth's default. Like
+/// Recursion-guard DEFAULT shared with EngineOptions::MaxDepth's. Like
 /// the interpreter's, the limit is a HARD error (Ctx::hardFail): it
 /// aborts the whole parse rather than soft-failing into sibling
 /// alternatives, so a fallback alternative cannot mask runaway
-/// recursion in one execution mode but not the other.
+/// recursion in one execution mode but not the other. The effective
+/// limit is runtime-settable per parser (Ctx::setDepthLimit, surfaced
+/// as Parser::setDepthLimit) so both engines can honor one
+/// EngineOptions::MaxDepth value.
 inline constexpr int MaxDepth = 8192;
 
 /// Attribute ids of the special start/end attributes in generated
@@ -724,6 +727,13 @@ public:
   void hardFail() { Hard = true; }
   bool hardFailed() const { return Hard; }
 
+  /// The effective recursion limit (emitted rule functions compare their
+  /// Depth against it). Defaults to MaxDepth; setDepthLimit lets a
+  /// driver apply EngineOptions::MaxDepth at run time — floored at 1 so
+  /// the guard can never be disabled entirely.
+  long long depthLimit() const { return DepthLim; }
+  void setDepthLimit(long long Limit) { DepthLim = Limit < 1 ? 1 : Limit; }
+
   /// Nodes frozen by successful rule alternatives in the current parse —
   /// the generated twin of InterpStats::NodesCreated (shifted views,
   /// arrays, and leaves are not counted on either side).
@@ -960,6 +970,7 @@ private:
   size_t Frozen = 0;
   size_t Hits = 0;
   size_t Misses = 0;
+  long long DepthLim = MaxDepth;
   const unsigned char *Base = nullptr;
   const char *const *NamesTab = nullptr;
   size_t NumNames = 0;
@@ -1209,6 +1220,63 @@ inline std::string dumpTree(const Node *Root) {
   if (Root)
     dumpTreeRec(Root, 0, Out);
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-module tree extraction. GenEngine (codegen/GenEngine.cpp) compiles
+// a generated parser into a shared object and dlopens it; the parsed tree
+// must then cross the .so boundary WITHOUT the host dereferencing the
+// module's Node structures (two separately compiled translation units
+// should share as little layout as possible). The walk therefore runs
+// INSIDE the emitting module — visitTree below is embedded with the rest
+// of this header — and streams the tree through the C-style callback
+// table TreeVisitorC, whose layout (plain function pointers + AttrSlot,
+// both standard-layout) is the entire cross-module contract.
+//===----------------------------------------------------------------------===//
+
+/// Callback table for visitTree. Attribute slots arrive RAW (base-local
+/// coordinates); the node's lazy T-NTSucc delta is delivered separately
+/// as \p Shift, so a host rebuilding the tree can reproduce the shared-
+/// base-plus-view structure (or eagerly apply the shift — its choice).
+/// \p IsBlackbox mirrors Node::Bb: such a node's leaf child carries
+/// DECODED bytes living in the module's arena, which the host must copy
+/// (ordinary leaves alias the parsed input buffer, which the host owns).
+struct TreeVisitorC {
+  void *User = nullptr;
+  void (*BeginNode)(void *User, unsigned NameId, long long Shift,
+                    int IsBlackbox, const AttrSlot *Slots,
+                    unsigned NumSlots) = nullptr;
+  void (*EndNode)(void *User) = nullptr;
+  void (*BeginArray)(void *User, unsigned ElemNameId,
+                     unsigned NumElems) = nullptr;
+  void (*EndArray)(void *User) = nullptr;
+  void (*Leaf)(void *User, const unsigned char *Data,
+               unsigned long long Len, long long Off, int Opaque) = nullptr;
+};
+
+/// Streams \p N depth-first through \p V (children between Begin/End).
+/// Shared subtrees (memoized nodes re-anchored under several parents as
+/// lazy views) are visited once per occurrence — the stream is the tree
+/// AS OBSERVED, exactly what the canonical dump renders.
+inline void visitTree(const Node *N, const TreeVisitorC &V) {
+  switch (N->Kind) {
+  case Node::KLeaf:
+    V.Leaf(V.User, N->Data, N->Len, N->Off, N->Opaque ? 1 : 0);
+    return;
+  case Node::KArray:
+    V.BeginArray(V.User, N->NameId, N->NumKids);
+    for (unsigned I = 0; I < N->NumKids; ++I)
+      visitTree(N->kid(I), V);
+    V.EndArray(V.User);
+    return;
+  case Node::KNode:
+    V.BeginNode(V.User, N->NameId, N->Shift, N->Bb ? 1 : 0, N->Slots,
+                N->NumSlots);
+    for (unsigned I = 0; I < N->NumKids; ++I)
+      visitTree(N->kid(I), V);
+    V.EndNode(V.User);
+    return;
+  }
 }
 
 //===----------------------------------------------------------------------===//

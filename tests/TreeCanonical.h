@@ -1,0 +1,89 @@
+//===- tests/TreeCanonical.h - canonical host-tree rendering ----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical rendering of a host (interpreter-side) parse tree —
+/// byte-for-byte the format of ipg_rt::dumpTree in support/GenRuntime.h,
+/// which generated parsers embed. Attributes sort by (name, value);
+/// children print in execution order. Shared by the differential harness
+/// and the engine/service tests so every suite compares trees the same
+/// way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_TREECANONICAL_H
+#define IPG_TESTS_TREECANONICAL_H
+
+#include "grammar/Grammar.h"
+#include "runtime/ParseTree.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipg::testutil {
+
+inline void renderCanonical(const ipg::ParseTree &T,
+                            const ipg::StringInterner &Names, int Indent,
+                            std::string &Out) {
+  Out.append(static_cast<size_t>(Indent) * 2, ' ');
+  switch (T.kind()) {
+  case ParseTree::Kind::Leaf: {
+    const auto &L = *cast<LeafTree>(&T);
+    Out += "Leaf off=" + std::to_string(L.offset()) +
+           " len=" + std::to_string(L.length()) +
+           " opaque=" + (L.isOpaque() ? "1" : "0") + "\n";
+    return;
+  }
+  case ParseTree::Kind::Array: {
+    const auto &A = *cast<ArrayTree>(&T);
+    Out += "Array " + std::string(Names.name(A.elemName())) + " x" +
+           std::to_string(A.size()) + "\n";
+    for (TreeRef E : A.elements())
+      renderCanonical(*E, Names, Indent + 1, Out);
+    return;
+  }
+  case ParseTree::Kind::Node: {
+    const auto &N = *cast<NodeTree>(&T);
+    Out += "Node " + std::string(Names.name(N.name())) + " {";
+    std::vector<std::pair<std::string, long long>> Attrs;
+    for (const EnvSlot &S : N.env())
+      Attrs.emplace_back(std::string(Names.name(S.Key)),
+                         static_cast<long long>(S.Value));
+    std::sort(Attrs.begin(), Attrs.end());
+    for (size_t I = 0; I < Attrs.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Attrs[I].first + "=" + std::to_string(Attrs[I].second);
+    }
+    Out += "}\n";
+    for (TreeRef C : N.children())
+      renderCanonical(*C, Names, Indent + 1, Out);
+    return;
+  }
+  }
+}
+
+/// Renders any rooted tree (TreePtr, FrozenTree root, raw node).
+inline std::string renderCanonical(const ipg::ParseTree *Root,
+                                   const ipg::Grammar &G) {
+  std::string Out;
+  if (Root)
+    renderCanonical(*Root, G.interner(), 0, Out);
+  return Out;
+}
+
+inline std::string renderCanonical(const ipg::TreePtr &Root,
+                                   const ipg::Grammar &G) {
+  return renderCanonical(Root.get(), G);
+}
+
+} // namespace ipg::testutil
+
+#endif // IPG_TESTS_TREECANONICAL_H

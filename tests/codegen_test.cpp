@@ -103,7 +103,7 @@ TEST(CodegenTest, EmitsMemoizationForGlobalRulesOnly) {
             std::string::npos);
 
   CppEmitterOptions Off;
-  Off.Memoize = false;
+  Off.Engine.UseMemo = false;
   auto Plain = emitCppParser(G, "gen", Off);
   ASSERT_TRUE(Plain) << Plain.message();
   EXPECT_EQ(Plain->find("C.memoFind("), std::string::npos);

@@ -35,6 +35,7 @@
 #include "codegen/CppEmitter.h"
 
 #include "CodegenTestHarness.h"
+#include "TreeCanonical.h"
 #include "formats/FormatRegistry.h"
 #include "formats/Zip.h"
 #include "runtime/Interp.h"
@@ -64,56 +65,10 @@ Grammar load(const char *Src) {
   return std::move(R->G);
 }
 
-/// The canonical rendering of an interpreter tree — byte-for-byte the
-/// format of ipg_rt::dumpTree in support/GenRuntime.h (the generated
-/// side). Attributes sort by (name, value); children print in execution
-/// order, exactly as generated frames push them.
-void renderCanonical(const ParseTree &T, const StringInterner &Names,
-                     int Indent, std::string &Out) {
-  Out.append(static_cast<size_t>(Indent) * 2, ' ');
-  switch (T.kind()) {
-  case ParseTree::Kind::Leaf: {
-    const auto &L = *cast<LeafTree>(&T);
-    Out += "Leaf off=" + std::to_string(L.offset()) +
-           " len=" + std::to_string(L.length()) +
-           " opaque=" + (L.isOpaque() ? "1" : "0") + "\n";
-    return;
-  }
-  case ParseTree::Kind::Array: {
-    const auto &A = *cast<ArrayTree>(&T);
-    Out += "Array " + std::string(Names.name(A.elemName())) + " x" +
-           std::to_string(A.size()) + "\n";
-    for (TreeRef E : A.elements())
-      renderCanonical(*E, Names, Indent + 1, Out);
-    return;
-  }
-  case ParseTree::Kind::Node: {
-    const auto &N = *cast<NodeTree>(&T);
-    Out += "Node " + std::string(Names.name(N.name())) + " {";
-    std::vector<std::pair<std::string, long long>> Attrs;
-    for (const EnvSlot &S : N.env())
-      Attrs.emplace_back(std::string(Names.name(S.Key)),
-                         static_cast<long long>(S.Value));
-    std::sort(Attrs.begin(), Attrs.end());
-    for (size_t I = 0; I < Attrs.size(); ++I) {
-      if (I)
-        Out += ", ";
-      Out += Attrs[I].first + "=" + std::to_string(Attrs[I].second);
-    }
-    Out += "}\n";
-    for (TreeRef C : N.children())
-      renderCanonical(*C, Names, Indent + 1, Out);
-    return;
-  }
-  }
-}
-
-std::string renderCanonical(const TreePtr &Root, const Grammar &G) {
-  std::string Out;
-  if (Root)
-    renderCanonical(*Root, G.interner(), 0, Out);
-  return Out;
-}
+// The canonical interpreter-tree rendering (byte-for-byte the generated
+// side's ipg_rt::dumpTree format) lives in tests/TreeCanonical.h, shared
+// with engine_test and service_test.
+using testutil::renderCanonical;
 
 /// Compiles \p Generated with a driver that parses argv[1] and writes the
 /// generated runtime's canonical dump to argv[2]. Exit codes: 0 accepted,
@@ -183,9 +138,13 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
   for (const formats::FormatInfo &FI : formats::allFormats()) {
     SCOPED_TRACE("format: " + FI.Name);
 
-    auto Load = formats::loadFormatGrammar(FI.Name);
-    ASSERT_TRUE(Load) << Load.message();
-    auto Code = emitCppParser(Load->G, "gen");
+    // One factory call replaces the old loadFormatGrammar +
+    // standardBlackboxes + Interp boilerplate; the loaded grammar rides
+    // along for the emitter.
+    auto FE = formats::makeFormatEngine(FI.Name, EngineKind::Interp);
+    ASSERT_TRUE(FE) << FE.message();
+    const Grammar &G = FE->Load->G;
+    auto Code = emitCppParser(G, "gen");
     ASSERT_TRUE(Code) << Code.message();
     const formats::GenBlackboxBridge *Bridge =
         formats::genBlackboxBridge(FI.Name);
@@ -193,8 +152,7 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
     std::string Exe;
     ASSERT_TRUE(compileGenerated(*Code, FI.Name, Exe, Bridge));
 
-    BlackboxRegistry BB = formats::standardBlackboxes();
-    Interp I(Load->G, FI.NeedsBlackbox ? &BB : nullptr);
+    Engine &I = **FE;
     // Two input sizes per format so array/loop paths differ run-to-run.
     // Scales stay small: recursion-heavy grammars (PDF recurses per
     // content byte) exceed the default stack under ASan's fat Debug
@@ -207,7 +165,7 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
       auto R = I.parse(ByteSpan::of(Bytes));
       ASSERT_TRUE(R) << FI.Name << " corpus rejected by the interpreter: "
                      << R.message();
-      std::string Want = renderCanonical(*R, Load->G);
+      std::string Want = renderCanonical(*R, G);
 
       GenRun Gen = runGenerated(Exe, FI.Name, Bytes);
       ASSERT_EQ(Gen.ExitCode, 0)
@@ -220,7 +178,13 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
     // Both sides must also agree on rejection: corrupt the first byte.
     std::vector<uint8_t> Bad = formats::sampleInput(FI.Name, 1);
     Bad[0] ^= 0xff;
+    size_t AcceptedNodes = I.stats().NodesCreated;
     bool InterpAccepts = static_cast<bool>(I.parse(ByteSpan::of(Bad)));
+    // The stats contract holds inside the harness too: after a rejected
+    // parse, stats() describes the rejection, not the accepted run.
+    if (!InterpAccepts)
+      EXPECT_LT(I.stats().NodesCreated, AcceptedNodes)
+          << FI.Name << ": stats() still shows the previous parse";
     GenRun GenBad = runGenerated(Exe, FI.Name, Bad);
     ASSERT_GE(GenBad.ExitCode, 0);
     ASSERT_LE(GenBad.ExitCode, 1);
@@ -252,16 +216,16 @@ TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
   size_t Checked = 0;
   for (const formats::FormatInfo &FI : formats::allFormats()) {
     SCOPED_TRACE("format: " + FI.Name);
-    auto Load = formats::loadFormatGrammar(FI.Name);
-    ASSERT_TRUE(Load) << Load.message();
-    auto Code = emitCppParser(Load->G, "gen");
+    auto FE = formats::makeFormatEngine(FI.Name, EngineKind::Interp);
+    ASSERT_TRUE(FE) << FE.message();
+    const Grammar &G = FE->Load->G;
+    auto Code = emitCppParser(G, "gen");
     ASSERT_TRUE(Code) << Code.message();
     std::string Exe;
     ASSERT_TRUE(compileGenerated(*Code, "sweep_" + FI.Name, Exe,
                                  formats::genBlackboxBridge(FI.Name)));
 
-    BlackboxRegistry BB = formats::standardBlackboxes();
-    Interp I(Load->G, FI.NeedsBlackbox ? &BB : nullptr);
+    Engine &I = **FE;
     const std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, 1);
     ASSERT_GE(Bytes.size(), ProbesPerFormat);
 
@@ -282,7 +246,7 @@ TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
         EXPECT_EQ(static_cast<bool>(R), Gen.ExitCode == 0)
             << "accept/reject verdicts diverge";
         if (R && Gen.ExitCode == 0) {
-          EXPECT_EQ(renderCanonical(*R, Load->G), Gen.Dump)
+          EXPECT_EQ(renderCanonical(*R, G), Gen.Dump)
               << "both accepted the flip but built different trees";
         }
         ++Checked;
@@ -317,9 +281,10 @@ TEST(DifferentialTest, ZipDeflatedEntriesAgreeThroughBlackboxHook) {
   if (!hostCompilerAvailable())
     GTEST_SKIP() << "no host C++ compiler";
 
-  auto Load = formats::loadFormatGrammar("zip");
-  ASSERT_TRUE(Load) << Load.message();
-  auto Code = emitCppParser(Load->G, "gen");
+  auto FE = formats::makeFormatEngine("zip", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
+  const Grammar &G = FE->Load->G;
+  auto Code = emitCppParser(G, "gen");
   ASSERT_TRUE(Code) << Code.message();
   const formats::GenBlackboxBridge *Bridge =
       formats::genBlackboxBridge("zip");
@@ -327,13 +292,11 @@ TEST(DifferentialTest, ZipDeflatedEntriesAgreeThroughBlackboxHook) {
   std::string Exe;
   ASSERT_TRUE(compileGenerated(*Code, "zip_deflated", Exe, Bridge));
 
-  BlackboxRegistry BB = formats::standardBlackboxes();
-  Interp I(Load->G, &BB);
   std::vector<uint8_t> Bytes = formats::synthesizeZip(
       formats::zipArchiveOfCopies(4, 2048, /*Compress=*/true));
-  auto R = I.parse(ByteSpan::of(Bytes));
+  auto R = (*FE)->parse(ByteSpan::of(Bytes));
   ASSERT_TRUE(R) << R.message();
-  std::string Want = renderCanonical(*R, Load->G);
+  std::string Want = renderCanonical(*R, G);
   // The corpus really exercised the blackbox: inflate nodes are present.
   EXPECT_NE(Want.find("Node inflate"), std::string::npos);
 
@@ -369,7 +332,7 @@ TEST(DifferentialTest, MemoizedAndUnmemoizedGeneratedParsersAgree) {
     auto Memo = emitCppParser(Load->G, "gen");
     ASSERT_TRUE(Memo) << Memo.message();
     CppEmitterOptions Off;
-    Off.Memoize = false;
+    Off.Engine.UseMemo = false;
     auto Plain = emitCppParser(Load->G, "gen", Off);
     ASSERT_TRUE(Plain) << Plain.message();
     // The ablation really removed the table, not just renamed things.
@@ -586,13 +549,14 @@ const char *DeepGrammar = R"(
 
 TEST(DifferentialTest, DepthLimitIsAHardFailureInInterpreter) {
   Grammar G = load(DeepGrammar);
-  InterpOptions Opts;
+  EngineOptions Opts;
   Opts.MaxDepth = 64; // keep the recursion shallow (ASan-sized stacks)
+  auto E = makeEngine(EngineKind::Interp, G, nullptr, Opts);
+  ASSERT_TRUE(E) << E.message();
   std::vector<uint8_t> Shallow(10, 'a');
-  Interp I(G, nullptr, Opts);
-  EXPECT_TRUE(I.parse(ByteSpan::of(Shallow)));
+  EXPECT_TRUE((*E)->parse(ByteSpan::of(Shallow)));
   std::vector<uint8_t> Deep(100, 'a');
-  EXPECT_FALSE(I.parse(ByteSpan::of(Deep)))
+  EXPECT_FALSE((*E)->parse(ByteSpan::of(Deep)))
       << "the depth limit must abort the parse, not fall back to raw";
 }
 

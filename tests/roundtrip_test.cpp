@@ -64,8 +64,9 @@ std::string render(const TreePtr &T, const Grammar &G) {
 
 /// One interpreter round trip: parse, print (strict or background-fill),
 /// compare bytes, re-parse, compare trees. Returns the print result for
-/// further inspection.
-serialize::PrintResult roundtripInterp(Interp &I, const Grammar &G,
+/// further inspection. Takes any Engine (callers build one through the
+/// makeFormatEngine factory); the printer itself is engine-independent.
+serialize::PrintResult roundtripInterp(Engine &I, const Grammar &G,
                                        const BlackboxRegistry &BB,
                                        const std::vector<uint8_t> &Bytes,
                                        bool Strict) {
@@ -105,16 +106,15 @@ TEST(RoundtripTest, InterpreterPrintsEveryFormatCorpusByteExact) {
   size_t Roundtripped = 0;
   for (const formats::FormatInfo &FI : formats::allFormats()) {
     SCOPED_TRACE("format: " + FI.Name);
-    auto Load = formats::loadFormatGrammar(FI.Name);
-    ASSERT_TRUE(Load) << Load.message();
-    BlackboxRegistry BB = formats::standardBlackboxes();
-    Interp I(Load->G, FI.NeedsBlackbox ? &BB : nullptr);
+    auto FE = formats::makeFormatEngine(FI.Name, EngineKind::Interp);
+    ASSERT_TRUE(FE) << FE.message();
+    BlackboxRegistry BB = formats::standardBlackboxes(); // for the printer
     for (unsigned Scale : {1u, 2u}) {
       SCOPED_TRACE("scale: " + std::to_string(Scale));
       std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, Scale);
       ASSERT_FALSE(Bytes.empty());
       serialize::PrintResult P = roundtripInterp(
-          I, Load->G, BB, Bytes, strictPrintExact(FI.Name));
+          **FE, FE->Load->G, BB, Bytes, strictPrintExact(FI.Name));
       if (strictPrintExact(FI.Name)) {
         EXPECT_EQ(P.GapBytes, 0u);
       }
@@ -127,14 +127,13 @@ TEST(RoundtripTest, InterpreterPrintsEveryFormatCorpusByteExact) {
 TEST(RoundtripTest, StrictModeFailsExactlyForNonLeafCoveringFormats) {
   for (const formats::FormatInfo &FI : formats::allFormats()) {
     SCOPED_TRACE("format: " + FI.Name);
-    auto Load = formats::loadFormatGrammar(FI.Name);
-    ASSERT_TRUE(Load) << Load.message();
+    auto FE = formats::makeFormatEngine(FI.Name, EngineKind::Interp);
+    ASSERT_TRUE(FE) << FE.message();
     BlackboxRegistry BB = formats::standardBlackboxes();
-    Interp I(Load->G, FI.NeedsBlackbox ? &BB : nullptr);
     std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, 1);
-    auto R = I.parse(ByteSpan::of(Bytes));
+    auto R = (*FE)->parse(ByteSpan::of(Bytes));
     ASSERT_TRUE(R) << R.message();
-    auto P = serialize::printTree(**R, Load->G, &BB);
+    auto P = serialize::printTree(**R, FE->Load->G, &BB);
     EXPECT_EQ(static_cast<bool>(P), strictPrintExact(FI.Name))
         << FI.Name << " moved across the print-exact line; update "
         << "strictPrintExact AND docs/grammar-syntax.md";
@@ -148,31 +147,28 @@ TEST(RoundtripTest, StrictModeFailsExactlyForNonLeafCoveringFormats) {
 //===----------------------------------------------------------------------===//
 
 TEST(RoundtripTest, DeflatedZipRoundTripsThroughBlackboxInverse) {
-  auto Load = formats::loadFormatGrammar("zip");
-  ASSERT_TRUE(Load) << Load.message();
+  auto FE = formats::makeFormatEngine("zip", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
   BlackboxRegistry BB = formats::standardBlackboxes();
-  Interp I(Load->G, &BB);
   std::vector<uint8_t> Bytes = formats::synthesizeZip(
       formats::zipArchiveOfCopies(4, 2048, /*Compress=*/true));
   serialize::PrintResult P =
-      roundtripInterp(I, Load->G, BB, Bytes, /*Strict=*/true);
+      roundtripInterp(**FE, FE->Load->G, BB, Bytes, /*Strict=*/true);
   EXPECT_GT(P.BlackboxBytes, 0u)
       << "the corpus never exercised the inverse";
 }
 
 TEST(RoundtripTest, MissingInverseIsAPrintErrorNotACrash) {
-  auto Load = formats::loadFormatGrammar("zip");
-  ASSERT_TRUE(Load) << Load.message();
-  BlackboxRegistry BB = formats::standardBlackboxes();
-  Interp I(Load->G, &BB);
+  auto FE = formats::makeFormatEngine("zip", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
   std::vector<uint8_t> Bytes = formats::synthesizeZip(
       formats::zipArchiveOfCopies(1, 512, /*Compress=*/true));
-  auto R = I.parse(ByteSpan::of(Bytes));
+  auto R = (*FE)->parse(ByteSpan::of(Bytes));
   ASSERT_TRUE(R) << R.message();
 
   BlackboxRegistry Forward; // forward-only: no inverse registered
   Forward.add("inflate", formats::miniZlibBlackbox);
-  auto P = serialize::printTree(**R, Load->G, &Forward);
+  auto P = serialize::printTree(**R, FE->Load->G, &Forward);
   ASSERT_FALSE(P);
   EXPECT_NE(P.message().find("inverse"), std::string::npos) << P.message();
 }
@@ -183,15 +179,14 @@ TEST(RoundtripTest, MissingInverseIsAPrintErrorNotACrash) {
 //===----------------------------------------------------------------------===//
 
 TEST(RoundtripTest, CollectedSpansAreWellFormed) {
-  auto Load = formats::loadFormatGrammar("gif");
-  ASSERT_TRUE(Load) << Load.message();
-  Interp I(Load->G);
+  auto FE = formats::makeFormatEngine("gif", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
   std::vector<uint8_t> Bytes = formats::sampleInput("gif", 1);
-  auto R = I.parse(ByteSpan::of(Bytes));
+  auto R = (*FE)->parse(ByteSpan::of(Bytes));
   ASSERT_TRUE(R) << R.message();
   serialize::PrintOptions Opts;
   Opts.CollectSpans = true;
-  auto P = serialize::printTree(**R, Load->G, nullptr, Opts);
+  auto P = serialize::printTree(**R, FE->Load->G, nullptr, Opts);
   ASSERT_TRUE(P) << P.message();
   ASSERT_FALSE(P->Spans.empty());
   const auto &Root = P->Spans.front();

@@ -1,0 +1,288 @@
+//===- tests/service_test.cpp - tree handoff & ParseService tests ---------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The explicit tree-ownership-transfer seam and the thread-pooled front
+/// end built on it:
+///
+///  - TreePtr::detach() produces a FrozenTree that is safe to read and
+///    destroy on a DIFFERENT thread, while the engine's recycler is
+///    released (no park-after-move of a detached store);
+///  - Engine::adoptStore closes the loop: a store that round-tripped
+///    through a FrozenTree is re-bound and recycled by the next parse;
+///  - ParseService runs those pieces across N workers and M queued
+///    mixed-format files with correct, self-contained results;
+///  - under IPG_CHECK_OWNERSHIP, touching a NON-detached TreePtr's
+///    refcount off the engine thread aborts (death test).
+///
+//===----------------------------------------------------------------------===//
+
+#include "codegen/GenEngine.h"
+#include "formats/FormatRegistry.h"
+#include "runtime/Engine.h"
+#include "service/InputSource.h"
+#include "service/ParseService.h"
+
+#include "TreeCanonical.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace ipg;
+using testutil::renderCanonical;
+
+namespace {
+
+/// One reference dump per (format, scale), parsed single-threaded.
+std::string referenceDump(const std::string &Name, unsigned Scale) {
+  auto FE = formats::makeFormatEngine(Name, EngineKind::Interp);
+  EXPECT_TRUE(FE) << FE.message();
+  std::vector<uint8_t> In = formats::sampleInput(Name, Scale);
+  auto T = (*FE)->parse(ByteSpan::of(In));
+  EXPECT_TRUE(T) << T.message();
+  return T ? renderCanonical(*T, FE->Load->G) : std::string();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FrozenTree / adoptStore seam
+//===----------------------------------------------------------------------===//
+
+TEST(FrozenTreeTest, DetachedTreeIsReadableAndDestroyableOffThread) {
+  auto FE = formats::makeFormatEngine("gif", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
+  std::vector<uint8_t> In = formats::sampleInput("gif", 2);
+  auto T = (*FE)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T) << T.message();
+  std::string Want = renderCanonical(*T, FE->Load->G);
+
+  FrozenTree F = (*T).detach();
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(*T) << "detach() empties the TreePtr";
+
+  // Read AND destroy on another thread; the engine stays on this one.
+  std::string Got;
+  std::thread Reader([&] {
+    Got = renderCanonical(F.get(), FE->Load->G);
+    FrozenTree Dead = std::move(F); // dies on this thread
+  });
+  Reader.join();
+  EXPECT_EQ(Want, Got);
+
+  // The engine is fully functional afterwards — but the detached store
+  // did NOT come home: the next parse starts fresh.
+  auto T2 = (*FE)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T2) << T2.message();
+  EXPECT_FALSE((*FE)->stats().StoreRecycled)
+      << "a detached store must not park in the recycler";
+}
+
+TEST(FrozenTreeTest, AdoptStoreClosesTheRecyclingLoop) {
+  auto FE = formats::makeFormatEngine("dns", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
+  std::vector<uint8_t> In = formats::sampleInput("dns", 2);
+
+  auto T = (*FE)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T) << T.message();
+  FrozenTree F = (*T).detach();
+
+  // Simulate the service round trip: consumer surrenders the store,
+  // worker adopts it, next parse recycles instead of allocating.
+  TreeStore *S = F.releaseStore();
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE((*FE)->adoptStore(S));
+  auto T2 = (*FE)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T2) << T2.message();
+  EXPECT_TRUE((*FE)->stats().StoreRecycled);
+
+  // A second store cannot be adopted while one is already parked.
+  auto T3 = (*FE)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T3) << T3.message();
+  FrozenTree F2 = (*T2).detach();
+  FrozenTree F3 = (*T3).detach();
+  TreeStore *S2 = F2.releaseStore();
+  TreeStore *S3 = F3.releaseStore();
+  EXPECT_TRUE((*FE)->adoptStore(S2));
+  EXPECT_FALSE((*FE)->adoptStore(S3)) << "one parked store at a time";
+  TreeStore::destroy(S3);
+}
+
+TEST(FrozenTreeTest, ParkAfterMoveStillWorksForUndetachedTrees) {
+  // The pre-existing single-thread recycling contract (TreePtr dies on
+  // the engine thread -> store parks) must survive the detach() seam.
+  auto FE = formats::makeFormatEngine("gif", EngineKind::Interp);
+  ASSERT_TRUE(FE) << FE.message();
+  std::vector<uint8_t> In = formats::sampleInput("gif", 1);
+  {
+    auto T = (*FE)->parse(ByteSpan::of(In));
+    ASSERT_TRUE(T) << T.message();
+  } // TreePtr dies here, on the engine's thread
+  auto T2 = (*FE)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T2) << T2.message();
+  EXPECT_TRUE((*FE)->stats().StoreRecycled);
+}
+
+#if defined(IPG_CHECK_OWNERSHIP) && defined(GTEST_HAS_DEATH_TEST)
+TEST(FrozenTreeDeathTest, OffThreadTreePtrReleaseAborts) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ASSERT_DEATH(
+      {
+        auto FE = formats::makeFormatEngine("gif", EngineKind::Interp);
+        std::vector<uint8_t> In = formats::sampleInput("gif", 1);
+        auto T = (*FE)->parse(ByteSpan::of(In));
+        // Copying/destroying a NON-detached TreePtr off the engine
+        // thread touches the plain refcount cross-thread: abort.
+        std::thread Evil([&] { TreePtr Copy = *T; });
+        Evil.join();
+      },
+      "refcount touched off the owning engine thread");
+}
+#endif
+
+//===----------------------------------------------------------------------===//
+// ParseService
+//===----------------------------------------------------------------------===//
+
+TEST(ParseServiceTest, BatchAcrossFormatsAndWorkersIsCorrect) {
+  ParseServiceOptions Opts;
+  Opts.Workers = 4;
+  auto Svc = ParseService::create({"gif", "dns", "ipv4udp"}, Opts);
+  ASSERT_TRUE(Svc) << Svc.message();
+  EXPECT_EQ((*Svc)->workers(), 4u);
+
+  const char *Names[] = {"gif", "dns", "ipv4udp"};
+  std::string Want[3];
+  for (int I = 0; I < 3; ++I)
+    Want[I] = referenceDump(Names[I], 2);
+
+  std::vector<ParseRequest> Batch;
+  for (int Rep = 0; Rep < 8; ++Rep)
+    for (int I = 0; I < 3; ++I)
+      Batch.push_back(ParseRequest{
+          Names[I],
+          InputSource::fromBytes(formats::sampleInput(Names[I], 2))});
+
+  auto Futures = (*Svc)->submitBatch(std::move(Batch));
+  ASSERT_EQ(Futures.size(), 24u);
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    ParseResult R = Futures[I].get();
+    ASSERT_TRUE(R.ok()) << R.error();
+    EXPECT_EQ(R.format(), Names[I % 3]);
+    EXPECT_GT(R.stats().NodesCreated, 0u);
+    // Results are produced on worker threads and verified (and then
+    // destroyed) here on the main thread — the FrozenTree handoff.
+    auto FE = formats::makeFormatEngine(Names[I % 3], EngineKind::Interp);
+    EXPECT_EQ(renderCanonical(R.root(), FE->Load->G), Want[I % 3]);
+  }
+}
+
+TEST(ParseServiceTest, ResultsOutliveTheService) {
+  ParseServiceOptions Opts;
+  Opts.Workers = 2;
+  auto Svc = ParseService::create({"dns"}, Opts);
+  ASSERT_TRUE(Svc) << Svc.message();
+
+  auto Fut = (*Svc)->submit(ParseRequest{
+      "dns", InputSource::fromBytes(formats::sampleInput("dns", 1))});
+  ParseResult R = Fut.get();
+  ASSERT_TRUE(R.ok()) << R.error();
+  Svc->reset(); // workers join; engines and recyclers die
+
+  // The result is self-contained: tree + input bytes still readable,
+  // destruction (at scope exit) routes to a closed slot harmlessly.
+  auto FE = formats::makeFormatEngine("dns", EngineKind::Interp);
+  EXPECT_EQ(renderCanonical(R.root(), FE->Load->G), referenceDump("dns", 1));
+}
+
+TEST(ParseServiceTest, MisusesFailFastWithDiagnostics) {
+  ParseServiceOptions Opts;
+  Opts.Workers = 1;
+  auto Svc = ParseService::create({"gif"}, Opts);
+  ASSERT_TRUE(Svc) << Svc.message();
+
+  ParseResult NoFmt =
+      (*Svc)
+          ->submit(ParseRequest{"pdf", InputSource::fromBytes({1, 2, 3})})
+          .get();
+  EXPECT_FALSE(NoFmt.ok());
+  EXPECT_NE(NoFmt.error().find("not configured"), std::string::npos);
+
+  ParseResult NoInput = (*Svc)->submit(ParseRequest{"gif", nullptr}).get();
+  EXPECT_FALSE(NoInput.ok());
+  EXPECT_NE(NoInput.error().find("null input"), std::string::npos);
+
+  ParseResult BadParse =
+      (*Svc)
+          ->submit(ParseRequest{"gif", InputSource::fromBytes({9, 9, 9})})
+          .get();
+  EXPECT_FALSE(BadParse.ok());
+  EXPECT_FALSE(BadParse.error().empty());
+
+  auto NoSuch = ParseService::create({"nope"});
+  EXPECT_FALSE(NoSuch);
+}
+
+TEST(ParseServiceTest, MmapInputSourceParsesLikeOwnedBytes) {
+  std::vector<uint8_t> Bytes = formats::sampleInput("gif", 2);
+  std::string Path = testing::TempDir() + "/ipg_service_gif_" +
+                     std::to_string(::getpid()) + ".bin";
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(reinterpret_cast<const char *>(Bytes.data()),
+              static_cast<std::streamsize>(Bytes.size()));
+  }
+  auto Mapped = InputSource::mapFile(Path);
+  ASSERT_TRUE(Mapped) << Mapped.message();
+  EXPECT_EQ((*Mapped)->size(), Bytes.size());
+
+  ParseServiceOptions Opts;
+  Opts.Workers = 2;
+  auto Svc = ParseService::create({"gif"}, Opts);
+  ASSERT_TRUE(Svc) << Svc.message();
+  ParseResult R = (*Svc)->submit(ParseRequest{"gif", *Mapped}).get();
+  ASSERT_TRUE(R.ok()) << R.error();
+  auto FE = formats::makeFormatEngine("gif", EngineKind::Interp);
+  EXPECT_EQ(renderCanonical(R.root(), FE->Load->G), referenceDump("gif", 2));
+  std::remove(Path.c_str());
+
+  auto Missing = InputSource::mapFile(Path + ".does_not_exist");
+  EXPECT_FALSE(Missing);
+}
+
+TEST(ParseServiceTest, GeneratedModeMatchesInterpMode) {
+  if (!GenModule::hostCompilerAvailable())
+    GTEST_SKIP() << "no host C++ compiler";
+
+  ParseServiceOptions Opts;
+  Opts.Workers = 2;
+  Opts.Mode = EngineKind::Generated;
+  auto Svc = ParseService::create({"gif", "dns"}, Opts);
+  ASSERT_TRUE(Svc) << Svc.message();
+  EXPECT_EQ((*Svc)->mode(), EngineKind::Generated);
+
+  std::vector<ParseRequest> Batch;
+  for (int Rep = 0; Rep < 4; ++Rep)
+    for (const char *Name : {"gif", "dns"})
+      Batch.push_back(ParseRequest{
+          Name, InputSource::fromBytes(formats::sampleInput(Name, 2))});
+  auto Futures = (*Svc)->submitBatch(std::move(Batch));
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    ParseResult R = Futures[I].get();
+    ASSERT_TRUE(R.ok()) << R.error();
+    const char *Name = (I % 2 == 0) ? "gif" : "dns";
+    auto FE = formats::makeFormatEngine(Name, EngineKind::Interp);
+    EXPECT_EQ(renderCanonical(R.root(), FE->Load->G),
+              referenceDump(Name, 2));
+  }
+}
