@@ -18,7 +18,8 @@
 
 #include "analysis/AttributeCheck.h"
 #include "formats/Elf.h"
-#include "runtime/Interp.h"
+#include "formats/FormatRegistry.h"
+#include "runtime/Engine.h"
 
 #include "BenchUtil.h"
 
@@ -58,12 +59,14 @@ void ablationMemo() {
   for (size_t N : {64u, 256u, 1024u}) {
     std::string Input(N, 'x');
     Input += '4';
-    InterpOptions On;
-    On.MaxDepth = 4 * N + 64;
-    Interp IOn(G, nullptr, On);
-    InterpOptions Off = On;
+    EngineOptions Off;
     Off.UseMemo = false;
-    Interp IOff(G, nullptr, Off);
+    auto EOn = makeEngine(EngineKind::Interp, G);
+    auto EOff = makeEngine(EngineKind::Interp, G, nullptr, Off);
+    if (!EOn || !EOff)
+      std::abort();
+    Engine &IOn = **EOn;
+    Engine &IOff = **EOff;
     ByteSpan S = ByteSpan::of(Input);
     auto TOn = timeIt([&] { if (!IOn.parse(S)) std::abort(); },
                       repsFor(N * 2.0));
@@ -102,8 +105,12 @@ void ablationBtoi() {
       W.u32le(static_cast<uint32_t>(I * 2654435761u));
     auto Bytes = W.take();
     ByteSpan S = ByteSpan::of(Bytes);
-    Interp ISpec(Specialized);
-    Interp IRec(Recursive);
+    auto ESpec = makeEngine(EngineKind::Interp, Specialized);
+    auto ERec = makeEngine(EngineKind::Interp, Recursive);
+    if (!ESpec || !ERec)
+      std::abort();
+    Engine &ISpec = **ESpec;
+    Engine &IRec = **ERec;
     auto TSpec = timeIt([&] { if (!ISpec.parse(S)) std::abort(); },
                         repsFor(N * 0.6));
     auto TRec = timeIt([&] { if (!IRec.parse(S)) std::abort(); },
@@ -128,11 +135,14 @@ void ablationReentry() {
   auto Bytes = synthesizeElf(Spec);
   ByteSpan S = ByteSpan::of(Bytes);
 
-  InterpOptions Plain;
-  Interp IPlain(R->G, nullptr, Plain);
-  InterpOptions Guarded;
+  EngineOptions Guarded;
   Guarded.DetectReentry = true;
-  Interp IGuard(R->G, nullptr, Guarded);
+  auto EPlain = makeEngine(EngineKind::Interp, R->G);
+  auto EGuard = makeEngine(EngineKind::Interp, R->G, nullptr, Guarded);
+  if (!EPlain || !EGuard)
+    return;
+  Engine &IPlain = **EPlain;
+  Engine &IGuard = **EGuard;
 
   auto TPlain = timeIt([&] { if (!IPlain.parse(S)) std::abort(); }, 300);
   auto TGuard = timeIt([&] { if (!IGuard.parse(S)) std::abort(); }, 300);
@@ -178,8 +188,12 @@ void ablationSwitch() {
     }
     auto Bytes = W.take();
     ByteSpan S = ByteSpan::of(Bytes);
-    Interp ISw(WithSwitch);
-    Interp IDe(Desugared);
+    auto ESw = makeEngine(EngineKind::Interp, WithSwitch);
+    auto EDe = makeEngine(EngineKind::Interp, Desugared);
+    if (!ESw || !EDe)
+      std::abort();
+    Engine &ISw = **ESw;
+    Engine &IDe = **EDe;
     auto TSw = timeIt([&] { if (!ISw.parse(S)) std::abort(); },
                       repsFor(N * 1.2));
     auto TDe = timeIt([&] { if (!IDe.parse(S)) std::abort(); },

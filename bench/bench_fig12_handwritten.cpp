@@ -20,7 +20,7 @@
 #include "formats/Elf.h"
 #include "formats/FormatRegistry.h"
 #include "formats/Zip.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 
 #include "BenchUtil.h"
 
@@ -42,7 +42,7 @@ BenchReport Report("fig12_handwritten");
 
 /// IPG-based unzip: parse (decompression happens in the blackbox during
 /// parsing, as in the paper's modified unzip), then write files out.
-bool ipgUnzip(Interp &I, const Grammar &G, ByteSpan Image,
+bool ipgUnzip(Engine &I, const Grammar &G, ByteSpan Image,
               std::map<std::string, std::vector<uint8_t>> &Files) {
   auto Tree = I.parse(Image);
   if (!Tree)
@@ -65,13 +65,13 @@ bool ipgUnzip(Interp &I, const Grammar &G, ByteSpan Image,
 }
 
 void benchUnzip() {
-  auto R = loadZipGrammar();
-  if (!R) {
-    std::printf("zip grammar failed: %s\n", R.message().c_str());
+  auto FE = makeFormatEngine("zip", EngineKind::Interp);
+  if (!FE) {
+    std::printf("zip engine failed: %s\n", FE.message().c_str());
     return;
   }
-  BlackboxRegistry BB = standardBlackboxes();
-  Interp I(R->G, &BB);
+  Engine &I = **FE;
+  const Grammar &ZipG = FE->Load->G;
 
   banner("Figure 12a/12b: unzip — hand-written vs IPG");
   std::printf("%8s %10s | %12s %12s | %12s %12s\n", "entries", "bytes",
@@ -93,7 +93,7 @@ void benchUnzip() {
     auto IpgE2E = timeIt(
         [&] {
           std::map<std::string, std::vector<uint8_t>> Files;
-          if (!ipgUnzip(I, R->G, Image, Files))
+          if (!ipgUnzip(I, ZipG, Image, Files))
             std::abort();
         },
         repsFor(static_cast<double>(Entries) * 400));
@@ -129,7 +129,7 @@ void benchUnzip() {
   note("shape: hw parse << ipg parse, but e2e within a small factor");
 }
 
-std::string ipgReadelf(Interp &I, const Grammar &G, ByteSpan Image) {
+std::string ipgReadelf(Engine &I, const Grammar &G, ByteSpan Image) {
   auto Tree = I.parse(Image);
   if (!Tree)
     return std::string();
@@ -168,12 +168,13 @@ std::string ipgReadelf(Interp &I, const Grammar &G, ByteSpan Image) {
 }
 
 void benchReadelf() {
-  auto R = loadElfGrammar();
-  if (!R) {
-    std::printf("elf grammar failed: %s\n", R.message().c_str());
+  auto FE = makeFormatEngine("elf", EngineKind::Interp);
+  if (!FE) {
+    std::printf("elf engine failed: %s\n", FE.message().c_str());
     return;
   }
-  Interp I(R->G);
+  Engine &I = **FE;
+  const Grammar &ElfG = FE->Load->G;
 
   banner("Figure 12c/12d: readelf -h -S --dyn-syms — hand-written vs IPG");
   std::printf("%8s %10s | %12s %12s | %12s %12s\n", "symbols", "bytes",
@@ -195,7 +196,7 @@ void benchReadelf() {
         repsFor(static_cast<double>(Syms)));
     auto IpgE2E = timeIt(
         [&] {
-          if (ipgReadelf(I, R->G, Image).empty())
+          if (ipgReadelf(I, ElfG, Image).empty())
             std::abort();
         },
         repsFor(static_cast<double>(Syms) * 4));

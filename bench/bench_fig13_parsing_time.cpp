@@ -28,7 +28,7 @@
 #include "formats/Ipv4Udp.h"
 #include "formats/Pe.h"
 #include "formats/Zip.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 
 #include "BenchUtil.h"
 
@@ -71,11 +71,10 @@ void head(const char *SizeCol, bool WithNail) {
 }
 
 void benchZip() {
-  auto R = loadZipGrammar();
-  if (!R)
+  auto FE = makeFormatEngine("zip", EngineKind::Interp);
+  if (!FE)
     return;
-  BlackboxRegistry BB = standardBlackboxes();
-  Interp I(R->G, &BB);
+  Engine &I = **FE;
 
   banner("Figure 13a: ZIP parsing time (stored archives)");
   CurSeries = "zip";
@@ -101,12 +100,12 @@ void benchZip() {
 }
 
 void benchGif() {
-  auto R = loadGifGrammar();
-  if (!R)
+  // Default MaxDepth: sub-block chains no longer consume a frame per
+  // block now that recursion runs on engine-managed frames.
+  auto FE = makeFormatEngine("gif", EngineKind::Interp);
+  if (!FE)
     return;
-  InterpOptions Opts;
-  Opts.MaxDepth = 1 << 18;
-  Interp I(R->G, nullptr, Opts);
+  Engine &I = **FE;
 
   banner("Figure 13b: GIF parsing time");
   CurSeries = "gif";
@@ -135,10 +134,10 @@ void benchGif() {
 }
 
 void benchPe() {
-  auto R = loadPeGrammar();
-  if (!R)
+  auto FE = makeFormatEngine("pe", EngineKind::Interp);
+  if (!FE)
     return;
-  Interp I(R->G);
+  Engine &I = **FE;
 
   banner("Figure 13c: PE parsing time");
   CurSeries = "pe";
@@ -165,10 +164,10 @@ void benchPe() {
 }
 
 void benchElf() {
-  auto R = loadElfGrammar();
-  if (!R)
+  auto FE = makeFormatEngine("elf", EngineKind::Interp);
+  if (!FE)
     return;
-  Interp I(R->G);
+  Engine &I = **FE;
 
   banner("Figure 13d: ELF parsing time");
   CurSeries = "elf";
@@ -197,10 +196,10 @@ void benchElf() {
 }
 
 void benchDns() {
-  auto R = loadDnsGrammar();
-  if (!R)
+  auto FE = makeFormatEngine("dns", EngineKind::Interp);
+  if (!FE)
     return;
-  Interp I(R->G);
+  Engine &I = **FE;
 
   banner("Figure 13e: DNS parsing time");
   CurSeries = "dns";
@@ -236,10 +235,10 @@ void benchDns() {
 }
 
 void benchIpv4() {
-  auto R = loadIpv4UdpGrammar();
-  if (!R)
+  auto FE = makeFormatEngine("ipv4udp", EngineKind::Interp);
+  if (!FE)
     return;
-  Interp I(R->G);
+  Engine &I = **FE;
 
   banner("Figure 13f: IPv4+UDP parsing time");
   CurSeries = "ipv4udp";

@@ -17,8 +17,9 @@
 #include "support/Arena.h"
 #include "baselines/NailParsers.h"
 #include "formats/Dns.h"
+#include "formats/FormatRegistry.h"
 #include "formats/Ipv4Udp.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 
 #include "BenchUtil.h"
 
@@ -96,10 +97,10 @@ int main(int argc, char **argv) {
   BenchReport Report("fig14_memory");
   banner("Figure 14a: heap bytes per DNS parse");
   {
-    auto R = loadDnsGrammar();
-    if (!R)
+    auto FE = makeFormatEngine("dns", EngineKind::Interp);
+    if (!FE)
       return 1;
-    Interp I(R->G);
+    Engine &I = **FE;
     std::printf("%8s | %14s | %14s\n", "answers", "IPG (bytes)",
                 "Nail-style (B)");
     for (size_t Answers : {2u, 8u, 24u, 64u}) {
@@ -129,10 +130,10 @@ int main(int argc, char **argv) {
 
   banner("Figure 14b: heap bytes per IPv4+UDP parse");
   {
-    auto R = loadIpv4UdpGrammar();
-    if (!R)
+    auto FE = makeFormatEngine("ipv4udp", EngineKind::Interp);
+    if (!FE)
       return 1;
-    Interp I(R->G);
+    Engine &I = **FE;
     std::printf("%8s | %14s | %14s\n", "payload", "IPG (bytes)",
                 "Nail-style (B)");
     for (size_t Payload : {64u, 256u, 1024u, 1400u}) {

@@ -15,8 +15,9 @@
 #include "analysis/AttributeCheck.h"
 #include "expr/Eval.h"
 #include "formats/Dns.h"
+#include "formats/FormatRegistry.h"
 #include "formats/Ipv4Udp.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 
 #include <benchmark/benchmark.h>
 #include <cstddef>
@@ -110,10 +111,10 @@ static void BM_GrammarLoad(benchmark::State &State) {
 BENCHMARK(BM_GrammarLoad);
 
 static void BM_ParseDnsPacket(benchmark::State &State) {
-  auto R = loadGrammar(DnsGrammarText);
-  if (!R)
+  auto FE = makeFormatEngine("dns", EngineKind::Interp);
+  if (!FE)
     return;
-  Interp I(R->G);
+  Engine &I = **FE;
   DnsSynthSpec Spec;
   Spec.NumAnswers = 8;
   auto Bytes = synthesizeDns(Spec);
@@ -128,10 +129,10 @@ static void BM_ParseDnsPacket(benchmark::State &State) {
 BENCHMARK(BM_ParseDnsPacket);
 
 static void BM_ParseIpv4Packet(benchmark::State &State) {
-  auto R = loadGrammar(Ipv4UdpGrammarText);
-  if (!R)
+  auto FE = makeFormatEngine("ipv4udp", EngineKind::Interp);
+  if (!FE)
     return;
-  Interp I(R->G);
+  Engine &I = **FE;
   auto Bytes = synthesizeIpv4Udp(Ipv4SynthSpec());
   ByteSpan S = ByteSpan::of(Bytes);
   for (auto _ : State) {

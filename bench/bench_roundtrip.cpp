@@ -30,7 +30,7 @@
 
 #include "formats/FormatRegistry.h"
 #include "formats/Zip.h"
-#include "runtime/Interp.h"
+#include "runtime/Engine.h"
 #include "serialize/Printer.h"
 
 #include <cstddef>
@@ -85,14 +85,15 @@ int main(int argc, char **argv) {
   BenchReport Report("roundtrip");
 
   for (const CorpusCase &Case : buildCorpus()) {
-    auto Load = loadFormatGrammar(Case.Format);
-    if (!Load) {
+    auto FE = makeFormatEngine(Case.Format, EngineKind::Interp);
+    if (!FE) {
       std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),
-                   Load.message().c_str());
+                   FE.message().c_str());
       return 1;
     }
+    Engine &I = **FE;
+    const Grammar &G = FE->Load->G;
     BlackboxRegistry BB = standardBlackboxes();
-    Interp I(Load->G, &BB);
     auto R = I.parse(ByteSpan::of(Case.Bytes));
     if (!R) {
       std::fprintf(stderr, "error: %s: corpus rejected: %s\n",
@@ -110,7 +111,7 @@ int main(int argc, char **argv) {
     // One verified print for the counters, then the timing loop — which
     // re-verifies byte-exactness every rep so a silently wrong printer
     // can never post a fast number.
-    auto First = serialize::printTree(**R, Load->G, &BB, Opts);
+    auto First = serialize::printTree(**R, G, &BB, Opts);
     if (!First || First->Bytes != Case.Bytes) {
       std::fprintf(stderr, "error: %s: print not byte-exact: %s\n",
                    Case.Name.c_str(),
@@ -121,7 +122,7 @@ int main(int argc, char **argv) {
     bool Ok = true;
     TimingResult T = timeIt(
         [&] {
-          auto P = serialize::printTree(**R, Load->G, &BB, Opts);
+          auto P = serialize::printTree(**R, G, &BB, Opts);
           if (!P || P->Bytes != Case.Bytes)
             Ok = false;
         },

@@ -45,6 +45,8 @@
 #include "formats/Zip.h"
 #include "runtime/Engine.h"
 
+#include <algorithm>
+
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -179,7 +181,14 @@ int main(int argc, char **argv) {
   std::vector<CorpusCase> Corpus =
       Scales.empty() ? buildCorpus() : buildScaledCorpus(Scales);
   for (const CorpusCase &Case : Corpus) {
-    auto FE = makeFormatEngine(Case.Format, EngineKind::Interp);
+    // MaxDepth is a resource limit, not a stack guard: recursion runs on
+    // engine-managed frames, but scan-style rules (PDF's Scan/XNum)
+    // still recurse once per input byte, so size the limit to the input
+    // for megabyte-class --scale sweeps.
+    EngineOptions Opts;
+    Opts.MaxDepth =
+        std::max(Opts.MaxDepth, 2 * Case.Bytes.size() + 64);
+    auto FE = makeFormatEngine(Case.Format, EngineKind::Interp, Opts);
     if (!FE) {
       std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),
                    FE.message().c_str());

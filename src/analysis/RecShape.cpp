@@ -1,0 +1,206 @@
+//===- analysis/RecShape.cpp - recursion-shape classification -------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RecShape.h"
+
+#include "support/Casting.h"
+
+#include <numeric>
+#include <optional>
+
+namespace ipg {
+
+namespace {
+
+/// Appends every rule \p T can invoke (nonterminal, array element, switch
+/// arm). Blackboxes invoke registered native code, never grammar rules.
+void collectCallees(const Term &T, std::vector<uint32_t> &Out) {
+  switch (T.kind()) {
+  case Term::Kind::Nonterminal:
+    Out.push_back(cast<NTTerm>(&T)->Resolved);
+    break;
+  case Term::Kind::Array:
+    Out.push_back(cast<ArrayTerm>(&T)->Resolved);
+    break;
+  case Term::Kind::Switch:
+    for (const SwitchChoice &C : cast<SwitchTerm>(&T)->Choices)
+      Out.push_back(C.Resolved);
+    break;
+  case Term::Kind::Terminal:
+  case Term::Kind::AttrDef:
+  case Term::Kind::Predicate:
+  case Term::Kind::Blackbox:
+    break;
+  }
+}
+
+/// Checks whether the on-a-cycle rule \p Id fits the Flattened tier: one
+/// self-reference, in plain nonterminal position, no where-clause, every
+/// other callee off every cycle through \p Id, and a prefix (terms executed
+/// before the self call) made only of terminals, attribute definitions,
+/// predicates, and child nonterminals. Suffix terms are unrestricted here;
+/// a suffix callee that needs the step machine turns the whole rule Step
+/// via the caller's up-closure.
+std::optional<FlattenInfo>
+flattenCandidate(const Grammar &G, RuleId Id,
+                 const std::vector<std::vector<uint8_t>> &Reach) {
+  const Rule &R = G.rule(Id);
+  if (R.IsLocal)
+    return std::nullopt;
+  for (const Alternative &A : R.Alts)
+    if (!A.LocalRules.empty())
+      return std::nullopt;
+
+  // Exactly one self-reference, and it must be a plain NTTerm (a self
+  // under an array or switch repeats an unbounded number of times per
+  // level — that is genuine general recursion, not a linear spine).
+  int SelfAlt = -1;
+  uint32_t SelfTerm = 0;
+  size_t SelfCount = 0;
+  std::vector<uint32_t> Scratch;
+  for (size_t AI = 0; AI < R.Alts.size(); ++AI) {
+    const Alternative &A = R.Alts[AI];
+    for (size_t TI = 0; TI < A.Terms.size(); ++TI) {
+      const Term &T = *A.Terms[TI];
+      if (const auto *NT = dyn_cast<NTTerm>(&T)) {
+        if (NT->Resolved == Id) {
+          ++SelfCount;
+          SelfAlt = static_cast<int>(AI);
+          SelfTerm = static_cast<uint32_t>(TI);
+        }
+        continue;
+      }
+      Scratch.clear();
+      collectCallees(T, Scratch);
+      for (uint32_t Callee : Scratch)
+        if (Callee == Id)
+          return std::nullopt;
+    }
+  }
+  if (SelfCount != 1)
+    return std::nullopt;
+
+  // Every cycle through the rule must be the self edge alone: no other
+  // callee may reach back to it.
+  for (const Alternative &A : R.Alts)
+    for (const TermPtr &T : A.Terms) {
+      Scratch.clear();
+      collectCallees(*T, Scratch);
+      for (uint32_t Callee : Scratch)
+        if (Callee != Id && Callee < Reach.size() && Reach[Callee][Id])
+          return std::nullopt;
+    }
+
+  const Alternative &A = R.Alts[static_cast<size_t>(SelfAlt)];
+  std::vector<uint32_t> Order = A.ExecOrder;
+  if (Order.empty()) {
+    Order.resize(A.Terms.size());
+    std::iota(Order.begin(), Order.end(), 0u);
+  }
+
+  FlattenInfo FI;
+  FI.SelfAlt = static_cast<uint32_t>(SelfAlt);
+  FI.SelfTerm = SelfTerm;
+  size_t SelfPos = 0;
+  while (SelfPos < Order.size() && Order[SelfPos] != SelfTerm)
+    ++SelfPos;
+  FI.SelfExecPos = static_cast<uint32_t>(SelfPos);
+
+  // Prefix terms run once per level on the way down, then again for real
+  // on the way back up; only kinds whose replay is cheap and deterministic
+  // qualify. Child nonterminals parse once (descend) and replay by
+  // popping the stored node, so they are fine; arrays, switches, and
+  // blackboxes are not.
+  for (size_t P = 0; P < SelfPos; ++P) {
+    const Term &T = *A.Terms[Order[P]];
+    switch (T.kind()) {
+    case Term::Kind::Terminal:
+    case Term::Kind::AttrDef:
+    case Term::Kind::Predicate:
+      break;
+    case Term::Kind::Nonterminal:
+      FI.PrefixNTTerms.push_back(Order[P]);
+      break;
+    case Term::Kind::Array:
+    case Term::Kind::Switch:
+    case Term::Kind::Blackbox:
+      return std::nullopt;
+    }
+  }
+  return FI;
+}
+
+} // namespace
+
+RecShapeResult analyzeRecShape(const Grammar &G) {
+  const size_t N = G.numRules();
+  RecShapeResult Res;
+  Res.Shape.assign(N, ExecShape::Direct);
+  Res.Flatten.resize(N);
+  if (N == 0)
+    return Res;
+
+  // Call graph over the whole rule arena (local rules carry their own ids,
+  // so where-clause bodies contribute edges like any other rule).
+  std::vector<std::vector<uint32_t>> Adj(N);
+  std::vector<uint32_t> Scratch;
+  for (size_t I = 0; I < N; ++I)
+    for (const Alternative &A : G.rule(static_cast<RuleId>(I)).Alts)
+      for (const TermPtr &T : A.Terms) {
+        Scratch.clear();
+        collectCallees(*T, Scratch);
+        for (uint32_t Callee : Scratch)
+          if (Callee != InvalidRuleId && Callee < N)
+            Adj[I].push_back(Callee);
+      }
+
+  // Reach[i][j]: j is reachable from i via one or more call edges.
+  // Grammars are tens of rules, so a per-source DFS is plenty.
+  std::vector<std::vector<uint8_t>> Reach(N, std::vector<uint8_t>(N, 0));
+  std::vector<uint32_t> Stack;
+  for (size_t I = 0; I < N; ++I) {
+    Stack.assign(Adj[I].begin(), Adj[I].end());
+    while (!Stack.empty()) {
+      uint32_t J = Stack.back();
+      Stack.pop_back();
+      if (Reach[I][J])
+        continue;
+      Reach[I][J] = 1;
+      for (uint32_t K : Adj[J])
+        Stack.push_back(K);
+    }
+  }
+
+  // On-a-cycle rules either flatten or seed the step tier.
+  std::vector<uint8_t> Step0(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    if (!Reach[I][I])
+      continue;
+    if (auto FI = flattenCandidate(G, static_cast<RuleId>(I), Reach)) {
+      Res.Shape[I] = ExecShape::Flattened;
+      Res.Flatten[I] = std::move(*FI);
+    } else {
+      Step0[I] = 1;
+    }
+  }
+
+  // Up-closure: a rule that can transitively invoke a step rule must run
+  // on the machine too, so Direct/Flattened code never calls into a step
+  // callee — the machine always starts at the parse root (depth 0).
+  for (size_t I = 0; I < N; ++I) {
+    if (Res.Shape[I] == ExecShape::Step)
+      continue;
+    bool ReachesStep = Step0[I] != 0;
+    for (size_t J = 0; !ReachesStep && J < N; ++J)
+      ReachesStep = Step0[J] && Reach[I][J];
+    if (ReachesStep)
+      Res.Shape[I] = ExecShape::Step;
+  }
+  return Res;
+}
+
+} // namespace ipg

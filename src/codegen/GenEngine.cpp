@@ -69,6 +69,7 @@ std::string abiEpilogue(bool RegisterBlackboxes) {
        "  Out[1] = Q->memoHits();\n"
        "  Out[2] = Q->memoMisses();\n"
        "  Out[3] = Q->nodeCount();\n"
+       "  Out[4] = static_cast<unsigned long long>(Q->peakDepth());\n"
        "}\n"
        "unsigned ipg_mod_num_names() {\n"
        "  return static_cast<unsigned>(sizeof(ipgmod::Names) /\n"
@@ -361,12 +362,13 @@ Expected<TreePtr> GenEngine::parse(ByteSpan In) {
   const void *Root = nullptr;
   int Ok = Module->Parse(Parser, In.data(),
                          static_cast<unsigned long long>(In.size()), &Root);
-  unsigned long long S[4] = {0, 0, 0, 0};
+  unsigned long long S[5] = {0, 0, 0, 0, 0};
   Module->Stats(Parser, S);
   Stats.NodesCreated = static_cast<size_t>(S[0]);
   Stats.MemoHits = static_cast<size_t>(S[1]);
   Stats.MemoMisses = static_cast<size_t>(S[2]);
-  // TermsExecuted / PeakDepth stay 0: interpreter-only counters.
+  Stats.PeakDepth = static_cast<size_t>(S[4]);
+  // TermsExecuted stays 0: an interpreter-only counter.
   if (!Ok) {
     Stats.ArenaBytesUsed = Cur->arenaBytesUsed();
     return Expected<TreePtr>::failure(

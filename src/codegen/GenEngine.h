@@ -38,10 +38,12 @@
 /// tree participates in the normal TreeStore recycling/FrozenTree
 /// protocol, so steady-state GenEngine parses stay allocation-free too.
 ///
-/// Stats mapping: NodesCreated/MemoHits/MemoMisses come from the module
-/// counters (same meaning as the interpreter's); TermsExecuted and
-/// PeakDepth are interpreter-only and stay 0; ArenaBytesUsed/StoreRecycled
-/// describe the host-side conversion store.
+/// Stats mapping: NodesCreated/MemoHits/MemoMisses/PeakDepth come from
+/// the module counters (same meaning as the interpreter's — PeakDepth is
+/// the deepest grammar recursion the parse reached, virtual levels of
+/// flattened rules included); TermsExecuted is interpreter-only and stays
+/// 0; ArenaBytesUsed/StoreRecycled describe the host-side conversion
+/// store.
 ///
 /// Converted nodes carry the grammar's global RuleId when the node's
 /// name resolves to a global rule and InvalidRuleId otherwise (local

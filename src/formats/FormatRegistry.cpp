@@ -53,16 +53,21 @@ std::vector<uint8_t> sampleElf(unsigned Scale) {
   ElfSynthSpec Spec;
   Spec.NumDynEntries = 16 * Scale;
   Spec.NumSymbols = 32 * Scale;
+  // From scale 64 up, .text grows to make the corpus megabyte-class
+  // (the deep-input regression sweeps parse these); small scales keep
+  // the default so the fixed test/bench corpora are unchanged.
+  if (Scale >= 64)
+    Spec.TextSize = 16384 * Scale;
   return synthesizeElf(Spec);
 }
 
 std::vector<uint8_t> samplePdf(unsigned Scale) {
-  // The PDF grammar's XNum rule recurses once per file byte, so total
-  // file size IS parser recursion depth — and the differential harness
-  // parses this corpus under ASan+UBSan, whose fat frames overflow the
-  // default stack a little past ~3000 levels. Scale therefore grows the
-  // corpus gently (the old 12*Scale objects sat within a hair of the
-  // ceiling at scale 2), and the scale-1 corpus — what bench_codegen's
+  // The PDF grammar's Scan/XNum rules recurse once per file byte, so
+  // total file size IS parser recursion depth. Both engines flatten
+  // that recursion onto engine-managed frames, so depth costs no C
+  // stack — callers parsing large scales only need an EngineOptions
+  // MaxDepth that covers the file size (the limit is a resource cap,
+  // not a stack guard). The scale-1 corpus — what bench_codegen's
   // Fig.-12 comparison parses — instead multiplies xref rows per object:
   // duplicate references re-parse the same [offset, xref) interval once
   // per row, the memo-reuse pattern Fig. 12 credits for PDF (without the
@@ -71,6 +76,11 @@ std::vector<uint8_t> samplePdf(unsigned Scale) {
   PdfSynthSpec Spec;
   Spec.NumObjects = Scale == 1 ? 12 : 12 + 4 * Scale;
   Spec.XrefRefsPerObject = Scale == 1 ? 4 : 1;
+  // Megabyte-class corpus from scale 64 up: ~64-byte bodies keep small
+  // scales byte-identical to the historical corpora, large scales grow
+  // object bodies so scale 64 crosses a megabyte (268 objects x 4 KiB).
+  if (Scale >= 64)
+    Spec.ObjectBodySize = 64 * Scale;
   return synthesizePdf(Spec);
 }
 

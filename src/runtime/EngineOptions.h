@@ -46,7 +46,11 @@ struct EngineStats {
   size_t TermsExecuted = 0; ///< interpreter-only; 0 for generated parsers
   size_t MemoHits = 0;
   size_t MemoMisses = 0;
-  size_t PeakDepth = 0; ///< interpreter-only; 0 for generated parsers
+  /// Deepest grammar recursion the parse reached, in BOTH engines.
+  /// Flattened rules count their virtual levels and the step machine its
+  /// work-stack height, so the figure matches what plain recursion would
+  /// have reported — parses never consume C stack proportional to it.
+  size_t PeakDepth = 0;
   /// Arena bytes allocated during the parse — includes nodes built for
   /// alternatives that later failed and memoized subtrees not reachable
   /// from the result, so it bounds (not equals) the tree's footprint.

@@ -7,6 +7,7 @@
 
 #include "runtime/Interp.h"
 
+#include "analysis/RecShape.h"
 #include "expr/Eval.h"
 #include "support/Casting.h"
 #include "support/FlatHash.h"
@@ -95,6 +96,55 @@ struct InterpState {
   std::vector<std::unique_ptr<Frame>> FramePool; // indexed by depth
   std::vector<std::vector<uint32_t>> ElemScratch; // per array-nesting level
   size_t ArrayNest = 0;
+
+  /// Recursion-shape classification (analysis/RecShape.h), computed once
+  /// per engine — the same analysis the code generator runs, so both
+  /// engines pick the same execution strategy per rule.
+  RecShapeResult Shapes;
+
+  /// Flattened-tier state: the descend/replay window stack, banked
+  /// prefix-child records, and (under DetectReentry) the in-progress keys
+  /// of pending levels. Nested flattened activations share these vectors
+  /// through saved bases; capacity persists across parses, so the steady
+  /// state allocates nothing.
+  struct FlatKid {
+    uint32_t Node = 0;   ///< adjusted (shifted) child node id
+    int64_t Start = 0;   ///< recorded child start as the parent saw it
+    int64_t End = 0;     ///< recorded child end as the parent saw it
+    bool Touched = false;
+  };
+  std::vector<ByteSpan> FlatLevels;
+  std::vector<FlatKid> FlatKids;
+  std::vector<IntervalKey> FlatKeys;
+
+  /// Step-tier activation record: one per live rule invocation on the
+  /// explicit work-stack machine (the machine only ever starts at the
+  /// parse root; see analyzeRecShape's up-closure).
+  struct MachineAct {
+    RuleId Id = InvalidRuleId;
+    ByteSpan Input;
+    const Frame *Lex = nullptr; ///< lexical frame for where-clause rules
+    IntervalKey Key;
+    uint32_t AltIdx = 0;
+    uint32_t StepIdx = 0; ///< next position in the alternative's exec order
+    enum : uint8_t { WaitNone, WaitNT, WaitArr };
+    uint8_t Wait = WaitNone;
+    bool Memoize = false;
+    bool Inserted = false;  ///< holds an InProgress reentry key
+    bool NeedBegin = true;  ///< beginAlt pending for (AltIdx, StepIdx=0)
+    uint32_t PendTI = 0;    ///< term index of the suspended child
+    int64_t PendLo = 0;
+    int64_t PendHi = 0;
+    const ArrayTerm *Arr = nullptr; ///< in-flight array term, if any
+    int64_t ArrK = 0;
+    int64_t ArrTo = 0;
+    int64_t ArrMaxEnd = 0;
+    bool ArrTouched = false;
+    bool ArrHadSaved = false;
+    int64_t ArrSaved = 0;
+    size_t ArrLevel = 0;
+  };
+  std::vector<MachineAct> Acts;
 
   /// The store of the parse in flight (and, after a FAILED parse, of the
   /// next one — failures recycle trivially since no result escaped). A
@@ -260,7 +310,9 @@ public:
         Store(*St.Cur) {}
 
   Expected<TreePtr> run(ByteSpan Input, RuleId Start) {
-    uint32_t RootId = parseRule(Start, Input, nullptr);
+    uint32_t RootId = St.Shapes.Shape[Start] == ExecShape::Step
+                          ? runMachine(Start, Input)
+                          : parseRule(Start, Input, nullptr);
     const NodeTree *Node =
         RootId == InvalidNode
             ? nullptr
@@ -335,11 +387,30 @@ private:
     return true;
   }
 
+  /// Records a successfully parsed child subtree \p Sub (parsed over
+  /// [Lo, Hi) of F's window) into the frame: T-NTSucc span defaults,
+  /// interval shift, first-update start/end, touch record.
+  void completeChildNT(Frame &F, uint32_t TermIdx, int64_t Lo, int64_t Hi,
+                       uint32_t Sub, InterpState::FlatKid *Bank = nullptr) {
+    int64_t BStart, BEnd;
+    childSpan(*cast<NodeTree>(Store.node(Sub)), Hi - Lo, BStart, BEnd);
+    uint32_t Adjusted = Store.makeShifted(Sub, Lo, G.symStart(), G.symEnd());
+    updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
+    F.ChildIds.push_back(Adjusted);
+    F.ChildTermIdx.push_back(TermIdx);
+    F.rec(TermIdx, Lo + BStart, Lo + BEnd);
+    if (Bank)
+      *Bank = InterpState::FlatKid{Adjusted, Lo + BStart, Lo + BEnd,
+                                   BEnd != 0};
+  }
+
   /// Parses a child nonterminal (shared by NT terms, array elements and
   /// switch arms). Returns false on Fail; records into the frame on
-  /// success.
+  /// success. \p Bank, when set, additionally captures the record the
+  /// flattened tier replays on its way back up.
   bool parseChildNT(Frame &F, uint32_t TermIdx, RuleId Target,
-                    const Interval &Iv) {
+                    const Interval &Iv,
+                    InterpState::FlatKid *Bank = nullptr) {
     int64_t Lo, Hi;
     if (!evalInterval(F, Iv, Lo, Hi) || Hard)
       return false;
@@ -351,13 +422,7 @@ private:
                   &F);
     if (Hard || Sub == InvalidNode)
       return false;
-    int64_t BStart, BEnd;
-    childSpan(*cast<NodeTree>(Store.node(Sub)), Hi - Lo, BStart, BEnd);
-    uint32_t Adjusted = Store.makeShifted(Sub, Lo, G.symStart(), G.symEnd());
-    updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
-    F.ChildIds.push_back(Adjusted);
-    F.ChildTermIdx.push_back(TermIdx);
-    F.rec(TermIdx, Lo + BStart, Lo + BEnd);
+    completeChildNT(F, TermIdx, Lo, Hi, Sub, Bank);
     return true;
   }
 
@@ -376,55 +441,14 @@ private:
       return parseChildNT(F, TI, N.Resolved, N.Iv);
     }
 
-    case Term::Kind::Terminal: {
-      const auto &S = *cast<TerminalTerm>(&T);
-      int64_t Lo, Hi;
-      if (!evalInterval(F, S.Iv, Lo, Hi) || Hard)
-        return false;
-      if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
-        return false;
-      if (S.Wildcard) {
-        // `raw` matches the whole interval without reading or copying it.
-        updStartEnd(F.E, Lo, Hi, Hi > Lo);
-        F.ChildIds.push_back(
-            Store.makeLeaf(F.Input.data() + Lo,
-                           static_cast<size_t>(Hi - Lo), Lo,
-                           /*Opaque=*/true));
-        F.ChildTermIdx.push_back(TI);
-        F.rec(TI, Lo, Hi);
-        return true;
-      }
-      int64_t Len = static_cast<int64_t>(S.Bytes.size());
-      if (Hi - Lo < Len)
-        return false;
-      if (!F.Input.matchesAt(static_cast<size_t>(Lo), S.Bytes))
-        return false;
-      updStartEnd(F.E, Lo, Lo + Len, Len > 0);
-      // Zero-copy: the leaf aliases the matched window of the input.
-      F.ChildIds.push_back(Store.makeLeaf(F.Input.data() + Lo,
-                                          static_cast<size_t>(Len), Lo,
-                                          /*Opaque=*/false));
-      F.ChildTermIdx.push_back(TI);
-      F.rec(TI, Lo, Lo + Len);
-      return true;
-    }
+    case Term::Kind::Terminal:
+      return execTerminal(F, *cast<TerminalTerm>(&T), TI);
 
-    case Term::Kind::AttrDef: {
-      const auto &D = *cast<AttrDefTerm>(&T);
-      FrameCtx Ctx(F, G, Store);
-      auto V = evaluate(*D.Value, Ctx);
-      if (!V)
-        return false;
-      F.E.set(D.Name, *V);
-      return true;
-    }
+    case Term::Kind::AttrDef:
+      return execAttrDef(F, *cast<AttrDefTerm>(&T));
 
-    case Term::Kind::Predicate: {
-      const auto &P = *cast<PredicateTerm>(&T);
-      FrameCtx Ctx(F, G, Store);
-      auto V = evaluate(*P.Cond, Ctx);
-      return V && *V != 0;
-    }
+    case Term::Kind::Predicate:
+      return execPredicate(F, *cast<PredicateTerm>(&T));
 
     case Term::Kind::Array:
       return execArray(F, *cast<ArrayTerm>(&T), TI);
@@ -453,6 +477,79 @@ private:
       return execBlackbox(F, *cast<BlackboxTerm>(&T), TI);
     }
     return false;
+  }
+
+  bool execTerminal(Frame &F, const TerminalTerm &S, uint32_t TI) {
+    int64_t Lo, Hi;
+    if (!evalInterval(F, S.Iv, Lo, Hi) || Hard)
+      return false;
+    if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
+      return false;
+    if (S.Wildcard) {
+      // `raw` matches the whole interval without reading or copying it.
+      updStartEnd(F.E, Lo, Hi, Hi > Lo);
+      F.ChildIds.push_back(
+          Store.makeLeaf(F.Input.data() + Lo,
+                         static_cast<size_t>(Hi - Lo), Lo,
+                         /*Opaque=*/true));
+      F.ChildTermIdx.push_back(TI);
+      F.rec(TI, Lo, Hi);
+      return true;
+    }
+    int64_t Len = static_cast<int64_t>(S.Bytes.size());
+    if (Hi - Lo < Len)
+      return false;
+    if (!F.Input.matchesAt(static_cast<size_t>(Lo), S.Bytes))
+      return false;
+    updStartEnd(F.E, Lo, Lo + Len, Len > 0);
+    // Zero-copy: the leaf aliases the matched window of the input.
+    F.ChildIds.push_back(Store.makeLeaf(F.Input.data() + Lo,
+                                        static_cast<size_t>(Len), Lo,
+                                        /*Opaque=*/false));
+    F.ChildTermIdx.push_back(TI);
+    F.rec(TI, Lo, Lo + Len);
+    return true;
+  }
+
+  /// A terminal on the flattened tier's way DOWN: match and record the
+  /// interval effects (start/end, touch record) but build no leaf — the
+  /// replay on the way back up materializes it. Counts as an execution;
+  /// the replay does not.
+  bool probeTerminal(Frame &F, const TerminalTerm &S, uint32_t TI) {
+    ++Stats.TermsExecuted;
+    int64_t Lo, Hi;
+    if (!evalInterval(F, S.Iv, Lo, Hi) || Hard)
+      return false;
+    if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
+      return false;
+    if (S.Wildcard) {
+      updStartEnd(F.E, Lo, Hi, Hi > Lo);
+      F.rec(TI, Lo, Hi);
+      return true;
+    }
+    int64_t Len = static_cast<int64_t>(S.Bytes.size());
+    if (Hi - Lo < Len)
+      return false;
+    if (!F.Input.matchesAt(static_cast<size_t>(Lo), S.Bytes))
+      return false;
+    updStartEnd(F.E, Lo, Lo + Len, Len > 0);
+    F.rec(TI, Lo, Lo + Len);
+    return true;
+  }
+
+  bool execAttrDef(Frame &F, const AttrDefTerm &D) {
+    FrameCtx Ctx(F, G, Store);
+    auto V = evaluate(*D.Value, Ctx);
+    if (!V)
+      return false;
+    F.E.set(D.Name, *V);
+    return true;
+  }
+
+  bool execPredicate(Frame &F, const PredicateTerm &P) {
+    FrameCtx Ctx(F, G, Store);
+    auto V = evaluate(*P.Cond, Ctx);
+    return V && *V != 0;
   }
 
   bool execArray(Frame &F, const ArrayTerm &A, uint32_t TI) {
@@ -585,16 +682,30 @@ private:
     return true;
   }
 
+  /// The depth-limit hard error, shared by all three execution tiers.
+  Error depthError(const Rule &R) {
+    return Error::failure(
+        "recursion depth limit exceeded while parsing rule '" +
+        std::string(G.interner().name(R.Name)) +
+        "' (likely a non-terminating grammar; see termination checking)");
+  }
+
   /// Parses \p Id over \p Input; returns the frozen node id, or
-  /// InvalidNode on failure (check Hard for aborts).
+  /// InvalidNode on failure (check Hard for aborts). Dispatches on the
+  /// rule's recursion shape: Flattened rules run as a descend/replay loop
+  /// (parseFlattened) and Step rules only ever run on the work-stack
+  /// machine starting at the parse root (runMachine) — recursive descent
+  /// here is reserved for Direct rules, whose C-stack use is bounded by
+  /// the grammar, never by the input.
   uint32_t parseRule(RuleId Id, ByteSpan Input, const Frame *Lexical) {
     if (Hard)
       return InvalidNode;
+    if (St.Shapes.Shape[Id] == ExecShape::Flattened)
+      return parseFlattened(Id, Input);
+    assert(St.Shapes.Shape[Id] != ExecShape::Step &&
+           "step rules only run on the machine (up-closure violated)");
     if (Depth >= Opts.MaxDepth) {
-      Hard = Error::failure(
-          "recursion depth limit exceeded while parsing rule '" +
-          std::string(G.interner().name(G.rule(Id).Name)) +
-          "' (likely a non-terminating grammar; see termination checking)");
+      Hard = depthError(G.rule(Id));
       return InvalidNode;
     }
     ++Depth;
@@ -666,6 +777,643 @@ private:
     --Depth;
     return Hard ? InvalidNode : Result;
   }
+
+  /// Flattened linear recursion (analysis/RecShape.h): the single self
+  /// call becomes a descend/replay loop over a heap-backed window stack,
+  /// so grammar recursion depth is bounded by Opts.MaxDepth alone — never
+  /// by the C stack. One frame serves every level: on the way DOWN each
+  /// level tries its pre-self alternatives for real, probes the self
+  /// alternative's prefix (terminals record intervals but build no leaf;
+  /// child nonterminals parse for real and bank their records), then
+  /// descends into the self interval. On the way UP the self alternative
+  /// replays per level — rebuilding the environment, materializing the
+  /// terminal leaves, rebinding the banked children — completes the self
+  /// child, and runs the suffix. Alternative order, memo traffic, depth
+  /// accounting, and reentry tracking match the recursive form exactly.
+  uint32_t parseFlattened(RuleId Id, ByteSpan Input) {
+    const Rule &R = G.rule(Id);
+    const FlattenInfo &FI = St.Shapes.Flatten[Id];
+    const Alternative &SAlt = R.Alts[FI.SelfAlt];
+    const auto &SelfNT = *cast<NTTerm>(SAlt.Terms[FI.SelfTerm].get());
+    const size_t PN = FI.PrefixNTTerms.size();
+    const bool Memoize = Opts.UseMemo && St.RuleMemoizable[Id];
+    const bool TrackReentry = Opts.DetectReentry; // never a local rule
+    const size_t EntryDepth = Depth;
+    const size_t LvBase = St.FlatLevels.size();
+    const size_t KidBase = St.FlatKids.size();
+    const size_t KeyBase = St.FlatKeys.size();
+    Frame &F = St.frameAt(EntryDepth + 1);
+    ByteSpan Cur = Input;
+    uint32_t Sub = InvalidNode;
+    int64_t SLo = 0, SHi = 0;
+
+    auto levelKey = [&] {
+      return IntervalKey::pack(Id, Cur.absBase(),
+                               Cur.absBase() + Cur.size());
+    };
+    auto execTI = [](const Alternative &A, size_t Step) {
+      return A.ExecOrder.empty() ? static_cast<uint32_t>(Step)
+                                 : A.ExecOrder[Step];
+    };
+
+  flat_descend:
+    // Depth here is VIRTUAL — entry depth plus pending levels, the exact
+    // figure the recursive form would have reached.
+    Depth = EntryDepth + (St.FlatLevels.size() - LvBase);
+    if (Depth >= Opts.MaxDepth) {
+      Hard = depthError(R);
+      goto flat_hard;
+    }
+    ++Depth;
+    Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
+    if (Memoize) {
+      if (const uint32_t *Hit = St.Memo.find(levelKey())) {
+        ++Stats.MemoHits;
+        unsigned NodeId = 0;
+        if (ipg_rt::memoUnpack(*Hit, NodeId)) {
+          Sub = NodeId;
+          goto flat_resolved;
+        }
+        goto flat_level_failed;
+      }
+      ++Stats.MemoMisses;
+    }
+    if (TrackReentry) {
+      IntervalKey K = levelKey();
+      if (!St.InProgress.insert(K, 1))
+        goto flat_level_failed; // packrat-style: in-progress re-entry fails
+      St.FlatKeys.push_back(K);
+    }
+
+    // Alternatives BEFORE the self alternative run for real at every
+    // level on the way down (recursion tries them first per activation).
+    for (size_t AI = 0; AI < FI.SelfAlt; ++AI) {
+      const Alternative &Alt = R.Alts[AI];
+      F.beginAlt(Cur, nullptr, Alt.Terms.size());
+      bool Ok = true;
+      for (size_t Step = 0; Step < Alt.Terms.size(); ++Step)
+        if (!execTerm(F, Alt, execTI(Alt, Step))) {
+          Ok = false;
+          break;
+        }
+      if (Hard)
+        goto flat_hard;
+      if (Ok) {
+        Sub = Store.makeNode(
+            R.Name, Id, F.E, F.ChildIds.data(), F.ChildTermIdx.data(),
+            static_cast<uint32_t>(F.ChildIds.size()));
+        ++Stats.NodesCreated;
+        goto flat_level_ok;
+      }
+    }
+
+    // The self alternative's prefix (descend phase), then push the level
+    // and descend into the self interval.
+    {
+      F.beginAlt(Cur, nullptr, SAlt.Terms.size());
+      for (size_t Step = 0; Step < FI.SelfExecPos; ++Step) {
+        uint32_t TI = execTI(SAlt, Step);
+        const Term &T = *SAlt.Terms[TI];
+        bool Ok;
+        if (const auto *NT = dyn_cast<NTTerm>(&T)) {
+          if (NT->Resolved == InvalidRuleId) {
+            Hard = Error::failure(
+                "internal: unresolved nonterminal '" +
+                std::string(G.interner().name(NT->Name)) +
+                "' (run checkAttributes before parsing)");
+            goto flat_hard;
+          }
+          ++Stats.TermsExecuted;
+          InterpState::FlatKid Bank;
+          Ok = parseChildNT(F, TI, NT->Resolved, NT->Iv, &Bank);
+          if (Ok)
+            St.FlatKids.push_back(Bank);
+        } else if (T.kind() == Term::Kind::Terminal) {
+          Ok = probeTerminal(F, *cast<TerminalTerm>(&T), TI);
+        } else {
+          Ok = execTerm(F, SAlt, TI);
+        }
+        if (!Ok) {
+          if (Hard)
+            goto flat_hard;
+          goto flat_post_alts;
+        }
+      }
+      ++Stats.TermsExecuted; // the self nonterminal term
+      if (!evalInterval(F, SelfNT.Iv, SLo, SHi) || Hard) {
+        if (Hard)
+          goto flat_hard;
+        goto flat_post_alts;
+      }
+      if (!ipg_rt::intervalOk(SLo, SHi,
+                              static_cast<int64_t>(F.Input.size())))
+        goto flat_post_alts;
+      St.FlatLevels.push_back(Cur);
+      Cur = F.Input.slice(static_cast<size_t>(SLo),
+                          static_cast<size_t>(SHi));
+      goto flat_descend;
+    }
+
+    // The current level resolved to node Sub at the descend: close its
+    // bookkeeping (recursion: erase reentry, then memoize) and unwind.
+  flat_level_ok:
+    if (TrackReentry) {
+      St.InProgress.erase(St.FlatKeys.back());
+      St.FlatKeys.pop_back();
+    }
+    if (Memoize)
+      St.Memo.insert(levelKey(), ipg_rt::memoPack(Sub, true));
+    goto flat_resolved;
+
+    // Alternatives AFTER the self alternative, tried when the self
+    // alternative failed at the current level (prefix, child, or suffix).
+  flat_post_alts:
+    Depth = EntryDepth + 1 + (St.FlatLevels.size() - LvBase);
+    St.FlatKids.resize(KidBase +
+                       (St.FlatLevels.size() - LvBase) * PN);
+    for (size_t AI = FI.SelfAlt + 1; AI < R.Alts.size(); ++AI) {
+      const Alternative &Alt = R.Alts[AI];
+      F.beginAlt(Cur, nullptr, Alt.Terms.size());
+      bool Ok = true;
+      for (size_t Step = 0; Step < Alt.Terms.size(); ++Step)
+        if (!execTerm(F, Alt, execTI(Alt, Step))) {
+          Ok = false;
+          break;
+        }
+      if (Hard)
+        goto flat_hard;
+      if (Ok) {
+        Sub = Store.makeNode(
+            R.Name, Id, F.E, F.ChildIds.data(), F.ChildTermIdx.data(),
+            static_cast<uint32_t>(F.ChildIds.size()));
+        ++Stats.NodesCreated;
+        goto flat_level_ok;
+      }
+    }
+    if (TrackReentry) {
+      St.InProgress.erase(St.FlatKeys.back());
+      St.FlatKeys.pop_back();
+    }
+    if (Memoize)
+      St.Memo.insert(levelKey(), ipg_rt::memoPack(0u, false));
+    goto flat_level_failed;
+
+    // A level failed outright: its parent's self call failed, so the
+    // parent falls through to ITS post-self alternatives.
+  flat_level_failed:
+    if (St.FlatLevels.size() == LvBase) {
+      St.FlatKids.resize(KidBase);
+      Depth = EntryDepth;
+      return InvalidNode;
+    }
+    Cur = St.FlatLevels.back();
+    St.FlatLevels.pop_back();
+    goto flat_post_alts;
+
+    // A level resolved to node Sub: unwind, deepest pending level first —
+    // replay the self alternative's prefix for real, complete the self
+    // child, run the suffix, build the node.
+  flat_resolved:
+    while (St.FlatLevels.size() > LvBase) {
+      ByteSpan ChildWin = Cur;
+      Cur = St.FlatLevels.back();
+      St.FlatLevels.pop_back();
+      Depth = EntryDepth + 1 + (St.FlatLevels.size() - LvBase);
+      F.beginAlt(Cur, nullptr, SAlt.Terms.size());
+      size_t KidJ = 0;
+      bool Ok = true;
+      for (size_t Step = 0; Step < FI.SelfExecPos && Ok; ++Step) {
+        uint32_t TI = execTI(SAlt, Step);
+        const Term &T = *SAlt.Terms[TI];
+        if (isa<NTTerm>(&T)) {
+          const InterpState::FlatKid &K =
+              St.FlatKids[KidBase +
+                          (St.FlatLevels.size() - LvBase) * PN + KidJ++];
+          updStartEnd(F.E, K.Start, K.End, K.Touched);
+          F.ChildIds.push_back(K.Node);
+          F.ChildTermIdx.push_back(TI);
+          F.rec(TI, K.Start, K.End);
+        } else if (T.kind() == Term::Kind::Terminal) {
+          Ok = execTerminal(F, *cast<TerminalTerm>(&T), TI);
+        } else if (const auto *D = dyn_cast<AttrDefTerm>(&T)) {
+          Ok = execAttrDef(F, *D);
+        } else {
+          Ok = execPredicate(F, *cast<PredicateTerm>(&T));
+        }
+      }
+      if (Ok) {
+        // Complete the self child from the banked window (the interval
+        // evaluated at the descend; re-evaluation would yield the same).
+        int64_t CLo = static_cast<int64_t>(ChildWin.absBase() -
+                                           Cur.absBase());
+        int64_t CHi = CLo + static_cast<int64_t>(ChildWin.size());
+        completeChildNT(F, FI.SelfTerm, CLo, CHi, Sub);
+        for (size_t Step = FI.SelfExecPos + 1;
+             Step < SAlt.Terms.size() && Ok; ++Step)
+          Ok = execTerm(F, SAlt, execTI(SAlt, Step));
+      }
+      if (Hard)
+        goto flat_hard;
+      if (!Ok)
+        goto flat_post_alts;
+      Sub = Store.makeNode(
+          R.Name, Id, F.E, F.ChildIds.data(), F.ChildTermIdx.data(),
+          static_cast<uint32_t>(F.ChildIds.size()));
+      ++Stats.NodesCreated;
+      if (TrackReentry) {
+        St.InProgress.erase(St.FlatKeys.back());
+        St.FlatKeys.pop_back();
+      }
+      if (Memoize)
+        St.Memo.insert(levelKey(), ipg_rt::memoPack(Sub, true));
+    }
+    St.FlatKids.resize(KidBase);
+    Depth = EntryDepth;
+    return Sub;
+
+    // A hard failure aborts the whole activation: recursion unwinds every
+    // pending level erasing its reentry key and storing nothing.
+  flat_hard:
+    while (St.FlatKeys.size() > KeyBase) {
+      St.InProgress.erase(St.FlatKeys.back());
+      St.FlatKeys.pop_back();
+    }
+    St.FlatLevels.resize(LvBase);
+    St.FlatKids.resize(KidBase);
+    Depth = EntryDepth;
+    return InvalidNode;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Step tier: the explicit work-stack machine for general recursion
+  // (mutual cycles, multiple self-alternatives, self under array/switch).
+  // One MachineAct per live rule invocation; acts suspend only where a
+  // callee is itself a Step rule — every other term delegates to the
+  // ordinary helpers, whose recursion is bounded by the grammar (Direct)
+  // or heap-backed (Flattened). Depth is the act-stack height, so
+  // MaxDepth limits exactly what it limits under recursion.
+  //===--------------------------------------------------------------------===//
+
+  using MachineAct = InterpState::MachineAct;
+
+  uint32_t StartNode = InvalidNode; ///< result of an inline-resolved start
+  bool ChildOk = false;             ///< delivery: did the last act succeed?
+  uint32_t ChildNode = InvalidNode; ///< delivery: its node id
+
+  enum StartStatus { ActPushed, ActDoneOk, ActDoneFail };
+
+  /// Mirrors parseRule's entry sequence (depth check, peak, memo probe,
+  /// reentry insert). Either pushes a new act or resolves inline from the
+  /// memo table (StartNode holds the node on ActDoneOk).
+  StartStatus startAct(RuleId Id, ByteSpan In, const Frame *Lex) {
+    const Rule &R = G.rule(Id);
+    if (Depth >= Opts.MaxDepth) {
+      Hard = depthError(R);
+      return ActDoneFail;
+    }
+    ++Depth;
+    Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
+    bool Memoize = Opts.UseMemo && St.RuleMemoizable[Id];
+    bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
+    IntervalKey Key;
+    if (Memoize || TrackReentry)
+      Key = IntervalKey::pack(Id, In.absBase(), In.absBase() + In.size());
+    if (Memoize) {
+      if (const uint32_t *Hit = St.Memo.find(Key)) {
+        ++Stats.MemoHits;
+        --Depth;
+        unsigned NodeId = 0;
+        if (!ipg_rt::memoUnpack(*Hit, NodeId))
+          return ActDoneFail;
+        StartNode = NodeId;
+        return ActDoneOk;
+      }
+      ++Stats.MemoMisses;
+    }
+    bool Inserted = false;
+    if (TrackReentry) {
+      if (!St.InProgress.insert(Key, 1)) {
+        --Depth;
+        return ActDoneFail; // packrat-style: in-progress re-entry fails
+      }
+      Inserted = true;
+    }
+    MachineAct A;
+    A.Id = Id;
+    A.Input = In;
+    A.Lex = Lex;
+    A.Key = Key;
+    A.Memoize = Memoize;
+    A.Inserted = Inserted;
+    St.Acts.push_back(A);
+    return ActPushed;
+  }
+
+  /// Pops the top act with \p Result (InvalidNode on failure), closing its
+  /// bookkeeping exactly as parseRule's exit does, and loads the delivery
+  /// slot for the act below.
+  void finishAct(uint32_t Result) {
+    MachineAct &A = St.Acts.back();
+    if (A.Inserted)
+      St.InProgress.erase(A.Key);
+    if (A.Memoize && !Hard)
+      St.Memo.insert(A.Key, ipg_rt::memoPack(
+                                Result == InvalidNode ? 0u : Result,
+                                Result != InvalidNode));
+    --Depth;
+    St.Acts.pop_back();
+    ChildOk = Result != InvalidNode && !Hard;
+    ChildNode = Result;
+  }
+
+  void restoreLoopVar(Frame &F, MachineAct &A) {
+    if (A.ArrHadSaved)
+      F.E.set(A.Arr->LoopVar, A.ArrSaved);
+    else
+      F.E.erase(A.Arr->LoopVar);
+  }
+
+  /// Abandons the in-flight array term of act \p I (element failed or an
+  /// interval went bad): unwind exactly like execArray's failure path.
+  int arrayFail(size_t I, Frame &F) {
+    MachineAct &A = St.Acts[I];
+    --St.ArrayNest;
+    restoreLoopVar(F, A);
+    A.Arr = nullptr;
+    A.Wait = MachineAct::WaitNone;
+    return 0;
+  }
+
+  void completeArrayElem(size_t I, Frame &F, uint32_t Sub) {
+    MachineAct &A = St.Acts[I];
+    int64_t Lo = A.PendLo, Hi = A.PendHi;
+    int64_t BStart, BEnd;
+    childSpan(*cast<NodeTree>(Store.node(Sub)), Hi - Lo, BStart, BEnd);
+    St.ElemScratch[A.ArrLevel].push_back(
+        Store.makeShifted(Sub, Lo, G.symStart(), G.symEnd()));
+    updStartEnd(F.E, Lo + BStart, Lo + BEnd, BEnd != 0);
+    if (BEnd != 0) {
+      A.ArrTouched = true;
+      A.ArrMaxEnd = std::max(A.ArrMaxEnd, Lo + BEnd);
+    }
+    ++A.ArrK;
+  }
+
+  /// Drives the element loop of the in-flight array term of act \p I.
+  /// Returns 0 (term failed), 1 (term done), or 2 (suspended on a child
+  /// act).
+  int arrayLoop(size_t I, Frame &F) {
+    for (;;) {
+      MachineAct &A = St.Acts[I];
+      const ArrayTerm &Ar = *A.Arr;
+      if (A.ArrK >= A.ArrTo) {
+        --St.ArrayNest;
+        restoreLoopVar(F, A);
+        const std::vector<uint32_t> &Elems = St.ElemScratch[A.ArrLevel];
+        F.ChildIds.push_back(
+            Store.makeArray(Ar.Elem, Elems.data(),
+                            static_cast<uint32_t>(Elems.size())));
+        F.ChildTermIdx.push_back(A.PendTI);
+        if (A.ArrTouched)
+          F.rec(A.PendTI, 0, A.ArrMaxEnd);
+        A.Arr = nullptr;
+        A.Wait = MachineAct::WaitNone;
+        return 1;
+      }
+      F.E.set(Ar.LoopVar, A.ArrK);
+      int64_t Lo, Hi;
+      if (!evalInterval(F, Ar.Iv, Lo, Hi) || Hard)
+        return arrayFail(I, F);
+      if (!ipg_rt::intervalOk(Lo, Hi,
+                              static_cast<int64_t>(F.Input.size())))
+        return arrayFail(I, F);
+      A.PendLo = Lo;
+      A.PendHi = Hi;
+      A.Wait = MachineAct::WaitArr;
+      StartStatus S2 = startAct(Ar.Resolved,
+                                F.Input.slice(static_cast<size_t>(Lo),
+                                              static_cast<size_t>(Hi)),
+                                &F);
+      if (S2 == ActPushed)
+        return 2;
+      St.Acts[I].Wait = MachineAct::WaitNone;
+      if (S2 == ActDoneFail || Hard)
+        return arrayFail(I, F);
+      completeArrayElem(I, F, StartNode);
+    }
+  }
+
+  /// Starts the machine path of an array term whose element rule is Step.
+  int startArrayMachine(size_t I, Frame &F, const ArrayTerm &Ar,
+                        uint32_t TI) {
+    FrameCtx Ctx(F, G, Store);
+    auto From = evaluate(*Ar.From, Ctx);
+    auto To = evaluate(*Ar.To, Ctx);
+    if (!From || !To)
+      return 0;
+    MachineAct &A = St.Acts[I];
+    A.Arr = &Ar;
+    A.PendTI = TI;
+    auto Saved = F.E.get(Ar.LoopVar);
+    A.ArrHadSaved = Saved.has_value();
+    A.ArrSaved = Saved.value_or(0);
+    A.ArrLevel = St.ArrayNest++;
+    St.elemScratchAt(A.ArrLevel).clear();
+    A.ArrTouched = false;
+    A.ArrMaxEnd = 0;
+    A.ArrK = *From;
+    A.ArrTo = *To;
+    return arrayLoop(I, F);
+  }
+
+  /// Suspends act \p I on a child parse of \p Target (NT term or switch
+  /// arm); resolves inline when the child answers from the memo table.
+  int suspendChild(size_t I, Frame &F, uint32_t TI, RuleId Target,
+                   const Interval &Iv) {
+    int64_t Lo, Hi;
+    if (!evalInterval(F, Iv, Lo, Hi) || Hard)
+      return 0;
+    if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
+      return 0;
+    MachineAct &A = St.Acts[I];
+    A.PendTI = TI;
+    A.PendLo = Lo;
+    A.PendHi = Hi;
+    A.Wait = MachineAct::WaitNT;
+    StartStatus S2 = startAct(Target,
+                              F.Input.slice(static_cast<size_t>(Lo),
+                                            static_cast<size_t>(Hi)),
+                              &F);
+    if (S2 == ActPushed)
+      return 2;
+    St.Acts[I].Wait = MachineAct::WaitNone;
+    if (S2 == ActDoneFail || Hard)
+      return 0;
+    completeChildNT(F, TI, Lo, Hi, StartNode);
+    return 1;
+  }
+
+  /// Executes one term of act \p I. Terms whose callee needs the machine
+  /// suspend; everything else delegates to the recursive helpers.
+  /// Returns 0 (failed), 1 (done), or 2 (suspended).
+  int execTermMachine(size_t I, Frame &F, const Alternative &Alt,
+                      uint32_t TI) {
+    const Term &T = *Alt.Terms[TI];
+    switch (T.kind()) {
+    case Term::Kind::Nonterminal: {
+      const auto &N = *cast<NTTerm>(&T);
+      if (N.Resolved == InvalidRuleId ||
+          St.Shapes.Shape[N.Resolved] != ExecShape::Step)
+        return execTerm(F, Alt, TI) ? 1 : 0;
+      ++Stats.TermsExecuted;
+      return suspendChild(I, F, TI, N.Resolved, N.Iv);
+    }
+    case Term::Kind::Switch: {
+      // Find the committed arm first (condition evaluation is pure);
+      // delegate whole-term when it does not need the machine.
+      const auto &Sw = *cast<SwitchTerm>(&T);
+      FrameCtx Ctx(F, G, Store);
+      const SwitchChoice *Chosen = nullptr;
+      for (const SwitchChoice &C : Sw.Choices) {
+        if (C.Cond) {
+          auto V = evaluate(*C.Cond, Ctx);
+          if (!V) {
+            ++Stats.TermsExecuted;
+            return 0;
+          }
+          if (*V == 0)
+            continue;
+        }
+        Chosen = &C;
+        break;
+      }
+      if (!Chosen) {
+        ++Stats.TermsExecuted;
+        return 0; // no arm matched
+      }
+      if (Chosen->Resolved == InvalidRuleId ||
+          St.Shapes.Shape[Chosen->Resolved] != ExecShape::Step)
+        return execTerm(F, Alt, TI) ? 1 : 0;
+      ++Stats.TermsExecuted;
+      return suspendChild(I, F, TI, Chosen->Resolved, Chosen->Iv);
+    }
+    case Term::Kind::Array: {
+      const auto &Ar = *cast<ArrayTerm>(&T);
+      if (Ar.Resolved == InvalidRuleId ||
+          St.Shapes.Shape[Ar.Resolved] != ExecShape::Step)
+        return execTerm(F, Alt, TI) ? 1 : 0;
+      ++Stats.TermsExecuted;
+      return startArrayMachine(I, F, Ar, TI);
+    }
+    default:
+      return execTerm(F, Alt, TI) ? 1 : 0;
+    }
+  }
+
+  /// Runs the top act until it pushes a child or pops itself.
+  void advance() {
+    size_t I = St.Acts.size() - 1;
+    Frame &F = St.frameAt(I + 1);
+    const Rule &R = G.rule(St.Acts[I].Id);
+    bool AltFailed = false;
+
+    // Consume a pending child delivery first.
+    if (St.Acts[I].Wait == MachineAct::WaitNT) {
+      MachineAct &A = St.Acts[I];
+      A.Wait = MachineAct::WaitNone;
+      if (ChildOk) {
+        completeChildNT(F, A.PendTI, A.PendLo, A.PendHi, ChildNode);
+        ++A.StepIdx;
+      } else {
+        AltFailed = true;
+      }
+    } else if (St.Acts[I].Wait == MachineAct::WaitArr) {
+      if (ChildOk) {
+        completeArrayElem(I, F, ChildNode);
+        int AR = arrayLoop(I, F);
+        if (AR == 2)
+          return;
+        if (AR == 1)
+          ++St.Acts[I].StepIdx;
+        else
+          AltFailed = true;
+      } else {
+        arrayFail(I, F);
+        AltFailed = true;
+      }
+    }
+
+    for (;;) {
+      MachineAct &A = St.Acts[I];
+      if (A.AltIdx >= R.Alts.size()) {
+        finishAct(InvalidNode);
+        return;
+      }
+      const Alternative &Alt = R.Alts[A.AltIdx];
+      if (!AltFailed) {
+        if (A.NeedBegin) {
+          F.beginAlt(A.Input, R.IsLocal ? A.Lex : nullptr,
+                     Alt.Terms.size());
+          A.NeedBegin = false;
+        }
+        while (A.StepIdx < Alt.Terms.size()) {
+          uint32_t TI = Alt.ExecOrder.empty()
+                            ? A.StepIdx
+                            : Alt.ExecOrder[A.StepIdx];
+          int TR = execTermMachine(I, F, Alt, TI);
+          if (TR == 2)
+            return; // suspended: references above are stale now
+          if (TR == 0) {
+            AltFailed = true;
+            break;
+          }
+          ++A.StepIdx;
+        }
+      }
+      if (Hard) {
+        finishAct(InvalidNode);
+        return;
+      }
+      if (!AltFailed) {
+        uint32_t Result = Store.makeNode(
+            R.Name, A.Id, F.E, F.ChildIds.data(), F.ChildTermIdx.data(),
+            static_cast<uint32_t>(F.ChildIds.size()));
+        ++Stats.NodesCreated;
+        finishAct(Result);
+        return;
+      }
+      ++A.AltIdx;
+      A.StepIdx = 0;
+      A.NeedBegin = true;
+      AltFailed = false;
+    }
+  }
+
+  /// Entry point for a Step start rule: the whole parse runs on the
+  /// machine (the up-closure guarantees Direct/Flattened callees never
+  /// lead back into a Step rule mid-descent).
+  uint32_t runMachine(RuleId Start, ByteSpan Input) {
+    St.Acts.clear();
+    ChildOk = false;
+    ChildNode = InvalidNode;
+    StartStatus S0 = startAct(Start, Input, nullptr);
+    if (S0 != ActPushed)
+      return S0 == ActDoneOk && !Hard ? StartNode : InvalidNode;
+    while (!St.Acts.empty() && !Hard)
+      advance();
+    if (Hard) {
+      // Unwind exactly as recursion would: each pending activation
+      // erases its reentry key; nothing is memoized.
+      while (!St.Acts.empty()) {
+        if (St.Acts.back().Inserted)
+          St.InProgress.erase(St.Acts.back().Key);
+        St.Acts.pop_back();
+        --Depth;
+      }
+      return InvalidNode;
+    }
+    return ChildOk ? ChildNode : InvalidNode;
+  }
 };
 
 } // namespace
@@ -679,6 +1427,10 @@ Interp::Interp(const Grammar &G, const BlackboxRegistry *Blackboxes,
     const Rule &R = G.rule(static_cast<RuleId>(I));
     S->RuleMemoizable[I] = !R.IsLocal && ruleSpawnsSubparsers(R);
   }
+  // One recursion-shape analysis per engine, shared policy with codegen:
+  // it decides per rule whether parse() recurses (Direct), loops
+  // (Flattened), or runs on the work-stack machine (Step).
+  S->Shapes = analyzeRecShape(G);
 }
 
 Interp::~Interp() = default;
@@ -714,6 +1466,12 @@ Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
   S->Memo.clear();
   S->InProgress.clear();
   S->ArrayNest = 0;
+  // The tier scratch is left empty by every exit path; clearing here is
+  // belt-and-braces so a parse can never see a predecessor's state.
+  S->FlatLevels.clear();
+  S->FlatKids.clear();
+  S->FlatKeys.clear();
+  S->Acts.clear();
   Runner R(G, Blackboxes, Opts, Stats, *S);
   return R.run(Input, Start);
 }

@@ -9,9 +9,11 @@
 
 #include "support/Casting.h"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 using namespace ipg;
 
@@ -57,76 +59,101 @@ uint32_t TreeStore::makeShifted(uint32_t BaseId, int64_t Delta,
   return addNode(Mem.make<NodeTree>(View));
 }
 
+// Both walks below use an explicit work stack: the engines parse
+// recursion depths far beyond what a thread stack can walk, and these
+// helpers must survive the trees they build.
+
 size_t ipg::treeSize(const ParseTree &T) {
-  switch (T.kind()) {
-  case ParseTree::Kind::Leaf:
-    return 1;
-  case ParseTree::Kind::Node: {
-    size_t N = 1;
-    for (TreeRef C : cast<NodeTree>(&T)->children())
-      N += treeSize(*C);
-    return N;
+  size_t Total = 0;
+  std::vector<const ParseTree *> Work{&T};
+  while (!Work.empty()) {
+    const ParseTree *Cur = Work.back();
+    Work.pop_back();
+    ++Total;
+    switch (Cur->kind()) {
+    case ParseTree::Kind::Leaf:
+      break;
+    case ParseTree::Kind::Node:
+      for (TreeRef C : cast<NodeTree>(Cur)->children())
+        Work.push_back(C.get());
+      break;
+    case ParseTree::Kind::Array:
+      for (TreeRef C : cast<ArrayTree>(Cur)->elements())
+        Work.push_back(C.get());
+      break;
+    }
   }
-  case ParseTree::Kind::Array: {
-    size_t N = 1;
-    for (TreeRef C : cast<ArrayTree>(&T)->elements())
-      N += treeSize(*C);
-    return N;
-  }
-  }
-  return 1;
+  return Total;
 }
 
 std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
                               int Indent) {
-  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
-  switch (T.kind()) {
-  case ParseTree::Kind::Leaf: {
-    const auto &L = *cast<LeafTree>(&T);
-    if (L.isOpaque())
-      return Pad + "Leaf@" + std::to_string(L.offset()) + " <raw " +
+  struct Item {
+    const ParseTree *T;
+    int Indent;
+  };
+  std::string S;
+  std::vector<Item> Work{Item{&T, Indent}};
+  while (!Work.empty()) {
+    Item It = Work.back();
+    Work.pop_back();
+    std::string Pad(static_cast<size_t>(It.Indent) * 2, ' ');
+    switch (It.T->kind()) {
+    case ParseTree::Kind::Leaf: {
+      const auto &L = *cast<LeafTree>(It.T);
+      if (L.isOpaque()) {
+        S += Pad + "Leaf@" + std::to_string(L.offset()) + " <raw " +
              std::to_string(L.length()) + " bytes>\n";
-    std::string S = Pad + "Leaf@" + std::to_string(L.offset()) + " \"";
-    for (unsigned char C : L.bytes()) {
-      if (C >= 0x20 && C < 0x7f) {
-        S += static_cast<char>(C);
-      } else {
-        static const char *Hex = "0123456789abcdef";
-        S += "\\x";
-        S += Hex[C >> 4];
-        S += Hex[C & 0xf];
-      }
-      if (S.size() > Pad.size() + 48) {
-        S += "...";
         break;
       }
+      size_t LineStart = S.size();
+      S += Pad + "Leaf@" + std::to_string(L.offset()) + " \"";
+      size_t Budget = Pad.size() + 48;
+      for (unsigned char C : L.bytes()) {
+        if (C >= 0x20 && C < 0x7f) {
+          S += static_cast<char>(C);
+        } else {
+          static const char *Hex = "0123456789abcdef";
+          S += "\\x";
+          S += Hex[C >> 4];
+          S += Hex[C & 0xf];
+        }
+        if (S.size() - LineStart > Budget) {
+          S += "...";
+          break;
+        }
+      }
+      S += "\"\n";
+      break;
     }
-    return S + "\"\n";
-  }
-  case ParseTree::Kind::Node: {
-    const auto &N = *cast<NodeTree>(&T);
-    std::string S = Pad + "Node " + std::string(Names.name(N.name())) + " {";
-    bool First = true;
-    for (const auto &[Key, Value] : N.env()) {
-      if (!First)
-        S += ", ";
-      First = false;
-      S += std::string(Names.name(Key)) + "=" + std::to_string(Value);
+    case ParseTree::Kind::Node: {
+      const auto &N = *cast<NodeTree>(It.T);
+      S += Pad + "Node " + std::string(Names.name(N.name())) + " {";
+      bool First = true;
+      for (const auto &[Key, Value] : N.env()) {
+        if (!First)
+          S += ", ";
+        First = false;
+        S += std::string(Names.name(Key)) + "=" + std::to_string(Value);
+      }
+      S += "}\n";
+      size_t Mark = Work.size();
+      for (TreeRef C : N.children())
+        Work.push_back(Item{C.get(), It.Indent + 1});
+      std::reverse(Work.begin() + Mark, Work.end());
+      break;
     }
-    S += "}\n";
-    for (TreeRef C : N.children())
-      S += treeToString(*C, Names, Indent + 1);
-    return S;
+    case ParseTree::Kind::Array: {
+      const auto &A = *cast<ArrayTree>(It.T);
+      S += Pad + "Array of " + std::string(Names.name(A.elemName())) + " x" +
+           std::to_string(A.size()) + "\n";
+      size_t Mark = Work.size();
+      for (TreeRef C : A.elements())
+        Work.push_back(Item{C.get(), It.Indent + 1});
+      std::reverse(Work.begin() + Mark, Work.end());
+      break;
+    }
+    }
   }
-  case ParseTree::Kind::Array: {
-    const auto &A = *cast<ArrayTree>(&T);
-    std::string S = Pad + "Array of " +
-                    std::string(Names.name(A.elemName())) + " x" +
-                    std::to_string(A.size()) + "\n";
-    for (TreeRef C : A.elements())
-      S += treeToString(*C, Names, Indent + 1);
-    return S;
-  }
-  }
-  return Pad + "?\n";
+  return S;
 }

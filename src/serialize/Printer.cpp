@@ -23,7 +23,9 @@ namespace {
 /// The walk state: output buffer, per-byte coverage, and the running
 /// counters. All offsets handled here are absolute positions in the
 /// printed output; the per-edge shift accumulation happens in the
-/// recursion (walkNode), not here.
+/// explicit work-stack walk (walkNode), not here. The walk is iterative
+/// so printing a tree from a loop-flattened or machine-executed deep
+/// parse never consumes C stack proportional to its depth.
 class Printer {
 public:
   Printer(const Grammar &G, const BlackboxRegistry *Registry,
@@ -155,52 +157,82 @@ private:
     return writeBytes(BaseOrigin + *S, Enc.Bytes.data(), Enc.Bytes.size());
   }
 
-  /// \p BaseOrigin is the absolute position of N's base-local frame
-  /// origin (parent origin + this edge's shift delta): leaf offsets and
-  /// child shifts stored under N are relative to it.
-  Error walkNode(const NodeTree &N, int64_t BaseOrigin, uint32_t Depth) {
-    int64_t Shift = N.shift();
-    bool IsBlackbox = G.isBlackbox(N.name());
-    if (Opts.CollectSpans) {
-      auto S = localAttr(N, G.symStart(), Shift);
-      auto E = localAttr(N, G.symEnd(), Shift);
-      if (S && E && *E > *S)
-        R.Spans.push_back(PrintSpan{IsBlackbox ? PrintSpan::Kind::Blackbox
-                                               : PrintSpan::Kind::Node,
-                                    N.name(), BaseOrigin + *S,
-                                    BaseOrigin + *E, Depth});
-    }
-    if (IsBlackbox)
-      return writeBlackbox(N, BaseOrigin);
+  /// One pending visit: a leaf to write or a node to expand. For nodes
+  /// \p BaseOrigin is the absolute position of the node's base-local
+  /// frame origin (parent origin + that edge's shift delta); for leaves
+  /// it is the enclosing node's origin, which leaf offsets are relative
+  /// to.
+  struct WalkItem {
+    const ParseTree *T;
+    int64_t BaseOrigin;
+    uint32_t Depth;
+  };
+  std::vector<WalkItem> Work;
 
-    for (TreeRef C : N.children()) {
-      switch (C->kind()) {
-      case ParseTree::Kind::Leaf:
-        if (Error E = writeLeaf(*cast<LeafTree>(C.get()), BaseOrigin,
-                                Depth + 1))
+  /// Pre-order DFS over the tree with an explicit stack — identical
+  /// visit order (and PrintSpan order / Depth values) to the natural
+  /// recursion, but depth-free: megabyte-class inputs parse into trees
+  /// far deeper than any thread stack tolerates.
+  Error walkNode(const NodeTree &Root, int64_t RootOrigin,
+                 uint32_t RootDepth) {
+    Work.clear();
+    Work.push_back(WalkItem{&Root, RootOrigin, RootDepth});
+    while (!Work.empty()) {
+      WalkItem It = Work.back();
+      Work.pop_back();
+      if (const auto *L = dyn_cast<LeafTree>(It.T)) {
+        if (Error E = writeLeaf(*L, It.BaseOrigin, It.Depth))
           return E;
-        break;
-      case ParseTree::Kind::Node: {
-        const auto *Sub = cast<NodeTree>(C.get());
-        if (Error E =
-                walkNode(*Sub, BaseOrigin + Sub->shift(), Depth + 1))
-          return E;
-        break;
+        continue;
       }
-      case ParseTree::Kind::Array: {
-        const auto *A = cast<ArrayTree>(C.get());
-        // Array objects carry no shift of their own: element views are
-        // shifted relative to the frame that executed the for-term —
-        // this node's base frame.
-        for (TreeRef El : A->elements()) {
-          const auto *Elem = cast<NodeTree>(El.get());
-          if (Error E = walkNode(*Elem, BaseOrigin + Elem->shift(),
-                                 Depth + 1))
-            return E;
+      const NodeTree &N = *cast<NodeTree>(It.T);
+      int64_t BaseOrigin = It.BaseOrigin;
+      int64_t Shift = N.shift();
+      bool IsBlackbox = G.isBlackbox(N.name());
+      if (Opts.CollectSpans) {
+        auto S = localAttr(N, G.symStart(), Shift);
+        auto E = localAttr(N, G.symEnd(), Shift);
+        if (S && E && *E > *S)
+          R.Spans.push_back(PrintSpan{IsBlackbox ? PrintSpan::Kind::Blackbox
+                                                 : PrintSpan::Kind::Node,
+                                      N.name(), BaseOrigin + *S,
+                                      BaseOrigin + *E, It.Depth});
+      }
+      if (IsBlackbox) {
+        if (Error E = writeBlackbox(N, BaseOrigin))
+          return E;
+        continue;
+      }
+
+      // Queue the children, then reverse that slice so the LIFO pop
+      // visits them in source order.
+      size_t Mark = Work.size();
+      for (TreeRef C : N.children()) {
+        switch (C->kind()) {
+        case ParseTree::Kind::Leaf:
+          Work.push_back(WalkItem{C.get(), BaseOrigin, It.Depth + 1});
+          break;
+        case ParseTree::Kind::Node: {
+          const auto *Sub = cast<NodeTree>(C.get());
+          Work.push_back(
+              WalkItem{Sub, BaseOrigin + Sub->shift(), It.Depth + 1});
+          break;
         }
-        break;
+        case ParseTree::Kind::Array: {
+          const auto *A = cast<ArrayTree>(C.get());
+          // Array objects carry no shift of their own: element views are
+          // shifted relative to the frame that executed the for-term —
+          // this node's base frame.
+          for (TreeRef El : A->elements()) {
+            const auto *Elem = cast<NodeTree>(El.get());
+            Work.push_back(
+                WalkItem{Elem, BaseOrigin + Elem->shift(), It.Depth + 1});
+          }
+          break;
+        }
+        }
       }
-      }
+      std::reverse(Work.begin() + Mark, Work.end());
     }
     return Error::success();
   }

@@ -694,6 +694,48 @@ using BlackboxInvFn = bool (*)(void *User, const unsigned char *Decoded,
                                size_t DecodedLen, long long Value,
                                BlackboxEncOut &Out);
 
+/// One pending level of a flattened linear-recursive rule: the interval
+/// the level parses. 16 bytes per grammar-recursion level (instead of a
+/// C-stack frame) is what lets a megabyte-deep PDF `Scan`/`XNum` spine
+/// fit in a few MB of heap.
+struct FlatLevel {
+  size_t AbsLo = 0;
+  size_t AbsHi = 0;
+};
+
+/// One suspended rule activation on the step machine's explicit work
+/// stack (general recursion the flattener cannot handle). A step function
+/// mutates its Task across resumptions; the Call*/Arr* fields carry the
+/// parameters of a pending child call and of an in-flight array loop
+/// across the suspension points.
+struct Task {
+  unsigned Rule = 0;   ///< rule this task runs
+  unsigned Resume = 0; ///< 0 on first entry; else the resume label id
+  size_t Idx = 0;      ///< position on the task stack == frame index
+  size_t AbsLo = 0, AbsHi = 0; ///< absolute input window
+  int LexTask = -1;    ///< task index of the lexical parent frame, or -1
+  unsigned Out = 0;    ///< result node id (valid when the task finishes)
+  // Child-call result, delivered by the machine before resuming.
+  int ChildOk = 0;
+  unsigned ChildNode = 0;
+  // Pending child-call parameters (set before returning StepCall).
+  unsigned CallRule = 0;
+  size_t CallLo = 0, CallHi = 0;
+  int CallLexSelf = 0; ///< child is a where-clause rule: pass our frame
+  long long SaveL = 0; ///< child interval's Lo, for the post-call shift
+  // In-flight array state (arrays whose element rule is a step rule).
+  long long ArrK = 0, ArrTo = 0, ArrSaved = 0, ArrMax = 0;
+  int ArrHadSaved = 0, ArrTouched = 0;
+  size_t ArrLevel = 0;
+};
+
+/// A resumable rule body for the step machine. Returns StepDone/StepFail
+/// with Task::Out set, or StepCall with the Call* fields describing the
+/// child to push.
+class Ctx;
+using StepFn = int (*)(Ctx &, Task &);
+enum : int { StepFail = 0, StepDone = 1, StepCall = 2 };
+
 /// The recycled store + scratch state behind one generated parser: arena,
 /// object index, per-depth frame pool and per-nesting array scratch — the
 /// generated twin of the interpreter's InterpState. beginParse() recycles
@@ -718,6 +760,10 @@ public:
     Frozen = 0;
     Hits = 0;
     Misses = 0;
+    Peak = 0;
+    FlatLevels.clear();
+    FlatKids.clear();
+    Steps.clear();
   }
 
   /// The recursion-depth guard is a HARD failure, as in the interpreter
@@ -733,6 +779,17 @@ public:
   /// the guard can never be disabled entirely.
   long long depthLimit() const { return DepthLim; }
   void setDepthLimit(long long Limit) { DepthLim = Limit < 1 ? 1 : Limit; }
+
+  /// High-water recursion depth of the current parse — the generated twin
+  /// of InterpStats::PeakDepth. Every tier reports through it: direct
+  /// rule functions note their own C-stack depth, flattened loops their
+  /// virtual (per-level) depth, and the step machine its task-stack
+  /// height, so the figure matches the interpreter's exactly.
+  void notePeak(long long Depth) {
+    if (Depth > Peak)
+      Peak = Depth;
+  }
+  long long peakDepth() const { return Peak; }
 
   /// Nodes frozen by successful rule alternatives in the current parse —
   /// the generated twin of InterpStats::NodesCreated (shifted views,
@@ -841,6 +898,17 @@ public:
     return Level;
   }
   void leaveArray() { --ArrayNest; }
+
+  /// Pooled per-level records of flattened linear-recursive rules. Shared
+  /// across rules and re-entrant: each activation remembers its base index
+  /// and resizes back to it on every exit path.
+  std::vector<FlatLevel> &flatLevels() { return FlatLevels; }
+  /// Pooled storage for the node ids of prefix child nonterminals parsed
+  /// on the way down a flattened rule (a static count per level, so a
+  /// per-activation base index addresses them).
+  std::vector<unsigned> &flatPrefixKids() { return FlatKids; }
+  /// The step machine's pooled task stack (runMachine).
+  std::vector<Task> &stepTasks() { return Steps; }
 
   /// Freezes a frame's scratch env + child ids into the arena as a node.
   inline unsigned freeze(struct Frame &F, unsigned NameId);
@@ -965,11 +1033,15 @@ private:
   std::vector<BlackboxSlot> Blackboxes;
   std::vector<std::unique_ptr<struct Frame>> Frames;
   std::vector<std::vector<unsigned>> ElemScratch;
+  std::vector<FlatLevel> FlatLevels;
+  std::vector<unsigned> FlatKids;
+  std::vector<Task> Steps;
   size_t ArrayNest = 0;
   bool Hard = false;
   size_t Frozen = 0;
   size_t Hits = 0;
   size_t Misses = 0;
+  long long Peak = 0;
   long long DepthLim = MaxDepth;
   const unsigned char *Base = nullptr;
   const char *const *NamesTab = nullptr;
@@ -1179,46 +1251,120 @@ inline bool Node::get(const char *K, long long &Out) const {
 inline Node *Node::kid(size_t I) const { return C->node(KidIds[I]); }
 
 //===----------------------------------------------------------------------===//
+// The step machine: an explicit work-stack trampoline over resumable rule
+// functions, used for general recursion (mutual cycles, multiple
+// self-alternatives, self under array/switch) that the grammar-lowering
+// flattener cannot turn into a loop. Grammar recursion depth becomes task
+// stack height — heap, not C stack — so EngineOptions::MaxDepth is a
+// genuine resource limit, not a proxy for the OS stack size.
+//===----------------------------------------------------------------------===//
+
+/// Runs \p StartRule over [AbsLo, AbsHi) to completion. \p Fns is indexed
+/// by rule id (null for rules the machine never runs — the classifier
+/// guarantees step rules are entered only from here). Depth accounting
+/// matches the interpreter exactly: a push is refused (hard failure) once
+/// the stack already holds depthLimit() tasks, and the peak is noted
+/// after each push.
+inline bool runMachine(Ctx &C, const StepFn *Fns, unsigned StartRule,
+                       size_t AbsLo, size_t AbsHi, unsigned &Out) {
+  std::vector<Task> &S = C.stepTasks();
+  S.clear();
+  if (static_cast<long long>(S.size()) >= C.depthLimit()) {
+    C.hardFail();
+    return false;
+  }
+  S.push_back(Task());
+  S.back().Rule = StartRule;
+  S.back().AbsLo = AbsLo;
+  S.back().AbsHi = AbsHi;
+  C.notePeak(static_cast<long long>(S.size()));
+  while (!S.empty()) {
+    Task &T = S.back();
+    int R = Fns[T.Rule](C, T);
+    if (C.hardFailed()) {
+      S.clear();
+      return false;
+    }
+    if (R == StepCall) {
+      if (static_cast<long long>(S.size()) >= C.depthLimit()) {
+        C.hardFail();
+        S.clear();
+        return false;
+      }
+      Task Child;
+      Child.Rule = T.CallRule;
+      Child.Idx = S.size();
+      Child.AbsLo = T.CallLo;
+      Child.AbsHi = T.CallHi;
+      Child.LexTask = T.CallLexSelf ? static_cast<int>(T.Idx) : -1;
+      S.push_back(Child); // invalidates T
+      C.notePeak(static_cast<long long>(S.size()));
+      continue;
+    }
+    bool Ok = R == StepDone;
+    unsigned NodeId = T.Out;
+    S.pop_back();
+    if (S.empty()) {
+      Out = NodeId;
+      return Ok;
+    }
+    S.back().ChildOk = Ok ? 1 : 0;
+    S.back().ChildNode = NodeId;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
 // Canonical tree dump — the differential-testing contract. The interpreter
 // side (tests/differential_test.cpp) renders its ParseTree in exactly this
 // format; any byte difference is a semantic divergence.
 //===----------------------------------------------------------------------===//
 
-inline void dumpTreeRec(const Node *N, int Indent, std::string &Out) {
-  Out.append(static_cast<size_t>(Indent) * 2, ' ');
-  switch (N->Kind) {
-  case Node::KLeaf:
-    Out += "Leaf off=" + std::to_string(N->Off) +
-           " len=" + std::to_string(N->Len) +
-           " opaque=" + (N->Opaque ? "1" : "0") + "\n";
-    return;
-  case Node::KArray:
-    Out += "Array " + std::string(N->Name) + " x" +
-           std::to_string(N->NumKids) + "\n";
-    break;
-  case Node::KNode: {
-    Out += "Node " + std::string(N->Name) + " {";
-    std::vector<std::pair<std::string, long long>> Attrs;
-    for (unsigned I = 0; I < N->NumSlots; ++I)
-      Attrs.emplace_back(N->C->name(N->Slots[I].Id), N->slotValue(I));
-    std::sort(Attrs.begin(), Attrs.end());
-    for (size_t I = 0; I < Attrs.size(); ++I) {
-      if (I)
-        Out += ", ";
-      Out += Attrs[I].first + "=" + std::to_string(Attrs[I].second);
+/// Iterative preorder: tree depth equals grammar recursion depth, so a
+/// megabyte-deep linear spine must not recurse on the C stack here either.
+inline void dumpTreeInto(const Node *Root, int Indent, std::string &Out) {
+  std::vector<std::pair<const Node *, int>> Stack;
+  Stack.emplace_back(Root, Indent);
+  std::vector<std::pair<std::string, long long>> Attrs;
+  while (!Stack.empty()) {
+    const Node *N = Stack.back().first;
+    int Ind = Stack.back().second;
+    Stack.pop_back();
+    Out.append(static_cast<size_t>(Ind) * 2, ' ');
+    switch (N->Kind) {
+    case Node::KLeaf:
+      Out += "Leaf off=" + std::to_string(N->Off) +
+             " len=" + std::to_string(N->Len) +
+             " opaque=" + (N->Opaque ? "1" : "0") + "\n";
+      continue;
+    case Node::KArray:
+      Out += "Array " + std::string(N->Name) + " x" +
+             std::to_string(N->NumKids) + "\n";
+      break;
+    case Node::KNode: {
+      Out += "Node " + std::string(N->Name) + " {";
+      Attrs.clear();
+      for (unsigned I = 0; I < N->NumSlots; ++I)
+        Attrs.emplace_back(N->C->name(N->Slots[I].Id), N->slotValue(I));
+      std::sort(Attrs.begin(), Attrs.end());
+      for (size_t I = 0; I < Attrs.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += Attrs[I].first + "=" + std::to_string(Attrs[I].second);
+      }
+      Out += "}\n";
+      break;
     }
-    Out += "}\n";
-    break;
+    }
+    for (unsigned I = N->NumKids; I-- > 0;)
+      Stack.emplace_back(N->kid(I), Ind + 1);
   }
-  }
-  for (unsigned I = 0; I < N->NumKids; ++I)
-    dumpTreeRec(N->kid(I), Indent + 1, Out);
 }
 
 inline std::string dumpTree(const Node *Root) {
   std::string Out;
   if (Root)
-    dumpTreeRec(Root, 0, Out);
+    dumpTreeInto(Root, 0, Out);
   return Out;
 }
 
@@ -1258,24 +1404,41 @@ struct TreeVisitorC {
 /// Shared subtrees (memoized nodes re-anchored under several parents as
 /// lazy views) are visited once per occurrence — the stream is the tree
 /// AS OBSERVED, exactly what the canonical dump renders.
-inline void visitTree(const Node *N, const TreeVisitorC &V) {
-  switch (N->Kind) {
-  case Node::KLeaf:
-    V.Leaf(V.User, N->Data, N->Len, N->Off, N->Opaque ? 1 : 0);
-    return;
-  case Node::KArray:
-    V.BeginArray(V.User, N->NameId, N->NumKids);
-    for (unsigned I = 0; I < N->NumKids; ++I)
-      visitTree(N->kid(I), V);
-    V.EndArray(V.User);
-    return;
-  case Node::KNode:
-    V.BeginNode(V.User, N->NameId, N->Shift, N->Bb ? 1 : 0, N->Slots,
-                N->NumSlots);
-    for (unsigned I = 0; I < N->NumKids; ++I)
-      visitTree(N->kid(I), V);
-    V.EndNode(V.User);
-    return;
+inline void visitTree(const Node *Root, const TreeVisitorC &V) {
+  // Iterative with an explicit cursor per level (Begin/End events bracket
+  // the children): tree depth equals grammar recursion depth, which may
+  // be far beyond what the C stack holds.
+  struct Item {
+    const Node *N;
+    unsigned NextKid;
+  };
+  std::vector<Item> Stack;
+  Stack.push_back(Item{Root, 0});
+  while (!Stack.empty()) {
+    Item &It = Stack.back();
+    const Node *N = It.N;
+    if (It.NextKid == 0) {
+      if (N->Kind == Node::KLeaf) {
+        V.Leaf(V.User, N->Data, N->Len, N->Off, N->Opaque ? 1 : 0);
+        Stack.pop_back();
+        continue;
+      }
+      if (N->Kind == Node::KArray)
+        V.BeginArray(V.User, N->NameId, N->NumKids);
+      else
+        V.BeginNode(V.User, N->NameId, N->Shift, N->Bb ? 1 : 0, N->Slots,
+                    N->NumSlots);
+    }
+    if (It.NextKid < N->NumKids) {
+      unsigned K = It.NextKid++;
+      Stack.push_back(Item{N->kid(K), 0}); // invalidates It
+      continue;
+    }
+    if (N->Kind == Node::KArray)
+      V.EndArray(V.User);
+    else
+      V.EndNode(V.User);
+    Stack.pop_back();
   }
 }
 
@@ -1426,30 +1589,44 @@ private:
   }
 
   /// \p BaseOrigin: absolute position of N's base-local frame origin
-  /// (parent origin + this edge's Shift).
-  bool walkNode(const Node *N, long long BaseOrigin) {
-    if (N->Bb)
-      return writeBlackbox(N, BaseOrigin);
-    for (unsigned I = 0; I < N->NumKids; ++I) {
-      const Node *K = N->kid(I);
-      switch (K->Kind) {
-      case Node::KLeaf:
-        if (!writeBytes(BaseOrigin + K->Off, K->Data, K->Len))
+  /// (parent origin + this edge's Shift). Iterative preorder (children
+  /// pushed reversed to keep the left-to-right write order): tree depth
+  /// equals grammar recursion depth, which may be far beyond what the C
+  /// stack holds.
+  bool walkNode(const Node *Root, long long RootOrigin) {
+    std::vector<std::pair<const Node *, long long>> Stack;
+    Stack.emplace_back(Root, RootOrigin);
+    while (!Stack.empty()) {
+      const Node *N = Stack.back().first;
+      long long BaseOrigin = Stack.back().second;
+      Stack.pop_back();
+      if (N->Bb) {
+        if (!writeBlackbox(N, BaseOrigin))
           return false;
-        break;
-      case Node::KNode:
-        if (!walkNode(K, BaseOrigin + K->Shift))
+        continue;
+      }
+      if (N->Kind == Node::KLeaf) {
+        if (!writeBytes(BaseOrigin + N->Off, N->Data, N->Len))
           return false;
-        break;
-      case Node::KArray:
-        // Arrays carry no shift of their own; element views are shifted
-        // relative to this node's base frame.
-        for (unsigned J = 0; J < K->NumKids; ++J) {
-          const Node *El = K->kid(J);
-          if (!walkNode(El, BaseOrigin + El->Shift))
-            return false;
+        continue;
+      }
+      for (unsigned I = N->NumKids; I-- > 0;) {
+        const Node *K = N->kid(I);
+        switch (K->Kind) {
+        case Node::KLeaf:
+          // Deferred like the node children so writes stay in DFS order.
+          Stack.emplace_back(K, BaseOrigin);
+          break;
+        case Node::KNode:
+          Stack.emplace_back(K, BaseOrigin + K->Shift);
+          break;
+        case Node::KArray:
+          // Arrays carry no shift of their own; element views are shifted
+          // relative to this node's base frame.
+          for (unsigned J = K->NumKids; J-- > 0;)
+            Stack.emplace_back(K->kid(J), BaseOrigin + K->kid(J)->Shift);
+          break;
         }
-        break;
       }
     }
     return true;

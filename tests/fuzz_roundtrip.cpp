@@ -55,14 +55,6 @@ using namespace ipg;
 
 namespace {
 
-/// The PDF grammar recurses once per content byte, so parse depth tracks
-/// file size (pristine scale-1 peaks at ~2250 frames). 2800 lets every
-/// pristine corpus through, makes oversized mutants (a duplicated PDF
-/// subtree can double the file) fail with the interpreter's explicit
-/// depth-limit reject instead of a stack overflow, and stays under the
-/// ~3000-frame ceiling ASan's fat frames leave on the default stack.
-constexpr size_t FuzzMaxDepth = 2800;
-
 struct Corpus {
   std::string Name;            // display / --format key
   std::string Format;          // formats:: registry key
@@ -177,9 +169,12 @@ bool fuzzCorpus(const Options &O, const Corpus &C, Stats &Total) {
     return false;
   }
   BlackboxRegistry BB = formats::standardBlackboxes();
-  InterpOptions IOpts;
-  IOpts.MaxDepth = FuzzMaxDepth;
-  Interp I(Load->G, &BB, IOpts);
+  // Default engine options, default MaxDepth: grammar recursion runs on
+  // engine-managed frames (loop-flattened or on the explicit work
+  // stack), so deep mutants — a duplicated PDF subtree can double the
+  // file — hit the clean depth-limit reject, never a stack overflow,
+  // even under ASan's fat frames.
+  Interp I(Load->G, &BB, InterpOptions{});
 
   // Pristine pass: parse and span-collecting print must be byte-exact —
   // anything else is a setup bug, not a fuzzing discovery.

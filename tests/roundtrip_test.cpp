@@ -141,6 +141,51 @@ TEST(RoundtripTest, StrictModeFailsExactlyForNonLeafCoveringFormats) {
 }
 
 //===----------------------------------------------------------------------===//
+// Megabyte-class corpus: the printer (and the engines feeding it) must
+// survive trees whose depth tracks file size. PDF at scale 64 parses
+// through over a million virtual recursion levels; ELF is a megabyte
+// image. The roundtripInterp helper is unusable here — it diffs
+// treeToString renders, whose two-spaces-per-level indentation makes a
+// megabyte-deep dump O(depth^2) bytes — so this test compares the
+// re-parse by node count instead.
+//===----------------------------------------------------------------------===//
+
+TEST(RoundtripTest, MegabyteCorpusPrintsByteExact) {
+  for (const char *Name : {"pdf", "elf"}) {
+    SCOPED_TRACE(Name);
+    EngineOptions Opts;
+    Opts.MaxDepth = size_t{1} << 21;
+    auto FE = formats::makeFormatEngine(Name, EngineKind::Interp, Opts);
+    ASSERT_TRUE(FE) << FE.message();
+    BlackboxRegistry BB = formats::standardBlackboxes();
+
+    std::vector<uint8_t> Bytes = formats::sampleInput(Name, 64);
+    ASSERT_GE(Bytes.size(), size_t{1} << 20)
+        << Name << ": scale-64 corpus is not megabyte-class";
+
+    auto R = (*FE)->parse(ByteSpan::of(Bytes));
+    ASSERT_TRUE(R) << R.message();
+    size_t Nodes = treeSize(**R);
+    ASSERT_GT(Nodes, 0u);
+
+    serialize::PrintOptions POpts;
+    if (!strictPrintExact(Name)) {
+      POpts.Gaps = serialize::GapPolicy::FillFromBackground;
+      POpts.Background = ByteSpan::of(Bytes);
+    }
+    auto P = serialize::printTree(**R, FE->Load->G, &BB, POpts);
+    ASSERT_TRUE(P) << P.message();
+    EXPECT_TRUE(P->Bytes == Bytes)
+        << Name << ": print(parse(x)) != x on the megabyte corpus";
+
+    auto R2 = (*FE)->parse(ByteSpan::of(P->Bytes));
+    ASSERT_TRUE(R2) << R2.message();
+    EXPECT_EQ(treeSize(**R2), Nodes)
+        << Name << ": re-parse of the printed image changed shape";
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // The blackbox inverse under load: DEFLATED zip entries force the printer
 // through miniZlibBlackboxInverse — decoded output leaves are re-encoded
 // and must land byte-exactly on the original compressed streams.
