@@ -9,9 +9,9 @@
 /// The Fig.-12-style driver: for every non-blackbox format it emits the
 /// generated parser (codegen/CppEmitter.cpp), compiles it with the host
 /// C++ compiler, and runs it as a child process that times steady-state
-/// parses of the same synthesized corpus the interpreter is measured on
-/// in this process. BENCH_codegen.json (ipg-bench-v1 schema) then carries
-/// two entries per format:
+/// parses of the same synthesized corpus the in-process engines are
+/// measured on. BENCH_codegen.json (ipg-bench-v1 schema) then carries
+/// three entries per format:
 ///
 ///   <format>/generated: input_bytes, reps, mean_us, bytes_per_sec,
 ///                       allocs_per_parse, nodes_per_parse (rule-success
@@ -19,6 +19,11 @@
 ///                       InterpStats::NodesCreated), memo_hits,
 ///                       memo_misses, tree_objects_per_parse
 ///   <format>/interp:    the same metrics from the in-process engine
+///   <format>/vm:        the same metrics from the in-process bytecode
+///                       VM (EngineKind::Vm) — the runtime-loadable
+///                       middle ground the comparison exists to place
+///                       between the act-stack interpreter and the
+///                       compiled parser
 ///
 /// Both sides count heap allocations by replacing global operator new
 /// (the child embeds its own counter; this process uses BenchUtil.h's),
@@ -174,6 +179,53 @@ std::string buildGenerated(const std::string &Format, const Grammar &G) {
   return Dir + "/bench";
 }
 
+/// One in-process engine measurement — shared by the interp and vm rows
+/// so both columns get the identical warmup, allocation window, and
+/// timing window the child process applies to the generated parser.
+bool measureEngine(Engine &E, const std::string &Entry,
+                   const std::vector<uint8_t> &Bytes, size_t Reps,
+                   BenchReport &Report) {
+  ByteSpan Image = ByteSpan::of(Bytes);
+  double Size = static_cast<double>(Bytes.size());
+  if (auto R = E.parse(Image); !R) {
+    std::fprintf(stderr, "error: %s rejected its corpus input: %s\n",
+                 Entry.c_str(), R.message().c_str());
+    return false;
+  }
+  // A few more warmup parses: pooled storage (memo table, frame pool,
+  // slot indexes, recycled store) converges to its fixed point over the
+  // first handful of parses, and allocs_per_parse below is the
+  // steady-state figure the arena runtime drives to 0.
+  for (int W = 0; W < 4; ++W)
+    if (auto Re = E.parse(Image); !Re) {
+      std::fprintf(stderr, "error: %s failed a warmup re-parse: %s\n",
+                   Entry.c_str(), Re.message().c_str());
+      return false;
+    }
+  uint64_t A0 = allocCount();
+  for (size_t K = 0; K < Reps; ++K)
+    if (!E.parse(Image))
+      std::abort();
+  uint64_t A1 = allocCount();
+  auto T = timeIt([&] { if (!E.parse(Image)) std::abort(); }, Reps);
+  double Bps = T.MeanUs > 0 ? Size / (T.MeanUs * 1e-6) : 0;
+  Report.add(Entry, "input_bytes", Size);
+  Report.add(Entry, "reps", static_cast<double>(Reps));
+  Report.add(Entry, "mean_us", T.MeanUs);
+  Report.add(Entry, "bytes_per_sec", Bps);
+  Report.add(Entry, "allocs_per_parse",
+             static_cast<double>(A1 - A0) / static_cast<double>(Reps));
+  Report.add(Entry, "nodes_per_parse",
+             static_cast<double>(E.stats().NodesCreated));
+  Report.add(Entry, "memo_hits", static_cast<double>(E.stats().MemoHits));
+  Report.add(Entry, "memo_misses",
+             static_cast<double>(E.stats().MemoMisses));
+  std::printf("%-20s | %10zu | %10.2f | %12.2f | %10.1f\n", Entry.c_str(),
+              Bytes.size(), T.MeanUs, Bps / 1e6,
+              static_cast<double>(A1 - A0) / static_cast<double>(Reps));
+  return true;
+}
+
 /// Runs the child and parses its `key=value` metric lines.
 bool runGenerated(const std::string &Exe, const std::string &Format,
                   const std::vector<uint8_t> &Bytes, size_t Reps,
@@ -233,53 +285,20 @@ int main(int argc, char **argv) {
                    FE.message().c_str());
       return 1;
     }
+    auto VE = formats::makeFormatEngine(FI.Name, EngineKind::Vm);
+    if (!VE) {
+      std::fprintf(stderr, "error: %s (vm): %s\n", FI.Name.c_str(),
+                   VE.message().c_str());
+      return 1;
+    }
     std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name);
     double Size = static_cast<double>(Bytes.size());
 
-    // In-process interpreter side, measured exactly like bench_throughput.
-    {
-      Engine &I = **FE;
-      ByteSpan Image = ByteSpan::of(Bytes);
-      auto R = I.parse(Image);
-      if (!R) {
-        std::fprintf(stderr, "error: %s rejected its corpus input: %s\n",
-                     FI.Name.c_str(), R.message().c_str());
-        return 1;
-      }
-      // A few more warmup parses: pooled storage (memo table, frame
-      // pool, slot indexes, recycled store) converges to its fixed point
-      // over the first handful of parses, and allocs_per_parse below is
-      // the steady-state figure the arena runtime drives to 0.
-      for (int W = 0; W < 4; ++W)
-        if (auto Re = I.parse(Image); !Re) {
-          std::fprintf(stderr, "error: %s failed a warmup re-parse: %s\n",
-                       FI.Name.c_str(), Re.message().c_str());
-          return 1;
-        }
-      uint64_t A0 = allocCount();
-      for (size_t K = 0; K < Reps; ++K)
-        if (!I.parse(Image))
-          std::abort();
-      uint64_t A1 = allocCount();
-      auto T = timeIt([&] { if (!I.parse(Image)) std::abort(); }, Reps);
-      double Bps = T.MeanUs > 0 ? Size / (T.MeanUs * 1e-6) : 0;
-      std::string Entry = FI.Name + "/interp";
-      Report.add(Entry, "input_bytes", Size);
-      Report.add(Entry, "reps", static_cast<double>(Reps));
-      Report.add(Entry, "mean_us", T.MeanUs);
-      Report.add(Entry, "bytes_per_sec", Bps);
-      Report.add(Entry, "allocs_per_parse",
-                 static_cast<double>(A1 - A0) / static_cast<double>(Reps));
-      Report.add(Entry, "nodes_per_parse",
-                 static_cast<double>(I.stats().NodesCreated));
-      Report.add(Entry, "memo_hits",
-                 static_cast<double>(I.stats().MemoHits));
-      Report.add(Entry, "memo_misses",
-                 static_cast<double>(I.stats().MemoMisses));
-      std::printf("%-20s | %10zu | %10.2f | %12.2f | %10.1f\n",
-                  Entry.c_str(), Bytes.size(), T.MeanUs, Bps / 1e6,
-                  static_cast<double>(A1 - A0) / static_cast<double>(Reps));
-    }
+    // In-process engines, measured exactly like bench_throughput.
+    if (!measureEngine(**FE, FI.Name + "/interp", Bytes, Reps, Report))
+      return 1;
+    if (!measureEngine(**VE, FI.Name + "/vm", Bytes, Reps, Report))
+      return 1;
 
     if (!HaveCompiler)
       continue;

@@ -25,11 +25,19 @@
 ///     2-4 cores and noisy neighbors); the >=3x acceptance figure is for
 ///     local machines with >=4 real cores.
 ///
-/// Usage: bench_service [output.json] [jobs]
+/// Usage: bench_service [output.json] [jobs] [--engine interp|vm|generated]
 ///
 /// `jobs` sizes the per-worker-count batch (default 240). The TSan CI
 /// smoke passes a small count — the point there is racing the real
 /// submit/parse/detach/recycle path under the sanitizer, not timing it.
+///
+/// `--engine vm` runs both sections on the bytecode VM instead of the
+/// interpreter: same entry names, same gated counters. The counters are
+/// engine-independent (the differential harness locks node/memo parity),
+/// so ONE committed baseline gates every engine — a drift in the VM run
+/// is an engine-parity break, not a schema mismatch. This is the proof
+/// that ParseService drives the VM through the identical mailbox
+/// store-recycling path with zero parse-path allocations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -84,15 +92,15 @@ uint64_t percentileUs(std::vector<uint64_t> &Sorted, unsigned Pct) {
 
 /// Section 1: the steady-state store cycle of one worker, allocation-
 /// counted exactly. Returns false if any parse fails.
-bool benchParsePath(const std::vector<CorpusCase> &Corpus, size_t Reps,
-                    BenchReport &Report) {
+bool benchParsePath(const std::vector<CorpusCase> &Corpus, EngineKind Kind,
+                    size_t Reps, BenchReport &Report) {
   banner("Parse path: parse -> detach -> return -> adopt (" +
          std::to_string(Reps) + " reps)");
   std::printf("%-24s | %10s | %10s | %12s | %10s\n", "case", "bytes",
               "mean us", "MB/s", "allocs");
 
   for (const CorpusCase &Case : Corpus) {
-    auto FE = formats::makeFormatEngine(Case.Format, EngineKind::Interp);
+    auto FE = formats::makeFormatEngine(Case.Format, Kind);
     if (!FE) {
       std::fprintf(stderr, "error: %s: %s\n", Case.Format.c_str(),
                    FE.message().c_str());
@@ -158,10 +166,11 @@ bool benchParsePath(const std::vector<CorpusCase> &Corpus, size_t Reps,
 /// futures drained in submission order. Returns aggregate bytes/sec
 /// (0 on failure).
 double benchServicePoint(const std::vector<CorpusCase> &Corpus,
-                         unsigned Workers, size_t Jobs,
+                         EngineKind Kind, unsigned Workers, size_t Jobs,
                          BenchReport &Report) {
   ParseServiceOptions Opts;
   Opts.Workers = Workers;
+  Opts.Mode = Kind;
   std::vector<std::string> Names;
   for (const CorpusCase &C : Corpus)
     Names.push_back(C.Format);
@@ -238,24 +247,52 @@ double benchServicePoint(const std::vector<CorpusCase> &Corpus,
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string OutPath = benchJsonPath(argc, argv, "service");
+  EngineKind Kind = EngineKind::Interp;
+  std::vector<std::string> Positional;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--engine") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --engine needs a value "
+                             "(interp|vm|generated)\n");
+        return 2;
+      }
+      std::string V = argv[++I];
+      if (V == "interp")
+        Kind = EngineKind::Interp;
+      else if (V == "vm")
+        Kind = EngineKind::Vm;
+      else if (V == "generated" || V == "gen")
+        Kind = EngineKind::Generated;
+      else {
+        std::fprintf(stderr, "error: unknown engine '%s'\n", V.c_str());
+        return 2;
+      }
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  std::string OutPath =
+      Positional.empty() ? "BENCH_service.json" : Positional[0];
   size_t Jobs = 240;
-  if (argc > 2)
-    Jobs = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (Positional.size() > 1)
+    Jobs = static_cast<size_t>(
+        std::strtoull(Positional[1].c_str(), nullptr, 10));
   if (Jobs == 0)
     Jobs = 1;
 
+  note(std::string("engine: ") + engineKindName(Kind));
   std::vector<CorpusCase> Corpus = buildCorpus();
   BenchReport Report("service");
 
-  if (!benchParsePath(Corpus, 200, Report))
+  if (!benchParsePath(Corpus, Kind, 200, Report))
     return 1;
 
   banner("Service scaling (" + std::to_string(Jobs) +
          " jobs per point, mixed formats)");
   double Agg1 = 0, Agg4 = 0;
   for (unsigned W : {1u, 2u, 4u}) {
-    double Agg = benchServicePoint(Corpus, W, Jobs, Report);
+    double Agg = benchServicePoint(Corpus, Kind, W, Jobs, Report);
     if (Agg <= 0)
       return 1;
     if (W == 1)

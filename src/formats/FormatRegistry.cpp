@@ -227,7 +227,8 @@ ipg::formats::makeFormatEngine(const std::string &Name, EngineKind Kind,
   FE.Load = std::make_shared<LoadResult>(std::move(*Load));
 
   const BlackboxRegistry *BB = nullptr;
-  if (Info->NeedsBlackbox && Kind == EngineKind::Interp) {
+  if (Info->NeedsBlackbox &&
+      (Kind == EngineKind::Interp || Kind == EngineKind::Vm)) {
     FE.Blackboxes = std::make_shared<BlackboxRegistry>(standardBlackboxes());
     BB = FE.Blackboxes.get();
   }

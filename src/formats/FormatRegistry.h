@@ -94,8 +94,9 @@ struct FormatEngine {
 
 /// Loads the named format's grammar and builds an engine of the requested
 /// kind over it, wiring blackboxes the right way for that kind
-/// (standardBlackboxes() for the interpreter, the GenBlackboxBridge
-/// compiled into the module for generated engines). EngineKind::Generated
+/// (standardBlackboxes() for the in-process interpreter and bytecode VM,
+/// the GenBlackboxBridge compiled into the module for generated
+/// engines). EngineKind::Generated
 /// fails with a diagnostic when no host C++ compiler is available —
 /// callers that can fall back should check GenModule::hostCompilerAvailable.
 Expected<FormatEngine> makeFormatEngine(const std::string &Name,

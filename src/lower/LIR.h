@@ -1,0 +1,274 @@
+//===- lower/LIR.h - flat lowered IR shared by every engine -----*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lowering layer every execution mode consumes. lower() runs ONCE per
+/// Grammar and produces a flat, fully resolved module:
+///
+///  - every rule's alternatives flattened to instruction sequences
+///    (lir::TermL) already in the Section-3.2 execution order, with rule
+///    targets, literal ids, and blackbox call sites resolved;
+///  - every expression compiled to a compact postfix program
+///    (lir::XInstr) with structured short-circuit jumps, ready for the
+///    bytecode VM's dispatch loop;
+///  - the recursion-shape classification (analysis/RecShape.h) and the
+///    (rule, interval) memoization eligibility policy, computed once;
+///  - a dense name table (start = 0, end = 1 first, matching
+///    ipg_rt::IdStart/IdEnd) covering every symbol an emitter can
+///    reference;
+///  - the deduplicated blackbox call-site table engines resolve against
+///    their registry at construction time.
+///
+/// Consumers divide the module between them: the interpreter keeps its
+/// act-stack machine but reads pre-resolved operands (TermL carries a
+/// pointer to the source AST term, so the interpreter still tree-walks
+/// expressions through expr/Eval.h); the bytecode VM (vm/BytecodeVM.h)
+/// executes the compiled expression programs directly; the C++ emitter
+/// (codegen/CppEmitter.cpp) walks lir for structure — name ids, memo
+/// flags, shapes, execution order, blackbox sites — and renders the
+/// source expressions as C++. Name/slot/blackbox resolution lives HERE
+/// and nowhere else; the engines must not re-derive it.
+///
+/// Lowering never fails: a grammar that skipped completion or attribute
+/// checking lowers to instructions whose unresolved operands
+/// (InvalidRuleId targets, NoExpr intervals) reproduce the engines'
+/// historical "internal:" hard errors at parse time. verify() checks the
+/// invariants tests/vm_test.cpp locks: resolved operands for checked
+/// grammars, interned literals, and jump-target well-formedness of every
+/// expression program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_LOWER_LIR_H
+#define IPG_LOWER_LIR_H
+
+#include "analysis/RecShape.h"
+#include "grammar/Grammar.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipg {
+namespace lir {
+
+//===----------------------------------------------------------------------===//
+// Expression programs
+//===----------------------------------------------------------------------===//
+
+/// Index of a compiled expression program in Module::Exprs.
+using ExprId = uint32_t;
+inline constexpr ExprId NoExpr = ~0u;
+
+/// Opcodes of the postfix expression bytecode. Stack effects are fixed
+/// per opcode; every program leaves exactly one value on the stack.
+/// Partiality (absent attribute, guarded division, out-of-bounds read)
+/// fails the whole program, exactly as expr/Eval.h's std::nullopt does.
+enum class XOp : uint8_t {
+  Num,       ///< push Imm
+  Add,       ///< pop R, pop L, push L + R
+  Sub,       ///< pop R, pop L, push L - R
+  Mul,       ///< pop R, pop L, push L * R
+  Div,       ///< guarded (ipg_rt::checkedDiv); fail on 0 / overflow
+  Mod,       ///< guarded (ipg_rt::checkedMod)
+  Eq,        ///< comparisons push 0/1
+  Ne,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Shl,       ///< guarded (ipg_rt::checkedShl); fail outside [0, 62]
+  Shr,       ///< guarded (ipg_rt::checkedShr)
+  BitAnd,    ///< pop R, pop L, push L & R
+  Bool,      ///< pop V, push V != 0 (normalizes And/Or results)
+  BrFalse,   ///< pop V; V == 0: push 0, jump A (And short-circuit)
+  BrTrue,    ///< pop V; V != 0: push 1, jump A (Or short-circuit)
+  JmpZero,   ///< pop V; V == 0: jump A (conditional's else edge)
+  Jmp,       ///< jump A
+  LoadAttr,  ///< push attribute Sym (scoped bindings, then lexical chain)
+  LoadNtAttr,   ///< push attribute Attr of latest sibling node named Sym
+  LoadElemAttr, ///< pop Index; push Attr of element Index of array Sym
+  LoadEoi,      ///< push the local input's size
+  LoadTermEnd,  ///< push the touch-record end of term #Imm
+  ReadFixed,    ///< pop Off; push fixed-width read (ReadKind in A)
+  ReadRange,    ///< pop Hi, pop Lo; push btoi-style read (ReadKind in A)
+  Exists,       ///< push the exists-scan result (ExistsInfo index in A)
+};
+
+/// One expression instruction. Which operand fields are live depends on
+/// the opcode; dead fields are zero.
+struct XInstr {
+  XOp Op = XOp::Num;
+  uint32_t A = 0;      ///< jump target (program-relative) / ReadKind /
+                       ///< ExistsInfo index
+  Symbol Sym = InvalidSymbol;  ///< attribute / nonterminal / array name
+  Symbol Attr = InvalidSymbol; ///< attribute of LoadNtAttr/LoadElemAttr
+  int64_t Imm = 0;             ///< literal value / term index
+};
+
+/// `exists j . C ? T : E` — the loop variable, the statically identified
+/// scanned array (expr/Eval.h's findScannedArray), and the three
+/// sub-programs. ArrayNT == InvalidSymbol reproduces evaluation failure.
+struct ExistsInfo {
+  Symbol LoopVar = InvalidSymbol;
+  Symbol ArrayNT = InvalidSymbol;
+  ExprId Cond = NoExpr;
+  ExprId Then = NoExpr;
+  ExprId Else = NoExpr;
+};
+
+/// A compiled expression: a [Begin, End) window into Module::XCode plus
+/// the exact operand-stack high-water mark (so evaluators can reserve
+/// once; tests/vm_test.cpp asserts the bound).
+struct ExprProgram {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  uint32_t MaxStack = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Lowered terms, alternatives, rules
+//===----------------------------------------------------------------------===//
+
+/// A pre-resolved interval: both endpoint programs, or NoExpr when the
+/// source interval never went through completion (engines hard-error at
+/// use, preserving the historical diagnostics).
+struct IntervalL {
+  ExprId Lo = NoExpr;
+  ExprId Hi = NoExpr;
+  const Interval *Src = nullptr; ///< source AST (interp / emitter exprs)
+};
+
+/// Lowered term opcodes — one per Term::Kind, but with every operand
+/// resolved at lowering time.
+enum class TermOp : uint8_t {
+  CallRule,     ///< nonterminal: parse Rule over Iv
+  MatchBytes,   ///< terminal: match literal Lit inside Iv
+  MatchRaw,     ///< wildcard terminal: accept Iv wholesale, zero-copy
+  SetAttr,      ///< attribute definition: Sym = eval(E0)
+  Check,        ///< predicate: fail when eval(E0) is 0 (or fails)
+  ForArray,     ///< array: for Sym(=loop var) in [E0, E1) parse Rule at Iv
+  Select,       ///< switch: arms Module::Arms[ArmsBegin, ArmsEnd)
+  CallBlackbox, ///< blackbox call site Bb over Iv
+};
+
+/// One arm of a Select. Cond == NoExpr marks the default arm.
+struct ArmL {
+  ExprId Cond = NoExpr;
+  RuleId Rule = InvalidRuleId;
+  IntervalL Iv;
+  const SwitchChoice *Src = nullptr;
+};
+
+/// One lowered term. TermIdx is the index into the SOURCE Alternative's
+/// Terms — the identity the tree (ChildTermIdx), the touch records
+/// (TermEnd), and the serializers key on.
+struct TermL {
+  TermOp Op = TermOp::Check;
+  uint32_t TermIdx = 0;
+  RuleId Rule = InvalidRuleId;   ///< CallRule/ForArray target
+  IntervalL Iv;                  ///< positional terms
+  ExprId E0 = NoExpr;            ///< SetAttr/Check value; array From
+  ExprId E1 = NoExpr;            ///< array To
+  Symbol Sym = InvalidSymbol;    ///< attr name / loop var / NT or bb name
+  Symbol Elem = InvalidSymbol;   ///< array element nonterminal
+  uint32_t Lit = 0;              ///< literal id (MatchBytes)
+  uint32_t ArmsBegin = 0;        ///< Select arm window
+  uint32_t ArmsEnd = 0;
+  uint32_t Bb = ~0u;             ///< blackbox site index (CallBlackbox)
+  const Term *Src = nullptr;     ///< source AST term
+};
+
+/// One alternative, already in execution order: Exec[i] is the term the
+/// engines run i-th (the Section-3.2 dependency-DAG order, or source
+/// order when checkAttributes left ExecOrder empty).
+struct AltL {
+  const Alternative *Src = nullptr;
+  std::vector<TermL> Exec;
+};
+
+/// One lowered rule.
+struct RuleL {
+  const Rule *Src = nullptr;
+  Symbol Name = InvalidSymbol;
+  uint32_t NameId = 0;    ///< dense Module::NameTable id
+  bool IsLocal = false;
+  /// The shared memoization eligibility policy (global rule that spawns
+  /// subparsers), computed once here. Engines still AND it with their
+  /// runtime EngineOptions::UseMemo.
+  bool Memoizable = false;
+  ExecShape Shape = ExecShape::Direct;
+  FlattenInfo Flatten;    ///< valid iff Shape == Flattened
+  std::vector<AltL> Alts;
+};
+
+/// A blackbox call site, deduplicated by name. Engines resolve sites
+/// against their BlackboxRegistry once at construction; an unresolved
+/// site reproduces the "not registered" hard error at call time.
+struct BbSite {
+  Symbol Name = InvalidSymbol;
+  uint32_t NameId = 0;
+  std::string NameStr;
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+/// The lowered grammar. Borrows the Grammar (same lifetime contract as
+/// the engines); immutable after lower() returns, so any number of
+/// engines on any number of threads may share one module.
+struct Module {
+  const Grammar *G = nullptr;
+  std::vector<RuleL> Rules;          ///< indexed by RuleId
+  std::vector<std::string> Lits;     ///< deduped terminal byte strings
+  std::vector<ArmL> Arms;            ///< Select arm pool
+  std::vector<XInstr> XCode;         ///< all expression programs
+  std::vector<ExprProgram> Exprs;    ///< indexed by ExprId
+  std::vector<ExistsInfo> Exists;
+  std::vector<BbSite> BbSites;
+  /// Dense name table: NameTable[0] is the grammar's `start` symbol and
+  /// NameTable[1] its `end` symbol (the ipg_rt::IdStart/IdEnd contract
+  /// generated parsers rely on), followed by every other symbol the
+  /// module references, in deterministic first-use order.
+  std::vector<Symbol> NameTable;
+  RuleId Start = InvalidRuleId;      ///< resolved start rule
+  bool AnyStep = false;              ///< any rule classified Step
+
+  /// Dense id of \p S. Asserts the symbol was collected during lowering —
+  /// a miss is a lowering bug, not a runtime condition.
+  uint32_t nameIdOf(Symbol S) const;
+
+  /// Spelling helper for diagnostics.
+  std::string_view nameOf(Symbol S) const { return G->interner().name(S); }
+
+  /// The global (non-where-clause) rule defining \p S, or InvalidRuleId.
+  /// The alternate-start-symbol parse entry points of the engines resolve
+  /// through this so start resolution has one home (Module::Start is the
+  /// precomputed result for the grammar's declared start symbol).
+  RuleId globalRuleOf(Symbol S) const;
+
+  /// Lowering-internal reverse map (Symbol -> NameId + 1, 0 = absent);
+  /// consumers go through nameIdOf().
+  std::vector<uint32_t> SymToName;
+};
+
+/// Lowers \p G (normally completed + attribute-checked; see the file
+/// comment for how unchecked grammars degrade). The module borrows \p G.
+Module lower(const Grammar &G);
+
+/// Structural validation of a lowered module: resolved rule targets and
+/// intervals, literal-table consistency, and jump-target well-formedness
+/// plus stack-balance of every expression program. Returns an empty
+/// string when valid, else a description of the first violation.
+std::string verify(const Module &M);
+
+} // namespace lir
+} // namespace ipg
+
+#endif // IPG_LOWER_LIR_H

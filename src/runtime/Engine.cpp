@@ -8,13 +8,22 @@
 #include "runtime/Engine.h"
 #include "codegen/GenEngine.h"
 #include "runtime/Interp.h"
+#include "vm/BytecodeVM.h"
 
 using namespace ipg;
 
 Engine::~Engine() = default;
 
 const char *ipg::engineKindName(EngineKind K) {
-  return K == EngineKind::Interp ? "interp" : "generated";
+  switch (K) {
+  case EngineKind::Interp:
+    return "interp";
+  case EngineKind::Generated:
+    return "generated";
+  case EngineKind::Vm:
+    return "vm";
+  }
+  return "unknown";
 }
 
 Expected<std::unique_ptr<Engine>>
@@ -25,6 +34,8 @@ ipg::makeEngine(EngineKind Kind, const Grammar &G,
   switch (Kind) {
   case EngineKind::Interp:
     return Ret(std::make_unique<Interp>(G, Blackboxes, Opts));
+  case EngineKind::Vm:
+    return Ret(std::make_unique<BytecodeVM>(G, Blackboxes, Opts));
   case EngineKind::Generated: {
     // The module compiles the options in (memoization policy, default
     // depth limit); blackboxes bind through GenConfig's bridge source,

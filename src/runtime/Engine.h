@@ -62,9 +62,10 @@ struct GenModuleConfig; // codegen/GenEngine.h
 enum class EngineKind {
   Interp,    ///< the big-step interpreter (runtime/Interp.h)
   Generated, ///< a compiled generated parser loaded in-process
+  Vm,        ///< the bytecode VM over the lowered IR (vm/BytecodeVM.h)
 };
 
-/// Spelling for logs/bench entry names ("interp" / "generated").
+/// Spelling for logs/bench entry names ("interp" / "generated" / "vm").
 const char *engineKindName(EngineKind K);
 
 class Engine {
@@ -98,11 +99,12 @@ protected:
   Engine() = default;
 };
 
-/// The one engine factory. \p Blackboxes is consulted by the interpreter
-/// only (generated parsers bind decoders through their GenModuleConfig);
-/// \p GenConfig parameterizes EngineKind::Generated compiles and is
-/// ignored by the interpreter. Fails when the requested mode cannot be
-/// built (e.g. Generated without a host compiler).
+/// The one engine factory. \p Blackboxes is consulted by the in-process
+/// modes — interpreter and bytecode VM — only (generated parsers bind
+/// decoders through their GenModuleConfig); \p GenConfig parameterizes
+/// EngineKind::Generated compiles and is ignored by the other modes.
+/// Fails when the requested mode cannot be built (e.g. Generated without
+/// a host compiler).
 Expected<std::unique_ptr<Engine>>
 makeEngine(EngineKind Kind, const Grammar &G,
            const BlackboxRegistry *Blackboxes = nullptr,

@@ -69,9 +69,10 @@ namespace ipg {
 using InterpOptions = EngineOptions;
 using InterpStats = EngineStats;
 
-/// Reusable engine internals (tree store, memo table, frame pool); owned
-/// via unique_ptr so the hot-path types stay out of this header.
-struct InterpState;
+/// Reusable engine internals (tree store, memo table, frame pool; shared
+/// with the bytecode VM — runtime/ParseScratch.h); owned via unique_ptr
+/// so the hot-path types stay out of this header.
+struct ParseScratch;
 
 /// One engine instance per (grammar, options); parse() may be called many
 /// times and results are independent, but the instance recycles its
@@ -106,7 +107,7 @@ private:
   const BlackboxRegistry *Blackboxes;
   InterpOptions Opts;
   InterpStats Stats;
-  std::unique_ptr<InterpState> S;
+  std::unique_ptr<ParseScratch> S;
 };
 
 } // namespace ipg

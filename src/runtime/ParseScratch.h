@@ -1,0 +1,298 @@
+//===- runtime/ParseScratch.h - reusable in-process engine state -*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recycled scratch state shared by the two in-process execution modes
+/// — the tree-walking interpreter (runtime/Interp.cpp) and the bytecode VM
+/// (vm/BytecodeVM.cpp). Both engines run the same three-tier execution
+/// strategy (Direct recursion / Flattened descend-replay / Step work-stack
+/// machine) over the same lowered module (lower/LIR.h), so they share one
+/// state layout: per-depth frame pool, memo + reentry tables, flattened
+/// window stack, machine activation records, and the store-recycling
+/// plumbing. Everything here survives across parse() calls so the steady
+/// state allocates nothing: vectors and the flat hashes keep their
+/// capacity through clear(), the TreeStore keeps its arena blocks through
+/// reset(), and frames are pooled per recursion depth.
+///
+/// This header is an implementation detail of the two engines; nothing
+/// else should include it (public surfaces expose it only as a forward
+/// declaration behind unique_ptr).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_RUNTIME_PARSESCRATCH_H
+#define IPG_RUNTIME_PARSESCRATCH_H
+
+#include "lower/LIR.h"
+#include "runtime/Blackbox.h"
+#include "runtime/EngineOptions.h"
+#include "runtime/Env.h"
+#include "runtime/ParseTree.h"
+#include "support/Bytes.h"
+#include "support/FlatHash.h"
+#include "support/GenRuntime.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ipg {
+
+// The in-process engines and the generated parsers share one semantic
+// core (support/GenRuntime.h, embedded verbatim into codegen output). The
+// ReadKind encoding used across that boundary must mirror the enum.
+static_assert(static_cast<unsigned>(ReadKind::U8) == ipg_rt::RK_U8 &&
+                  static_cast<unsigned>(ReadKind::U16Le) == ipg_rt::RK_U16Le &&
+                  static_cast<unsigned>(ReadKind::U32Le) == ipg_rt::RK_U32Le &&
+                  static_cast<unsigned>(ReadKind::U64Le) == ipg_rt::RK_U64Le &&
+                  static_cast<unsigned>(ReadKind::U16Be) == ipg_rt::RK_U16Be &&
+                  static_cast<unsigned>(ReadKind::U32Be) == ipg_rt::RK_U32Be &&
+                  static_cast<unsigned>(ReadKind::BtoiLe) ==
+                      ipg_rt::RK_BtoiLe &&
+                  static_cast<unsigned>(ReadKind::BtoiBe) == ipg_rt::RK_BtoiBe,
+              "ipg_rt read-kind encoding must mirror ipg::ReadKind");
+
+/// Env adapter with the getAttr/setAttr surface ipg_rt::updStartEnd
+/// expects.
+struct EnvRef {
+  Env &E;
+  bool getAttr(Symbol S, long long &Out) const {
+    if (auto V = E.get(S)) {
+      Out = *V;
+      return true;
+    }
+    return false;
+  }
+  void setAttr(Symbol S, long long V) { E.set(S, static_cast<int64_t>(V)); }
+};
+
+struct ParseScratch {
+  /// Per-alternative execution state: the environment E, the ids of
+  /// already-built child trees, and per-term touch records for TermEnd.
+  struct Frame {
+    ByteSpan Input;
+    Env E;
+    std::vector<uint32_t> ChildIds;
+    std::vector<uint32_t> ChildTermIdx;
+
+    /// Per-term touch records, invalidated per alternative by generation
+    /// stamp — a rule with many failing alternatives pays O(1) per
+    /// attempt instead of refilling the array (the same scheme as the
+    /// generated ipg_rt::Frame).
+    struct TermRec {
+      uint32_t Gen = 0;
+      int64_t Start = 0;
+      int64_t End = 0;
+    };
+    std::vector<TermRec> Recs;
+    uint32_t RecGen = 0;
+
+    /// Enclosing frame for where-clause rules (null for global rules).
+    const Frame *Lexical = nullptr;
+
+    void beginAlt(ByteSpan In, const Frame *Lex, size_t NumTerms) {
+      Input = In;
+      Lexical = Lex;
+      E.clear();
+      ChildIds.clear();
+      ChildTermIdx.clear();
+      if (Recs.size() < NumTerms)
+        Recs.resize(NumTerms);
+      if (++RecGen == 0) {
+        // Generation wrap (once per 2^32 alternatives): ancient stamps
+        // could alias the restarted counter, so pay one full sweep.
+        for (TermRec &R : Recs)
+          R.Gen = 0;
+        RecGen = 1;
+      }
+    }
+
+    void rec(uint32_t TermIdx, int64_t Start, int64_t End) {
+      Recs[TermIdx] = TermRec{RecGen, Start, End};
+    }
+    bool termEnd(uint32_t TermIdx, int64_t &Out) const {
+      if (TermIdx >= Recs.size() || Recs[TermIdx].Gen != RecGen)
+        return false;
+      Out = Recs[TermIdx].End;
+      return true;
+    }
+  };
+
+  /// ipg_rt::memoPack'd outcomes — the same encoding the generated Ctx
+  /// uses, through the same helpers; ids are stable within a parse.
+  FlatIntervalMap<uint32_t> Memo;
+  FlatIntervalMap<uint8_t> InProgress;
+  std::vector<std::unique_ptr<Frame>> FramePool; // indexed by depth
+  std::vector<std::vector<uint32_t>> ElemScratch; // per array-nesting level
+  size_t ArrayNest = 0;
+
+  /// The lowered module (lower/LIR.h), computed once per engine: resolved
+  /// rule targets, interned literals, recursion shapes, memo eligibility,
+  /// and blackbox call sites — the shared resolution layer all engines
+  /// consume instead of re-deriving it from the Grammar.
+  lir::Module Lowered;
+  /// Blackbox call sites pre-resolved against the registry at engine
+  /// construction, indexed by lir::TermL::Bb. A null entry reproduces the
+  /// "not registered" hard error at call time.
+  std::vector<const BlackboxFn *> BbFns;
+
+  /// Flattened-tier state: the descend/replay window stack, banked
+  /// prefix-child records, and (under DetectReentry) the in-progress keys
+  /// of pending levels. Nested flattened activations share these vectors
+  /// through saved bases; capacity persists across parses, so the steady
+  /// state allocates nothing.
+  struct FlatKid {
+    uint32_t Node = 0;   ///< adjusted (shifted) child node id
+    int64_t Start = 0;   ///< recorded child start as the parent saw it
+    int64_t End = 0;     ///< recorded child end as the parent saw it
+    bool Touched = false;
+  };
+  std::vector<ByteSpan> FlatLevels;
+  std::vector<FlatKid> FlatKids;
+  std::vector<IntervalKey> FlatKeys;
+
+  /// Step-tier activation record: one per live rule invocation on the
+  /// explicit work-stack machine (the machine only ever starts at the
+  /// parse root; see analyzeRecShape's up-closure).
+  struct MachineAct {
+    RuleId Id = InvalidRuleId;
+    ByteSpan Input;
+    const Frame *Lex = nullptr; ///< lexical frame for where-clause rules
+    IntervalKey Key;
+    uint32_t AltIdx = 0;
+    uint32_t StepIdx = 0; ///< next position in the alternative's exec order
+    enum : uint8_t { WaitNone, WaitNT, WaitArr };
+    uint8_t Wait = WaitNone;
+    bool Memoize = false;
+    bool Inserted = false;  ///< holds an InProgress reentry key
+    bool NeedBegin = true;  ///< beginAlt pending for (AltIdx, StepIdx=0)
+    uint32_t PendTI = 0;    ///< term index of the suspended child
+    int64_t PendLo = 0;
+    int64_t PendHi = 0;
+    const lir::TermL *Arr = nullptr; ///< in-flight array term, if any
+    int64_t ArrK = 0;
+    int64_t ArrTo = 0;
+    int64_t ArrMaxEnd = 0;
+    bool ArrTouched = false;
+    bool ArrHadSaved = false;
+    int64_t ArrSaved = 0;
+    size_t ArrLevel = 0;
+  };
+  std::vector<MachineAct> Acts;
+
+  /// Bytecode-evaluator scratch (VM only; the interpreter tree-walks):
+  /// the operand stack shared by nested program activations through saved
+  /// bases, and the exists-scan binding stack consulted by LoadAttr
+  /// innermost-first before the frame's lexical chain.
+  std::vector<int64_t> VStack;
+  /// Committed height of VStack: the prefix owned by outer program
+  /// activations. A general-form evaluation windows [VTop, VTop+MaxStack)
+  /// with raw pointers and only publishes VTop across the one re-entrant
+  /// opcode (Exists), so nested activations stack above it.
+  size_t VTop = 0;
+  struct Bind {
+    Symbol Var = InvalidSymbol;
+    int64_t Value = 0;
+  };
+  std::vector<Bind> Binds;
+
+  /// The store of the parse in flight (and, after a FAILED parse, of the
+  /// next one — failures recycle trivially since no result escaped). A
+  /// successful parse MOVES this into the returned TreePtr: the engine
+  /// keeps no reference, so the result path performs zero refcount
+  /// traffic, and a dropped result finds its way back through Pool.
+  TreeStore *Cur = nullptr;
+  /// Where dying TreePtrs park their store for reuse; heap-allocated so
+  /// it can outlive whichever of engine / last tree dies first.
+  TreeStore::Recycler *Pool = new TreeStore::Recycler();
+
+  ~ParseScratch() {
+    TreeStore::Recycler *P = Pool;
+    P->OwnerAlive = false;
+    TreeStore *Parked = P->Returned;
+    P->Returned = nullptr;
+    bool DestroyedAny = Cur || Parked;
+    if (Cur)
+      TreeStore::destroy(Cur); // may free P when it was the last store
+    if (Parked)
+      TreeStore::destroy(Parked);
+    // No store went through destroy() and none are loaned out: P is ours
+    // to free. (Outstanding TreePtrs free it through their last release.)
+    if (!DestroyedAny && P->LiveStores == 0)
+      delete P;
+  }
+
+  Frame &frameAt(size_t Depth) {
+    while (FramePool.size() <= Depth)
+      FramePool.push_back(std::make_unique<Frame>());
+    return *FramePool[Depth];
+  }
+
+  std::vector<uint32_t> &elemScratchAt(size_t Level) {
+    if (ElemScratch.size() <= Level)
+      ElemScratch.resize(Level + 1);
+    return ElemScratch[Level];
+  }
+
+  /// Shared by Interp/BytecodeVM construction: lower the grammar once and
+  /// resolve every blackbox call site against \p Blackboxes.
+  void bindGrammar(const Grammar &G, const BlackboxRegistry *Blackboxes) {
+    Lowered = lir::lower(G);
+    BbFns.reserve(Lowered.BbSites.size());
+    for (const lir::BbSite &Site : Lowered.BbSites)
+      BbFns.push_back(Blackboxes ? Blackboxes->find(Site.NameStr) : nullptr);
+  }
+
+  /// Shared parse-entry reset: recycle or allocate the store and clear
+  /// every per-parse table (capacity retained). Sets
+  /// \p Stats.StoreRecycled.
+  void beginParse(EngineStats &Stats) {
+    if (!Cur && Pool->Returned) {
+      Cur = Pool->Returned;
+      Pool->Returned = nullptr;
+    }
+    if (Cur) {
+      Cur->reset();
+      Stats.StoreRecycled = true;
+    } else {
+      Cur = new TreeStore(Pool);
+    }
+    Memo.clear();
+    InProgress.clear();
+    ArrayNest = 0;
+    // The tier scratch is left empty by every exit path; clearing here is
+    // belt-and-braces so a parse can never see a predecessor's state.
+    FlatLevels.clear();
+    FlatKids.clear();
+    FlatKeys.clear();
+    Acts.clear();
+    VStack.clear();
+    VTop = 0;
+    Binds.clear();
+  }
+
+  /// Shared adoptStore(): park a store coming home from a FrozenTree
+  /// round trip, declining when a spare already waits.
+  bool adopt(TreeStore *Store) {
+    if (!Store)
+      return false;
+    // Engine-thread only: bindRecycler stamps this thread as the store's
+    // owner and the recycler counters are plain. Decline when a store is
+    // already parked (or in flight) — one spare is all a worker needs.
+    if (Cur || Pool->Returned)
+      return false;
+    Store->bindRecycler(Pool);
+    Store->reset();
+    Pool->Returned = Store;
+    return true;
+  }
+};
+
+} // namespace ipg
+
+#endif // IPG_RUNTIME_PARSESCRATCH_H

@@ -74,6 +74,10 @@
 #include <thread>
 #endif
 
+#if IPG_ATOMIC_REFCOUNT
+#include <atomic>
+#endif
+
 namespace ipg {
 
 class TreeStore;
@@ -475,20 +479,39 @@ private:
 #endif
 
   void retain() const {
+#if IPG_ATOMIC_REFCOUNT
+    // Opt-in shared-tree mode: handles may be copied on any thread, so
+    // taking a reference needs no ordering beyond the count itself.
+    RefCount.fetch_add(1, std::memory_order_relaxed);
+#else
 #ifdef IPG_CHECK_OWNERSHIP
     checkOwner();
 #endif
     ++RefCount;
+#endif
   }
   /// Drops one reference; on the last one the store parks itself in its
   /// recycler (owner alive, slot free) or deletes itself.
   void release() const {
+#if IPG_ATOMIC_REFCOUNT
+    // acq_rel so the final releaser observes every other thread's reads
+    // of the tree before tearing it down (the shared_ptr discipline).
+    // Cross-thread handle traffic is safe against itself; the FINAL
+    // release still races the owning engine's recycler unless the
+    // consumers are joined first — the documented contract for this
+    // opt-in is "fan out read-only, join, then let the engine reuse".
+    size_t Prev = RefCount.fetch_sub(1, std::memory_order_acq_rel);
+    assert(Prev > 0 && "release without retain");
+    if (Prev > 1)
+      return;
+#else
 #ifdef IPG_CHECK_OWNERSHIP
     checkOwner();
 #endif
     assert(RefCount > 0 && "release without retain");
     if (--RefCount > 0)
       return;
+#endif
     TreeStore *Self = const_cast<TreeStore *>(this);
     if (Pool && Pool->OwnerAlive && !Pool->Returned) {
       Pool->Returned = Self;
@@ -500,7 +523,14 @@ private:
   Arena Mem;
   std::vector<const ParseTree *> Nodes;
   Recycler *Pool = nullptr;
+#if IPG_ATOMIC_REFCOUNT
+  /// Opt-in (CMake IPG_ATOMIC_REFCOUNT): atomic count so TreePtr copies
+  /// may be shared across threads. The default plain count stays the hot
+  /// path — atomics cost a lock-prefixed op per handle copy/drop.
+  mutable std::atomic<size_t> RefCount{0};
+#else
   mutable size_t RefCount = 0; ///< plain count: engine-thread only
+#endif
   Symbol ShiftStartSym = InvalidSymbol;
   Symbol ShiftEndSym = InvalidSymbol;
 #ifdef IPG_CHECK_OWNERSHIP

@@ -1,13 +1,23 @@
-//===- runtime/Interp.cpp -------------------------------------------------===//
+//===- vm/BytecodeVM.cpp --------------------------------------------------===//
 //
 // Part of the IPG reproduction of "Interval Parsing Grammars for File Format
 // Parsing" (PLDI 2023). MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The Runner below is a structural twin of the interpreter's
+// (runtime/Interp.cpp): the same three execution tiers, the same control
+// flow, the same counter increments and hard-error texts — differential
+// testing depends on that twin-ship. The ONLY divergence is expression
+// evaluation: where the interpreter tree-walks the source AST through
+// expr/Eval.h, this engine executes the compiled postfix programs of the
+// lowered module through evalProgram()'s computed-goto dispatch loop.
+// When changing either file, change both.
+//
+//===----------------------------------------------------------------------===//
 
-#include "runtime/Interp.h"
+#include "vm/BytecodeVM.h"
 
-#include "expr/Eval.h"
 #include "lower/LIR.h"
 #include "runtime/ParseScratch.h"
 #include "support/Casting.h"
@@ -29,99 +39,307 @@ using namespace ipg;
 namespace {
 
 using Frame = ParseScratch::Frame;
+using QE = BytecodeVM::QuickExpr;
 
-/// EvalContext view of a Frame (sigma of Figure 8). Child trees are stored
-/// as ids; the store resolves them.
-class FrameCtx : public EvalContext {
-public:
-  FrameCtx(const Frame &F, const Grammar &G, const TreeStore &Store)
-      : F(F), G(G), Store(Store) {}
+/// Decodes one expression program into its closed quick form, or General
+/// when no pattern applies. The recognized shapes — a constant, EOI, a
+/// single attribute / sibling-attribute / term-end load, any of those
+/// +/- a constant, a constant times an attribute, term-end plus an
+/// attribute, and a fixed-width read at a constant or attribute(+const)
+/// offset — cover nearly every interval endpoint real grammars produce. Equivalence contract:
+/// a quick form must compute exactly what the dispatch loop would (same
+/// partiality order, same wrapping add), so classification errs toward
+/// General whenever that is in doubt (e.g. subtracting INT64_MIN, whose
+/// negation does not exist).
+QE classifyExpr(const lir::Module &L, uint32_t Id,
+                std::vector<BytecodeVM::DigitTerm> &Digits) {
+  const lir::ExprProgram &P = L.Exprs[Id];
+  const lir::XInstr *C = L.XCode.data() + P.Begin;
+  const uint32_t N = P.End - P.Begin;
+  QE Q;
 
-  std::optional<int64_t> attr(Symbol Id) const override {
-    for (const Frame *L = &F; L; L = L->Lexical)
-      if (auto V = L->E.get(Id))
-        return V;
-    return std::nullopt;
+  auto loadOf = [](const lir::XInstr &I, QE &O) -> bool {
+    switch (I.Op) {
+    case lir::XOp::Num:
+      O.K = QE::Const;
+      O.Imm = I.Imm;
+      return true;
+    case lir::XOp::LoadEoi:
+      O.K = QE::Eoi;
+      return true;
+    case lir::XOp::LoadAttr:
+      O.K = QE::Attr;
+      O.Sym = I.Sym;
+      return true;
+    case lir::XOp::LoadNtAttr:
+      O.K = QE::NtAttr;
+      O.Sym = I.Sym;
+      O.A = I.Attr;
+      return true;
+    case lir::XOp::LoadTermEnd:
+      O.K = QE::TermEnd;
+      O.A = static_cast<uint32_t>(I.Imm);
+      return true;
+    default:
+      return false;
+    }
+  };
+
+  if (N == 1) {
+    loadOf(C[0], Q);
+    return Q;
   }
-
-  std::optional<int64_t> ntAttr(Symbol NT, Symbol Attr) const override {
-    for (const Frame *L = &F; L; L = L->Lexical)
-      for (size_t I = L->ChildIds.size(); I-- > 0;)
-        if (const auto *N = dyn_cast<NodeTree>(Store.node(L->ChildIds[I])))
-          if (N->name() == NT)
-            return N->attr(Attr);
-    return std::nullopt;
-  }
-
-  std::optional<int64_t> elemAttr(Symbol NT, int64_t Index,
-                                  Symbol Attr) const override {
-    const ArrayTree *A = findArray(NT);
-    if (!A || Index < 0 || static_cast<size_t>(Index) >= A->size())
-      return std::nullopt;
-    const NodeTree *N = A->element(static_cast<size_t>(Index));
-    return N ? N->attr(Attr) : std::nullopt;
-  }
-
-  std::optional<int64_t> arrayLength(Symbol NT) const override {
-    const ArrayTree *A = findArray(NT);
-    if (!A)
-      return std::nullopt;
-    return static_cast<int64_t>(A->size());
-  }
-
-  std::optional<int64_t> eoi() const override {
-    return static_cast<int64_t>(F.Input.size());
-  }
-
-  std::optional<int64_t> termEnd(uint32_t TermIdx) const override {
-    int64_t Out = 0;
-    if (!F.termEnd(TermIdx, Out))
-      return std::nullopt;
-    return Out;
-  }
-
-  std::optional<int64_t> readInput(ReadKind RK, int64_t Lo,
-                                   int64_t Hi) const override {
-    // Width/endianness and the bounds guards live in the shared runtime
-    // (the generated parsers call the same functions).
+  // Reads pre-resolve the ReadKind to a width|endian spec so the
+  // evaluator can use compile-time-width loads (readFixedQuick). A kind
+  // without a fixed spec stays General.
+  auto readSpec = [](uint32_t RK, uint32_t &Spec) -> bool {
     long long Width = 0;
     bool BigEndian = false;
-    if (!ipg_rt::readKindSpec(static_cast<unsigned>(RK), Width, BigEndian) &&
-        !ipg_rt::btoiWidth(Lo, Hi, Width)) // btoi(lo, hi) window
-      return std::nullopt;
-    long long Out = 0;
-    if (!ipg_rt::readScalar(F.Input.data(),
-                            static_cast<long long>(F.Input.size()), Lo,
-                            Width, BigEndian, Out))
-      return std::nullopt;
-    return static_cast<int64_t>(Out);
+    if (!ipg_rt::readKindSpec(RK, Width, BigEndian))
+      return false;
+    Spec = static_cast<uint32_t>(Width) | (BigEndian ? 0x100u : 0u);
+    return true;
+  };
+  if (N == 2 && C[1].Op == lir::XOp::ReadFixed) {
+    uint32_t Spec = 0;
+    if (!readSpec(C[1].A, Spec))
+      return Q;
+    if (C[0].Op == lir::XOp::Num) {
+      Q.K = QE::ReadAtConst;
+      Q.A = Spec;
+      Q.Imm = C[0].Imm;
+    } else if (C[0].Op == lir::XOp::LoadAttr) {
+      Q.K = QE::ReadAtAttr;
+      Q.A = Spec;
+      Q.Sym = C[0].Sym;
+    }
+    return Q;
   }
-
-private:
-  const Frame &F;
-  const Grammar &G;
-  const TreeStore &Store;
-
-  const ArrayTree *findArray(Symbol NT) const {
-    for (const Frame *L = &F; L; L = L->Lexical)
-      for (size_t I = L->ChildIds.size(); I-- > 0;)
-        if (const auto *A = dyn_cast<ArrayTree>(Store.node(L->ChildIds[I])))
-          if (A->elemName() == NT)
-            return A;
-    return nullptr;
+  if (N == 3 && C[2].Op == lir::XOp::Add &&
+      C[0].Op == lir::XOp::LoadTermEnd && C[1].Op == lir::XOp::LoadAttr) {
+    Q.K = QE::TermEndAttr;
+    Q.A = static_cast<uint32_t>(C[0].Imm);
+    Q.Sym = C[1].Sym;
+    return Q;
   }
-};
+  if (N == 3 && C[2].Op == lir::XOp::Mul && C[0].Op == lir::XOp::Num &&
+      C[1].Op == lir::XOp::LoadAttr) {
+    Q.K = QE::AttrMulImm;
+    Q.Sym = C[1].Sym;
+    Q.Imm = C[0].Imm;
+    return Q;
+  }
+  // Imm * (attr + Imm2) — the strided-width form.
+  if (N == 5 && C[0].Op == lir::XOp::Num && C[1].Op == lir::XOp::LoadAttr &&
+      C[2].Op == lir::XOp::Num && C[3].Op == lir::XOp::Add &&
+      C[4].Op == lir::XOp::Mul) {
+    Q.K = QE::AttrMulImm;
+    Q.Sym = C[1].Sym;
+    Q.Imm = C[0].Imm;
+    Q.Imm2 = C[2].Imm;
+    return Q;
+  }
+  // nt.base + (i + Imm) * nt.stride — the array-element interval
+  // endpoint (e.g. ELF's shoff + i*shentsize), evaluated once per
+  // element per endpoint, so easily the hottest general shape.
+  if ((N == 5 || N == 7) && C[0].Op == lir::XOp::LoadNtAttr &&
+      C[1].Op == lir::XOp::LoadAttr && C[N - 3].Op == lir::XOp::LoadNtAttr &&
+      C[N - 2].Op == lir::XOp::Mul && C[N - 1].Op == lir::XOp::Add &&
+      (N == 5 ||
+       (C[2].Op == lir::XOp::Num && C[3].Op == lir::XOp::Add))) {
+    Q.K = QE::NtAffine;
+    Q.Sym = C[0].Sym;
+    Q.A = C[0].Attr;
+    Q.Sym3 = C[1].Sym;
+    Q.Imm = N == 7 ? C[2].Imm : 0;
+    Q.Sym2 = C[N - 3].Sym;
+    Q.Attr2 = C[N - 3].Attr;
+    return Q;
+  }
+  // attr + Imm + Imm2 * (attr2 [+ inner]) — the fixed-pitch table-row
+  // endpoint (e.g. PDF's xref rows at base + 13 + 20*i), evaluated once
+  // per row per endpoint.
+  if ((N == 7 || N == 9) && C[0].Op == lir::XOp::LoadAttr &&
+      C[1].Op == lir::XOp::Num && C[2].Op == lir::XOp::Add &&
+      C[3].Op == lir::XOp::Num && C[4].Op == lir::XOp::LoadAttr &&
+      C[N - 2].Op == lir::XOp::Mul && C[N - 1].Op == lir::XOp::Add &&
+      (N == 7 || (C[5].Op == lir::XOp::Num && C[6].Op == lir::XOp::Add))) {
+    const int64_t Inner = N == 9 ? C[5].Imm : 0;
+    if (Inner >= INT32_MIN && Inner <= INT32_MAX) {
+      Q.K = QE::AttrAffinePair;
+      Q.Sym = C[0].Sym;
+      Q.Imm = C[1].Imm;
+      Q.Imm2 = C[3].Imm;
+      Q.Sym2 = C[4].Sym;
+      Q.A = static_cast<uint32_t>(static_cast<int32_t>(Inner));
+      return Q;
+    }
+  }
+  // nt.a * Imm + nt2.b — two sibling attributes assembled positionally.
+  if (N == 5 && C[0].Op == lir::XOp::LoadNtAttr &&
+      C[1].Op == lir::XOp::Num && C[2].Op == lir::XOp::Mul &&
+      C[3].Op == lir::XOp::LoadNtAttr && C[4].Op == lir::XOp::Add) {
+    Q.K = QE::NtAttrScalePair;
+    Q.Sym = C[0].Sym;
+    Q.A = C[0].Attr;
+    Q.Imm = C[1].Imm;
+    Q.Sym2 = C[3].Sym;
+    Q.Attr2 = C[3].Attr;
+    return Q;
+  }
+  // arr[i].attr, alone or compared against a constant (the latter is the
+  // typical exists-scan condition, evaluated once per element per scan).
+  if ((N == 2 || (N == 4 && C[2].Op == lir::XOp::Num &&
+                  C[3].Op == lir::XOp::Eq)) &&
+      C[0].Op == lir::XOp::LoadAttr && C[1].Op == lir::XOp::LoadElemAttr) {
+    Q.K = N == 2 ? QE::ElemAttr : QE::ElemAttrEqImm;
+    Q.Sym3 = C[0].Sym;
+    Q.Sym = C[1].Sym;
+    Q.A = C[1].Attr;
+    if (N == 4)
+      Q.Imm = C[2].Imm;
+    return Q;
+  }
+  // arr[i].a + arr[j].b — an element's byte extent (offset + size).
+  if (N == 5 && C[0].Op == lir::XOp::LoadAttr &&
+      C[1].Op == lir::XOp::LoadElemAttr && C[2].Op == lir::XOp::LoadAttr &&
+      C[3].Op == lir::XOp::LoadElemAttr && C[4].Op == lir::XOp::Add) {
+    Q.K = QE::ElemAttrPair;
+    Q.Sym3 = C[0].Sym;
+    Q.Sym = C[1].Sym;
+    Q.A = C[1].Attr;
+    Q.Imm = static_cast<int64_t>(C[2].Sym);
+    Q.Sym2 = C[3].Sym;
+    Q.Attr2 = C[3].Attr;
+    return Q;
+  }
+  if (N == 3 && C[0].Op == lir::XOp::LoadAttr && C[1].Op == lir::XOp::Num &&
+      C[2].Op == lir::XOp::Eq) {
+    Q.K = QE::AttrEqImm;
+    Q.Sym = C[0].Sym;
+    Q.Imm = C[1].Imm;
+    return Q;
+  }
+  if (N == 3 && C[0].Op == lir::XOp::LoadEoi && C[1].Op == lir::XOp::Num &&
+      C[2].Op == lir::XOp::Div) {
+    Q.K = QE::EoiDivImm;
+    Q.Imm = C[1].Imm;
+    return Q;
+  }
+  // attr >= lo && attr' <= hi (or the strict variants) with And's
+  // short-circuit: BrFalse must jump to the end of the program.
+  if (N == 8 && C[0].Op == lir::XOp::LoadAttr && C[1].Op == lir::XOp::Num &&
+      (C[2].Op == lir::XOp::Ge || C[2].Op == lir::XOp::Gt) &&
+      C[3].Op == lir::XOp::BrFalse && C[3].A == 8 &&
+      C[4].Op == lir::XOp::LoadAttr && C[5].Op == lir::XOp::Num &&
+      (C[6].Op == lir::XOp::Le || C[6].Op == lir::XOp::Lt) &&
+      C[7].Op == lir::XOp::Bool) {
+    Q.K = QE::AttrInRange;
+    Q.Sym = C[0].Sym;
+    Q.Imm = C[1].Imm;
+    Q.Sym2 = C[4].Sym;
+    Q.Imm2 = C[5].Imm;
+    Q.A = (C[2].Op == lir::XOp::Gt ? 1u : 0u) |
+          (C[6].Op == lir::XOp::Lt ? 2u : 0u);
+    return Q;
+  }
+  if (N == 4 && C[0].Op == lir::XOp::LoadAttr && C[1].Op == lir::XOp::Num &&
+      C[2].Op == lir::XOp::Add && C[3].Op == lir::XOp::ReadFixed) {
+    uint32_t Spec = 0;
+    if (!readSpec(C[3].A, Spec))
+      return Q;
+    Q.K = QE::ReadAtAttr;
+    Q.A = Spec;
+    Q.Sym = C[0].Sym;
+    Q.Imm = C[1].Imm;
+    return Q;
+  }
+  if (N == 3 && C[1].Op == lir::XOp::Num &&
+      (C[2].Op == lir::XOp::Add || C[2].Op == lir::XOp::Sub)) {
+    QE B;
+    if (!loadOf(C[0], B))
+      return Q;
+    int64_t Addend = C[1].Imm;
+    if (C[2].Op == lir::XOp::Sub) {
+      if (Addend == INT64_MIN)
+        return Q;
+      Addend = -Addend;
+    }
+    // Fold with the dispatch loop's wrapping semantics (two's-complement
+    // add, not UB signed overflow at classification time).
+    B.Imm = static_cast<int64_t>(static_cast<uint64_t>(B.Imm) +
+                                 static_cast<uint64_t>(Addend));
+    return B;
+  }
+  // Positional decimal decode: sum of (read(off_i) - sub) * w_i over
+  // constant offsets, one read per digit — PDF's xref-entry numbers,
+  // by far the longest programs in any format. Every operation except
+  // the reads is total (wrapping), and the reads happen left to right
+  // in both forms, so the table walk is exactly the dispatch loop.
+  if (N >= 9) {
+    uint32_t Spec = 0;
+    int64_t Sub = 0;
+    uint32_t I = 0;
+    bool First = true, Ok = true;
+    const size_t Mark = Digits.size();
+    while (I < N) {
+      if (I + 3 >= N || C[I].Op != lir::XOp::Num ||
+          C[I + 1].Op != lir::XOp::ReadFixed ||
+          C[I + 2].Op != lir::XOp::Num || C[I + 3].Op != lir::XOp::Sub) {
+        Ok = false;
+        break;
+      }
+      uint32_t S = 0;
+      if (!readSpec(C[I + 1].A, S) || (!First && S != Spec) ||
+          (!First && C[I + 2].Imm != Sub)) {
+        Ok = false;
+        break;
+      }
+      Spec = S;
+      Sub = C[I + 2].Imm;
+      const int64_t Off = C[I].Imm;
+      int64_t W = 1;
+      I += 4;
+      // Weight is optional (the least-significant digit has none). The
+      // lookahead is unambiguous: a new term starts Num ReadFixed, never
+      // Num Mul.
+      if (I + 1 < N && C[I].Op == lir::XOp::Num &&
+          C[I + 1].Op == lir::XOp::Mul) {
+        W = C[I].Imm;
+        I += 2;
+      }
+      if (!First) {
+        if (I >= N || C[I].Op != lir::XOp::Add) {
+          Ok = false;
+          break;
+        }
+        ++I;
+      }
+      Digits.push_back({Off, W});
+      First = false;
+    }
+    if (Ok && Digits.size() - Mark >= 2) {
+      Q.K = QE::Digits;
+      Q.A = Spec;
+      Q.B = static_cast<uint32_t>(Mark);
+      Q.Imm = static_cast<int64_t>(Digits.size() - Mark);
+      Q.Imm2 = Sub;
+      return Q;
+    }
+    Digits.resize(Mark); // partial match: discard, stay General
+  }
+  return Q;
+}
 
-/// One parse() invocation over recycled ParseScratch. Structure — shapes,
-/// exec order, rule targets, memo policy, blackbox sites — comes from the
-/// lowered module; expressions are still tree-walked through expr/Eval.h
-/// via the Src pointers the module carries.
+/// One parse() invocation over recycled ParseScratch. See the file
+/// comment: keep structurally in lock-step with Interp.cpp's Runner.
 class Runner {
 public:
-  Runner(const Grammar &G, const InterpOptions &Opts, InterpStats &Stats,
-         ParseScratch &St)
+  Runner(const Grammar &G, const EngineOptions &Opts, EngineStats &Stats,
+         ParseScratch &St, const std::vector<QE> &Quick,
+         const std::vector<BytecodeVM::DigitTerm> &Digits)
       : G(G), L(St.Lowered), Opts(Opts), Stats(Stats), St(St),
-        Store(*St.Cur) {}
+        Store(*St.Cur), Quick(Quick), Digits(Digits) {}
 
   Expected<TreePtr> run(ByteSpan Input, RuleId Start) {
     uint32_t RootId = L.Rules[Start].Shape == ExecShape::Step
@@ -149,15 +367,645 @@ public:
 private:
   const Grammar &G;
   const lir::Module &L;
-  const InterpOptions &Opts;
-  InterpStats &Stats;
+  const EngineOptions &Opts;
+  EngineStats &Stats;
   ParseScratch &St;
   TreeStore &Store;
+  const std::vector<QE> &Quick;
+  const std::vector<BytecodeVM::DigitTerm> &Digits;
   Error Hard = Error::success();
   size_t Depth = 0;
 
   /// parseRule's failure id (nodes are 32-bit store indices).
   static constexpr uint32_t InvalidNode = ~0u;
+
+  //===--------------------------------------------------------------------===//
+  // Expression bytecode evaluation. Partiality (absent attribute, guarded
+  // arithmetic, out-of-bounds read) returns false — the program fails as
+  // a whole, exactly as expr/Eval.h's std::nullopt does.
+  //===--------------------------------------------------------------------===//
+
+  /// The exists-scan binding stack (innermost first), then the frame's
+  /// lexical chain — the flattened form of Eval.cpp's ScopedBinding
+  /// wrappers, which override attribute lookup only.
+  bool loadAttr(const Frame &F, Symbol Id, int64_t &Out) const {
+    for (size_t I = St.Binds.size(); I-- > 0;)
+      if (St.Binds[I].Var == Id) {
+        Out = St.Binds[I].Value;
+        return true;
+      }
+    for (const Frame *Lx = &F; Lx; Lx = Lx->Lexical)
+      if (auto V = Lx->E.get(Id)) {
+        Out = *V;
+        return true;
+      }
+    return false;
+  }
+
+  /// Latest sibling node named \p NT across the lexical chain; the search
+  /// stops at the first NAME match (its attribute may still be absent),
+  /// mirroring FrameCtx::ntAttr.
+  bool loadNtAttr(const Frame &F, Symbol NT, Symbol Attr,
+                  int64_t &Out) const {
+    for (const Frame *Lx = &F; Lx; Lx = Lx->Lexical)
+      for (size_t I = Lx->ChildIds.size(); I-- > 0;)
+        if (const auto *N = dyn_cast<NodeTree>(Store.node(Lx->ChildIds[I])))
+          if (N->name() == NT) {
+            if (auto V = N->attr(Attr)) {
+              Out = *V;
+              return true;
+            }
+            return false;
+          }
+    return false;
+  }
+
+  const ArrayTree *findArray(const Frame &F, Symbol NT) const {
+    for (const Frame *Lx = &F; Lx; Lx = Lx->Lexical)
+      for (size_t I = Lx->ChildIds.size(); I-- > 0;)
+        if (const auto *A = dyn_cast<ArrayTree>(Store.node(Lx->ChildIds[I])))
+          if (A->elemName() == NT)
+            return A;
+    return nullptr;
+  }
+
+  /// Width/endianness and the bounds guards live in the shared runtime
+  /// (the generated parsers call the same functions).
+  bool readInput(const Frame &F, uint32_t RK, int64_t Lo, int64_t Hi,
+                 int64_t &Out) const {
+    long long Width = 0;
+    bool BigEndian = false;
+    if (!ipg_rt::readKindSpec(RK, Width, BigEndian) &&
+        !ipg_rt::btoiWidth(Lo, Hi, Width)) // btoi(lo, hi) window
+      return false;
+    long long V = 0;
+    if (!ipg_rt::readScalar(F.Input.data(),
+                            static_cast<long long>(F.Input.size()), Lo,
+                            Width, BigEndian, V))
+      return false;
+    Out = static_cast<int64_t>(V);
+    return true;
+  }
+
+  /// `exists j . C ? T : E` over the statically identified array
+  /// (Eval.cpp's evalExists): length from the OUTER context, condition
+  /// and then-branch under the loop binding, else-branch without it. A
+  /// failing condition at any index fails the whole expression.
+  bool evalExists(const Frame &F, uint32_t Idx, int64_t &Out) {
+    const lir::ExistsInfo &X = L.Exists[Idx];
+    if (X.ArrayNT == InvalidSymbol)
+      return false;
+    const ArrayTree *A = findArray(F, X.ArrayNT);
+    if (!A)
+      return false;
+    const int64_t Len = static_cast<int64_t>(A->size());
+    for (int64_t K = 0; K < Len; ++K) {
+      St.Binds.push_back({X.LoopVar, K});
+      int64_t C = 0;
+      if (!evalProgram(F, X.Cond, C)) {
+        St.Binds.pop_back();
+        return false;
+      }
+      if (C != 0) {
+        bool Ok = evalProgram(F, X.Then, Out);
+        St.Binds.pop_back();
+        return Ok;
+      }
+      St.Binds.pop_back();
+    }
+    return evalProgram(F, X.Else, Out);
+  }
+
+  /// Executes one compiled program. Nearly every program a parse runs is
+  /// trivial, so the pre-decoded quick form (BytecodeVM::QuickExpr) is
+  /// tried first — a closed-form computation with no operand stack and no
+  /// dispatch. The three kinds that need at most a two-compare helper (a
+  /// constant, EOI +/- a constant, a term's recorded end +/- a constant —
+  /// between them almost every sequential-layout endpoint) are resolved
+  /// right here — this small body inlines into the hot term-execution
+  /// sites, so the most common endpoints cost no call — and everything
+  /// else goes through the outlined switch.
+  bool evalProgram(const Frame &F, lir::ExprId Id, int64_t &Out) {
+    const QE &Q = Quick[Id];
+    if (Q.K == QE::Const) {
+      Out = Q.Imm;
+      return true;
+    }
+    if (Q.K == QE::Eoi) {
+      Out = static_cast<int64_t>(F.Input.size()) + Q.Imm;
+      return true;
+    }
+    if (Q.K == QE::TermEnd) {
+      if (!F.termEnd(Q.A, Out))
+        return false;
+      Out += Q.Imm;
+      return true;
+    }
+    // Attribute found in the executing frame with no exists-scan binding
+    // active — loadAttr's overwhelmingly common case. A miss falls
+    // through to the full binds-then-lexical-chain lookup.
+    if (Q.K == QE::Attr && St.Binds.empty()) {
+      if (auto V = F.E.get(Q.Sym)) {
+        Out = *V + Q.Imm;
+        return true;
+      }
+    }
+    return evalQuickRest(F, Q, Id, Out);
+  }
+
+  /// The remaining quick kinds; General falls through to the dispatch
+  /// loop. Outlined so evalProgram stays small enough to inline.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline))
+#endif
+  bool
+  evalQuickRest(const Frame &F, const QE &Q, lir::ExprId Id, int64_t &Out) {
+    switch (Q.K) {
+    case QE::Const:
+    case QE::Eoi:
+      break; // handled by evalProgram before the call
+    case QE::Attr:
+      if (!loadAttr(F, Q.Sym, Out))
+        return false;
+      Out += Q.Imm;
+      return true;
+    case QE::NtAttr:
+      if (!loadNtAttr(F, Q.Sym, Q.A, Out))
+        return false;
+      Out += Q.Imm;
+      return true;
+    case QE::TermEnd:
+      if (!F.termEnd(Q.A, Out))
+        return false;
+      Out += Q.Imm;
+      return true;
+    case QE::TermEndAttr: {
+      int64_t B = 0, At = 0;
+      if (!F.termEnd(Q.A, B) || !loadAttr(F, Q.Sym, At))
+        return false;
+      Out = B + At;
+      return true;
+    }
+    case QE::AttrMulImm:
+      if (!loadAttr(F, Q.Sym, Out))
+        return false;
+      Out = Q.Imm * (Out + Q.Imm2);
+      return true;
+    case QE::NtAffine: {
+      int64_t Base = 0, Idx = 0, Stride = 0;
+      if (!loadNtAttr(F, Q.Sym, Q.A, Base) || !loadAttr(F, Q.Sym3, Idx) ||
+          !loadNtAttr(F, Q.Sym2, Q.Attr2, Stride))
+        return false;
+      Out = Base + (Idx + Q.Imm) * Stride;
+      return true;
+    }
+    case QE::AttrAffinePair: {
+      int64_t L = 0, R = 0;
+      if (!loadAttr(F, Q.Sym, L) || !loadAttr(F, Q.Sym2, R))
+        return false;
+      const uint64_t Inner = static_cast<uint64_t>(R) +
+                             static_cast<uint64_t>(static_cast<int32_t>(Q.A));
+      Out = static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                 static_cast<uint64_t>(Q.Imm) +
+                                 static_cast<uint64_t>(Q.Imm2) * Inner);
+      return true;
+    }
+    case QE::NtAttrScalePair: {
+      int64_t L = 0, R = 0;
+      if (!loadNtAttr(F, Q.Sym, Q.A, L) ||
+          !loadNtAttr(F, Q.Sym2, Q.Attr2, R))
+        return false;
+      Out = static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                     static_cast<uint64_t>(Q.Imm) +
+                                 static_cast<uint64_t>(R));
+      return true;
+    }
+    case QE::ElemAttr:
+    case QE::ElemAttrEqImm: {
+      int64_t Idx = 0;
+      if (!loadAttr(F, Q.Sym3, Idx))
+        return false;
+      const ArrayTree *A = findArray(F, Q.Sym);
+      if (!A || Idx < 0 || static_cast<size_t>(Idx) >= A->size())
+        return false;
+      const NodeTree *Nd = A->element(static_cast<size_t>(Idx));
+      if (!Nd)
+        return false;
+      auto V = Nd->attr(Q.A);
+      if (!V)
+        return false;
+      Out = Q.K == QE::ElemAttr ? *V : (*V == Q.Imm ? 1 : 0);
+      return true;
+    }
+    case QE::ElemAttrPair: {
+      // arr Sym [attr(Sym3)].A + arr Sym2 [attr(Imm)].Attr2, in the
+      // loop's exact load order.
+      int64_t Idx1 = 0;
+      if (!loadAttr(F, Q.Sym3, Idx1))
+        return false;
+      const ArrayTree *A1 = findArray(F, Q.Sym);
+      if (!A1 || Idx1 < 0 || static_cast<size_t>(Idx1) >= A1->size())
+        return false;
+      const NodeTree *N1 = A1->element(static_cast<size_t>(Idx1));
+      if (!N1)
+        return false;
+      auto V1 = N1->attr(Q.A);
+      if (!V1)
+        return false;
+      int64_t Idx2 = 0;
+      if (!loadAttr(F, static_cast<Symbol>(Q.Imm), Idx2))
+        return false;
+      const ArrayTree *A2 = findArray(F, Q.Sym2);
+      if (!A2 || Idx2 < 0 || static_cast<size_t>(Idx2) >= A2->size())
+        return false;
+      const NodeTree *N2 = A2->element(static_cast<size_t>(Idx2));
+      if (!N2)
+        return false;
+      auto V2 = N2->attr(Q.Attr2);
+      if (!V2)
+        return false;
+      Out = static_cast<int64_t>(static_cast<uint64_t>(*V1) +
+                                 static_cast<uint64_t>(*V2));
+      return true;
+    }
+    case QE::AttrEqImm:
+      if (!loadAttr(F, Q.Sym, Out))
+        return false;
+      Out = Out == Q.Imm ? 1 : 0;
+      return true;
+    case QE::Digits: {
+      const BytecodeVM::DigitTerm *T = Digits.data() + Q.B;
+      uint64_t Acc = 0;
+      for (int64_t I = 0; I < Q.Imm; ++I) {
+        int64_t V = 0;
+        if (!readFixedQuick(F, Q.A, T[I].Off, V))
+          return false;
+        Acc += (static_cast<uint64_t>(V) - static_cast<uint64_t>(Q.Imm2)) *
+               static_cast<uint64_t>(T[I].Weight);
+      }
+      Out = static_cast<int64_t>(Acc);
+      return true;
+    }
+    case QE::EoiDivImm: {
+      long long Guarded = 0;
+      if (!ipg_rt::checkedDiv(static_cast<int64_t>(F.Input.size()), Q.Imm,
+                              Guarded))
+        return false;
+      Out = Guarded;
+      return true;
+    }
+    case QE::AttrInRange: {
+      int64_t V = 0;
+      if (!loadAttr(F, Q.Sym, V))
+        return false;
+      if (!(Q.A & 1 ? V > Q.Imm : V >= Q.Imm)) {
+        Out = 0; // And short-circuit: the upper bound is never loaded
+        return true;
+      }
+      int64_t W = 0;
+      if (!loadAttr(F, Q.Sym2, W))
+        return false;
+      Out = (Q.A & 2 ? W < Q.Imm2 : W <= Q.Imm2) ? 1 : 0;
+      return true;
+    }
+    case QE::ReadAtConst:
+      return readFixedQuick(F, Q.A, Q.Imm, Out);
+    case QE::ReadAtAttr: {
+      int64_t Off = 0;
+      if (!loadAttr(F, Q.Sym, Off))
+        return false;
+      return readFixedQuick(F, Q.A, Off + Q.Imm, Out);
+    }
+    case QE::General:
+      break;
+    }
+    return evalGeneral(F, Id, Out);
+  }
+
+  /// Fixed-width read for the quick forms. \p Spec is the pre-resolved
+  /// width|endian encoding classifyExpr derived from the ReadKind
+  /// (readKindSpec ran once at engine construction), so each case calls
+  /// readScalar with compile-time width and endianness — the byte loop
+  /// unrolls to a plain load. Bounds behavior is readScalar's, exactly as
+  /// the dispatch loop's ReadFixed.
+  bool readFixedQuick(const Frame &F, uint32_t Spec, int64_t Off,
+                      int64_t &Out) const {
+    const unsigned char *B = F.Input.data();
+    const long long N = static_cast<long long>(F.Input.size());
+    long long V = 0;
+    bool Ok = false;
+    switch (Spec) {
+    case 1:
+      Ok = ipg_rt::readScalar(B, N, Off, 1, false, V);
+      break;
+    case 2:
+      Ok = ipg_rt::readScalar(B, N, Off, 2, false, V);
+      break;
+    case 4:
+      Ok = ipg_rt::readScalar(B, N, Off, 4, false, V);
+      break;
+    case 8:
+      Ok = ipg_rt::readScalar(B, N, Off, 8, false, V);
+      break;
+    case 2 | 0x100:
+      Ok = ipg_rt::readScalar(B, N, Off, 2, true, V);
+      break;
+    case 4 | 0x100:
+      Ok = ipg_rt::readScalar(B, N, Off, 4, true, V);
+      break;
+    default:
+      break; // unreachable: classifyExpr only emits the specs above
+    }
+    if (!Ok)
+      return false;
+    Out = V;
+    return true;
+  }
+
+  /// The dispatch loop for General programs. The operand stack is a raw
+  /// pointer window over St.VStack: the program's exact high-water mark
+  /// (ExprProgram::MaxStack, proved by the lowering's simulation) is
+  /// reserved up front, so pushes and pops are bare pointer moves. Nested
+  /// activations (Exists sub-programs) stack their windows through
+  /// St.VTop, which this frame commits around the one opcode that can
+  /// re-enter. Dispatch is computed-goto on GNU-compatible compilers —
+  /// the label table is in XOp declaration order — with a switch fallback
+  /// elsewhere.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  bool
+  evalGeneral(const Frame &F, lir::ExprId Id, int64_t &Out) {
+    const lir::ExprProgram &P = L.Exprs[Id];
+    const lir::XInstr *Code = L.XCode.data() + P.Begin;
+    const uint32_t N = P.End - P.Begin;
+    std::vector<int64_t> &S = St.VStack;
+    const size_t Base = St.VTop;
+    if (S.size() < Base + P.MaxStack)
+      S.resize(Base + P.MaxStack);
+    int64_t *BP = S.data() + Base;
+    int64_t *SP = BP;
+    uint32_t PC = 0;
+    int64_t T1 = 0;
+    long long Guarded = 0;
+
+    // Every program has >= 1 instruction and every jump target lies in
+    // (source, N] (lir::verify); the loop only needs the PC == N check on
+    // instruction boundaries.
+#if defined(__GNUC__) || defined(__clang__)
+    static const void *const Dispatch[] = {
+        &&x_Num,       &&x_Add,        &&x_Sub,          &&x_Mul,
+        &&x_Div,       &&x_Mod,        &&x_Eq,           &&x_Ne,
+        &&x_Lt,        &&x_Gt,         &&x_Le,           &&x_Ge,
+        &&x_Shl,       &&x_Shr,        &&x_BitAnd,       &&x_Bool,
+        &&x_BrFalse,   &&x_BrTrue,     &&x_JmpZero,      &&x_Jmp,
+        &&x_LoadAttr,  &&x_LoadNtAttr, &&x_LoadElemAttr, &&x_LoadEoi,
+        &&x_LoadTermEnd, &&x_ReadFixed, &&x_ReadRange,   &&x_Exists,
+    };
+    static_assert(sizeof(Dispatch) / sizeof(Dispatch[0]) == 28,
+                  "dispatch table must cover every XOp");
+#define IPG_VM_CASE(op) x_##op:
+#define IPG_VM_NEXT()                                                        \
+  do {                                                                       \
+    if (++PC == N)                                                           \
+      goto vm_done;                                                          \
+    goto *Dispatch[static_cast<uint8_t>(Code[PC].Op)];                       \
+  } while (0)
+#define IPG_VM_JUMP(Target)                                                  \
+  do {                                                                       \
+    PC = (Target);                                                           \
+    if (PC == N)                                                             \
+      goto vm_done;                                                          \
+    goto *Dispatch[static_cast<uint8_t>(Code[PC].Op)];                       \
+  } while (0)
+#define IPG_VM_FAIL() return false
+
+    goto *Dispatch[static_cast<uint8_t>(Code[0].Op)];
+#else
+#define IPG_VM_CASE(op) case lir::XOp::op:
+#define IPG_VM_NEXT()                                                        \
+  do {                                                                       \
+    ++PC;                                                                    \
+    goto vm_top;                                                             \
+  } while (0)
+#define IPG_VM_JUMP(Target)                                                  \
+  do {                                                                       \
+    PC = (Target);                                                           \
+    goto vm_top;                                                             \
+  } while (0)
+#define IPG_VM_FAIL() return false
+
+  vm_top:
+    if (PC == N)
+      goto vm_done;
+    switch (Code[PC].Op) {
+#endif
+
+    IPG_VM_CASE(Num)
+    *SP++ = Code[PC].Imm;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Add)
+    T1 = *--SP;
+    SP[-1] += T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Sub)
+    T1 = *--SP;
+    SP[-1] -= T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Mul)
+    T1 = *--SP;
+    SP[-1] *= T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Div)
+    T1 = *--SP;
+    if (!ipg_rt::checkedDiv(SP[-1], T1, Guarded))
+      IPG_VM_FAIL();
+    SP[-1] = Guarded;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Mod)
+    T1 = *--SP;
+    if (!ipg_rt::checkedMod(SP[-1], T1, Guarded))
+      IPG_VM_FAIL();
+    SP[-1] = Guarded;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Eq)
+    T1 = *--SP;
+    SP[-1] = SP[-1] == T1 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Ne)
+    T1 = *--SP;
+    SP[-1] = SP[-1] != T1 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Lt)
+    T1 = *--SP;
+    SP[-1] = SP[-1] < T1 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Gt)
+    T1 = *--SP;
+    SP[-1] = SP[-1] > T1 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Le)
+    T1 = *--SP;
+    SP[-1] = SP[-1] <= T1 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Ge)
+    T1 = *--SP;
+    SP[-1] = SP[-1] >= T1 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Shl)
+    T1 = *--SP;
+    if (!ipg_rt::checkedShl(SP[-1], T1, Guarded))
+      IPG_VM_FAIL();
+    SP[-1] = Guarded;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Shr)
+    T1 = *--SP;
+    if (!ipg_rt::checkedShr(SP[-1], T1, Guarded))
+      IPG_VM_FAIL();
+    SP[-1] = Guarded;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(BitAnd)
+    T1 = *--SP;
+    SP[-1] &= T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Bool)
+    SP[-1] = SP[-1] != 0 ? 1 : 0;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(BrFalse)
+    T1 = *--SP;
+    if (T1 == 0) {
+      *SP++ = 0;
+      IPG_VM_JUMP(Code[PC].A);
+    }
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(BrTrue)
+    T1 = *--SP;
+    if (T1 != 0) {
+      *SP++ = 1;
+      IPG_VM_JUMP(Code[PC].A);
+    }
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(JmpZero)
+    T1 = *--SP;
+    if (T1 == 0)
+      IPG_VM_JUMP(Code[PC].A);
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Jmp)
+    IPG_VM_JUMP(Code[PC].A);
+
+    IPG_VM_CASE(LoadAttr)
+    if (!loadAttr(F, Code[PC].Sym, T1))
+      IPG_VM_FAIL();
+    *SP++ = T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(LoadNtAttr)
+    if (!loadNtAttr(F, Code[PC].Sym, Code[PC].Attr, T1))
+      IPG_VM_FAIL();
+    *SP++ = T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(LoadElemAttr) {
+      T1 = *--SP; // element index
+      const ArrayTree *A = findArray(F, Code[PC].Sym);
+      if (!A || T1 < 0 || static_cast<size_t>(T1) >= A->size())
+        IPG_VM_FAIL();
+      const NodeTree *Nd = A->element(static_cast<size_t>(T1));
+      if (!Nd)
+        IPG_VM_FAIL();
+      auto V = Nd->attr(Code[PC].Attr);
+      if (!V)
+        IPG_VM_FAIL();
+      *SP++ = *V;
+    }
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(LoadEoi)
+    *SP++ = static_cast<int64_t>(F.Input.size());
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(LoadTermEnd)
+    if (!F.termEnd(static_cast<uint32_t>(Code[PC].Imm), T1))
+      IPG_VM_FAIL();
+    *SP++ = T1;
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(ReadFixed)
+    T1 = *--SP; // offset
+    {
+      int64_t V = 0;
+      if (!readInput(F, Code[PC].A, T1, /*Hi=*/0, V))
+        IPG_VM_FAIL();
+      *SP++ = V;
+    }
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(ReadRange) {
+      T1 = *--SP; // hi
+      const int64_t Lo = *--SP;
+      int64_t V = 0;
+      if (!readInput(F, Code[PC].A, Lo, T1, V))
+        IPG_VM_FAIL();
+      *SP++ = V;
+    }
+    IPG_VM_NEXT();
+
+    IPG_VM_CASE(Exists) {
+      // evalExists re-enters evalProgram: commit this window so the
+      // nested activations stack above it, and re-derive the pointers
+      // afterwards (nested growth may have reallocated the vector).
+      const size_t Live = static_cast<size_t>(SP - BP);
+      St.VTop = Base + Live;
+      const bool Ok = evalExists(F, Code[PC].A, T1);
+      St.VTop = Base;
+      BP = S.data() + Base;
+      SP = BP + Live;
+      if (!Ok)
+        IPG_VM_FAIL();
+    }
+    *SP++ = T1;
+    IPG_VM_NEXT();
+
+#if !defined(__GNUC__) && !defined(__clang__)
+    }
+    goto vm_top; // unreachable; keeps the switch well-formed
+#endif
+
+  vm_done:
+    // Stack balance is a lowering invariant (simulate() proved every
+    // path leaves exactly one value); asserts, not runtime checks.
+    assert(SP == BP + 1 && "expression program must leave 1 value");
+    Out = SP[-1];
+    return true;
+
+#undef IPG_VM_CASE
+#undef IPG_VM_NEXT
+#undef IPG_VM_JUMP
+#undef IPG_VM_FAIL
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Shared semantic helpers (twins of Interp.cpp's).
+  //===--------------------------------------------------------------------===//
 
   /// updStartEnd of Figure 8: the first-update min/max shared with the
   /// generated runtime. start/end enter the environment only once a term
@@ -181,24 +1029,26 @@ private:
     BEnd = BE;
   }
 
-  /// Evaluates an interval; false means evaluation failed (term fails).
-  bool evalInterval(const Frame &F, const Interval &Iv, int64_t &Lo,
+  /// Evaluates a lowered interval; false means evaluation failed (term
+  /// fails). An uncompleted interval (NoExpr endpoints) reproduces the
+  /// interpreter's hard error — outlined so the error-string construction
+  /// does not keep this two-program body from inlining into the term
+  /// execution sites.
+  bool evalInterval(const Frame &F, const lir::IntervalL &Iv, int64_t &Lo,
                     int64_t &Hi) {
-    FrameCtx Ctx(F, G, Store);
-    if (!Iv.Lo || !Iv.Hi) {
-      Hard = Error::failure("internal: interval not completed (run "
-                            "completeIntervals before parsing)");
-      return false;
-    }
-    auto L = evaluate(*Iv.Lo, Ctx);
-    if (!L)
-      return false;
-    auto H = evaluate(*Iv.Hi, Ctx);
-    if (!H)
-      return false;
-    Lo = *L;
-    Hi = *H;
-    return true;
+    if (Iv.Lo == lir::NoExpr || Iv.Hi == lir::NoExpr)
+      return uncompletedInterval();
+    return evalProgram(F, Iv.Lo, Lo) && evalProgram(F, Iv.Hi, Hi);
+  }
+
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((noinline, cold))
+#endif
+  bool
+  uncompletedInterval() {
+    Hard = Error::failure("internal: interval not completed (run "
+                          "completeIntervals before parsing)");
+    return false;
   }
 
   /// Records a successfully parsed child subtree \p Sub (parsed over
@@ -215,7 +1065,7 @@ private:
     F.rec(TermIdx, Lo + BStart, Lo + BEnd);
     if (Bank)
       *Bank = ParseScratch::FlatKid{Adjusted, Lo + BStart, Lo + BEnd,
-                                   BEnd != 0};
+                                    BEnd != 0};
   }
 
   /// Parses a child nonterminal (shared by NT terms, array elements and
@@ -223,7 +1073,7 @@ private:
   /// success. \p Bank, when set, additionally captures the record the
   /// flattened tier replays on its way back up.
   bool parseChildNT(Frame &F, uint32_t TermIdx, RuleId Target,
-                    const Interval &Iv,
+                    const lir::IntervalL &Iv,
                     ParseScratch::FlatKid *Bank = nullptr) {
     int64_t Lo, Hi;
     if (!evalInterval(F, Iv, Lo, Hi) || Hard)
@@ -250,7 +1100,7 @@ private:
                               "' (run checkAttributes before parsing)");
         return false;
       }
-      return parseChildNT(F, T.TermIdx, T.Rule, *T.Iv.Src);
+      return parseChildNT(F, T.TermIdx, T.Rule, T.Iv);
     }
 
     case lir::TermOp::MatchBytes:
@@ -267,21 +1117,20 @@ private:
       return execArray(F, T);
 
     case lir::TermOp::Select: {
-      FrameCtx Ctx(F, G, Store);
       for (uint32_t AI = T.ArmsBegin; AI != T.ArmsEnd; ++AI) {
         const lir::ArmL &C = L.Arms[AI];
-        if (C.Src->Cond) {
-          auto V = evaluate(*C.Src->Cond, Ctx);
-          if (!V)
+        if (C.Cond != lir::NoExpr) {
+          int64_t V;
+          if (!evalProgram(F, C.Cond, V))
             return false;
-          if (*V == 0)
+          if (V == 0)
             continue;
         }
         if (C.Rule == InvalidRuleId) {
           Hard = Error::failure("internal: unresolved switch arm");
           return false;
         }
-        return parseChildNT(F, T.TermIdx, C.Rule, *C.Iv.Src);
+        return parseChildNT(F, T.TermIdx, C.Rule, C.Iv);
       }
       return false; // no arm matched
     }
@@ -294,7 +1143,7 @@ private:
 
   bool execTerminal(Frame &F, const lir::TermL &T) {
     int64_t Lo, Hi;
-    if (!evalInterval(F, *T.Iv.Src, Lo, Hi) || Hard)
+    if (!evalInterval(F, T.Iv, Lo, Hi) || Hard)
       return false;
     if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return false;
@@ -332,7 +1181,7 @@ private:
   bool probeTerminal(Frame &F, const lir::TermL &T) {
     ++Stats.TermsExecuted;
     int64_t Lo, Hi;
-    if (!evalInterval(F, *T.Iv.Src, Lo, Hi) || Hard)
+    if (!evalInterval(F, T.Iv, Lo, Hi) || Hard)
       return false;
     if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return false;
@@ -353,26 +1202,21 @@ private:
   }
 
   bool execAttrDef(Frame &F, const lir::TermL &T) {
-    FrameCtx Ctx(F, G, Store);
-    auto V = evaluate(*cast<AttrDefTerm>(T.Src)->Value, Ctx);
-    if (!V)
+    int64_t V;
+    if (!evalProgram(F, T.E0, V))
       return false;
-    F.E.set(T.Sym, *V);
+    F.E.set(T.Sym, V);
     return true;
   }
 
   bool execPredicate(Frame &F, const lir::TermL &T) {
-    FrameCtx Ctx(F, G, Store);
-    auto V = evaluate(*cast<PredicateTerm>(T.Src)->Cond, Ctx);
-    return V && *V != 0;
+    int64_t V;
+    return evalProgram(F, T.E0, V) && V != 0;
   }
 
   bool execArray(Frame &F, const lir::TermL &T) {
-    const auto &A = *cast<ArrayTerm>(T.Src);
-    FrameCtx Ctx(F, G, Store);
-    auto From = evaluate(*A.From, Ctx);
-    auto To = evaluate(*A.To, Ctx);
-    if (!From || !To)
+    int64_t From, To;
+    if (!evalProgram(F, T.E0, From) || !evalProgram(F, T.E1, To))
       return false;
     if (T.Rule == InvalidRuleId) {
       Hard = Error::failure("internal: unresolved array element");
@@ -393,10 +1237,10 @@ private:
     int64_t MaxEnd = 0;
     bool Failed = false;
 
-    for (int64_t K = *From; K < *To; ++K) {
+    for (int64_t K = From; K < To; ++K) {
       F.E.set(T.Sym, K);
       int64_t Lo, Hi;
-      if (!evalInterval(F, *T.Iv.Src, Lo, Hi) || Hard) {
+      if (!evalInterval(F, T.Iv, Lo, Hi) || Hard) {
         Failed = true;
         break;
       }
@@ -445,7 +1289,7 @@ private:
 
   bool execBlackbox(Frame &F, const lir::TermL &T) {
     int64_t Lo, Hi;
-    if (!evalInterval(F, *T.Iv.Src, Lo, Hi) || Hard)
+    if (!evalInterval(F, T.Iv, Lo, Hi) || Hard)
       return false;
     if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return false;
@@ -693,7 +1537,7 @@ private:
           }
           ++Stats.TermsExecuted;
           ParseScratch::FlatKid Bank;
-          Ok = parseChildNT(F, T.TermIdx, T.Rule, *T.Iv.Src, &Bank);
+          Ok = parseChildNT(F, T.TermIdx, T.Rule, T.Iv, &Bank);
           if (Ok)
             St.FlatKids.push_back(Bank);
         } else if (T.Op == lir::TermOp::MatchBytes ||
@@ -709,7 +1553,7 @@ private:
         }
       }
       ++Stats.TermsExecuted; // the self nonterminal term
-      if (!evalInterval(F, *SelfT.Iv.Src, SLo, SHi) || Hard) {
+      if (!evalInterval(F, SelfT.Iv, SLo, SHi) || Hard) {
         if (Hard)
           goto flat_hard;
         goto flat_post_alts;
@@ -991,7 +1835,7 @@ private:
       }
       F.E.set(Ar.Sym, A.ArrK);
       int64_t Lo, Hi;
-      if (!evalInterval(F, *Ar.Iv.Src, Lo, Hi) || Hard)
+      if (!evalInterval(F, Ar.Iv, Lo, Hi) || Hard)
         return arrayFail(I, F);
       if (!ipg_rt::intervalOk(Lo, Hi,
                               static_cast<int64_t>(F.Input.size())))
@@ -1014,11 +1858,8 @@ private:
 
   /// Starts the machine path of an array term whose element rule is Step.
   int startArrayMachine(size_t I, Frame &F, const lir::TermL &T) {
-    const auto &Src = *cast<ArrayTerm>(T.Src);
-    FrameCtx Ctx(F, G, Store);
-    auto From = evaluate(*Src.From, Ctx);
-    auto To = evaluate(*Src.To, Ctx);
-    if (!From || !To)
+    int64_t From, To;
+    if (!evalProgram(F, T.E0, From) || !evalProgram(F, T.E1, To))
       return 0;
     MachineAct &A = St.Acts[I];
     A.Arr = &T;
@@ -1030,15 +1871,15 @@ private:
     St.elemScratchAt(A.ArrLevel).clear();
     A.ArrTouched = false;
     A.ArrMaxEnd = 0;
-    A.ArrK = *From;
-    A.ArrTo = *To;
+    A.ArrK = From;
+    A.ArrTo = To;
     return arrayLoop(I, F);
   }
 
   /// Suspends act \p I on a child parse of \p Target (NT term or switch
   /// arm); resolves inline when the child answers from the memo table.
   int suspendChild(size_t I, Frame &F, uint32_t TI, RuleId Target,
-                   const Interval &Iv) {
+                   const lir::IntervalL &Iv) {
     int64_t Lo, Hi;
     if (!evalInterval(F, Iv, Lo, Hi) || Hard)
       return 0;
@@ -1072,22 +1913,21 @@ private:
           L.Rules[T.Rule].Shape != ExecShape::Step)
         return execTerm(F, T) ? 1 : 0;
       ++Stats.TermsExecuted;
-      return suspendChild(I, F, T.TermIdx, T.Rule, *T.Iv.Src);
+      return suspendChild(I, F, T.TermIdx, T.Rule, T.Iv);
     }
     case lir::TermOp::Select: {
       // Find the committed arm first (condition evaluation is pure);
       // delegate whole-term when it does not need the machine.
-      FrameCtx Ctx(F, G, Store);
       const lir::ArmL *Chosen = nullptr;
       for (uint32_t AI = T.ArmsBegin; AI != T.ArmsEnd; ++AI) {
         const lir::ArmL &C = L.Arms[AI];
-        if (C.Src->Cond) {
-          auto V = evaluate(*C.Src->Cond, Ctx);
-          if (!V) {
+        if (C.Cond != lir::NoExpr) {
+          int64_t V;
+          if (!evalProgram(F, C.Cond, V)) {
             ++Stats.TermsExecuted;
             return 0;
           }
-          if (*V == 0)
+          if (V == 0)
             continue;
         }
         Chosen = &C;
@@ -1101,7 +1941,7 @@ private:
           L.Rules[Chosen->Rule].Shape != ExecShape::Step)
         return execTerm(F, T) ? 1 : 0;
       ++Stats.TermsExecuted;
-      return suspendChild(I, F, T.TermIdx, Chosen->Rule, *Chosen->Iv.Src);
+      return suspendChild(I, F, T.TermIdx, Chosen->Rule, Chosen->Iv);
     }
     case lir::TermOp::ForArray: {
       if (T.Rule == InvalidRuleId ||
@@ -1220,27 +2060,33 @@ private:
 
 } // namespace
 
-Interp::Interp(const Grammar &G, const BlackboxRegistry *Blackboxes,
-               InterpOptions Opts)
+BytecodeVM::BytecodeVM(const Grammar &G, const BlackboxRegistry *Blackboxes,
+                       EngineOptions Opts)
     : G(G), Blackboxes(Blackboxes), Opts(Opts),
       S(std::make_unique<ParseScratch>()) {
   // One lowering per engine: the shared resolution layer (rule targets,
-  // literals, recursion shapes, memo eligibility, blackbox sites) all
-  // execution modes consume. See lower/LIR.h.
+  // literals, expression programs, recursion shapes, memo eligibility,
+  // blackbox sites) all execution modes consume. See lower/LIR.h.
   S->bindGrammar(G, Blackboxes);
+  // Decode every expression program into its closed quick form once (see
+  // BytecodeVM.h): the dispatch loop then only runs for the few programs
+  // that genuinely need an operand stack.
+  Quick.resize(S->Lowered.Exprs.size());
+  for (uint32_t Id = 0; Id < Quick.size(); ++Id)
+    Quick[Id] = classifyExpr(S->Lowered, Id, QuickDigits);
 }
 
-Interp::~Interp() = default;
+BytecodeVM::~BytecodeVM() = default;
 
-Expected<TreePtr> Interp::parse(ByteSpan Input) {
+Expected<TreePtr> BytecodeVM::parse(ByteSpan Input) {
   return parse(Input, G.startSymbol());
 }
 
-Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
+Expected<TreePtr> BytecodeVM::parse(ByteSpan Input, Symbol StartNT) {
   // Reset FIRST: stats() must describe this call even when it fails
   // before doing any work (a stale-stats regression lives in
   // tests/engine_test.cpp and is asserted by the differential harness).
-  Stats = InterpStats();
+  Stats = EngineStats();
   RuleId Start = StartNT == G.startSymbol()
                      ? S->Lowered.Start
                      : S->Lowered.globalRuleOf(StartNT);
@@ -1248,13 +2094,9 @@ Expected<TreePtr> Interp::parse(ByteSpan Input, Symbol StartNT) {
     return Expected<TreePtr>::failure(
         "start nonterminal '" +
         std::string(G.interner().name(StartNT)) + "' has no rule");
-  // Recycle a store when one is available: either the engine still holds
-  // one (the previous parse failed, so no result escaped) or a dropped
-  // TreePtr parked its store in the recycler. Otherwise — first parse, or
-  // every previous tree is still alive — this parse gets a fresh store.
   S->beginParse(Stats);
-  Runner R(G, Opts, Stats, *S);
+  Runner R(G, Opts, Stats, *S, Quick, QuickDigits);
   return R.run(Input, Start);
 }
 
-bool Interp::adoptStore(TreeStore *Store) { return S->adopt(Store); }
+bool BytecodeVM::adoptStore(TreeStore *Store) { return S->adopt(Store); }

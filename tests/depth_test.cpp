@@ -7,8 +7,9 @@
 ///
 /// \file
 /// Regression suite for the stack-overflow-on-deep-recursion fix: grammar
-/// recursion depth must be independent of the C++ call stack in BOTH
-/// engines. Linear self-recursive rules run loop-flattened; general
+/// recursion depth must be independent of the C++ call stack in ALL
+/// engines (interpreter, generated, bytecode VM). Linear self-recursive
+/// rules run loop-flattened; general
 /// recursion runs on the explicit act-stack machine; MaxDepth is a
 /// genuine resource limit that trips as a clean hard error — at a
 /// million frames, under ASan, with a 1 MiB thread stack — never as a
@@ -114,6 +115,80 @@ TEST(DepthTest, MachineRuleParsesDeepMixedInput) {
   ASSERT_TRUE(T) << T.message();
   EXPECT_EQ((*E)->stats().PeakDepth, N + 1);
   EXPECT_EQ(treeSize(**T), 2 * N);
+}
+
+//===----------------------------------------------------------------------===//
+// The bytecode VM runs the SAME three-tier strategy over the lowered IR,
+// so it gets the same depth-freedom tests: a million flattened levels, a
+// deep machine-tier input, and exact PeakDepth/tree parity with the
+// interpreter — all in-process, no compiler needed.
+//===----------------------------------------------------------------------===//
+
+TEST(DepthTest, VmParsesAMillionLevels) {
+  Grammar G = load(FlattenableGrammar);
+  EngineOptions Opts;
+  Opts.MaxDepth = size_t{1} << 21;
+  constexpr size_t N = 1'000'000;
+  std::vector<uint8_t> In = runOf('x', N);
+
+  auto E = makeEngine(EngineKind::Vm, G, nullptr, Opts);
+  ASSERT_TRUE(E) << E.message();
+  auto T = (*E)->parse(ByteSpan::of(In));
+  ASSERT_TRUE(T) << T.message();
+  EXPECT_EQ((*E)->stats().PeakDepth, N + 1);
+  EXPECT_EQ(treeSize(**T), 2 * N);
+}
+
+TEST(DepthTest, VmMatchesInterpreterAtDepth) {
+  struct Case {
+    const char *Tag;
+    const char *Src;
+    std::vector<uint8_t> In;
+  };
+  const Case Cases[] = {
+      {"flattened", FlattenableGrammar, runOf('x', 200'000)},
+      {"machine", MachineGrammar, abMix(60'000)},
+  };
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(C.Tag);
+    Grammar G = load(C.Src);
+    EngineOptions Opts;
+    Opts.MaxDepth = size_t{1} << 19;
+
+    auto IE = makeEngine(EngineKind::Interp, G, nullptr, Opts);
+    ASSERT_TRUE(IE) << IE.message();
+    auto VE = makeEngine(EngineKind::Vm, G, nullptr, Opts);
+    ASSERT_TRUE(VE) << VE.message();
+
+    auto TI = (*IE)->parse(ByteSpan::of(C.In));
+    ASSERT_TRUE(TI) << TI.message();
+    auto TV = (*VE)->parse(ByteSpan::of(C.In));
+    ASSERT_TRUE(TV) << TV.message();
+
+    EXPECT_TRUE(testutil::treesEqual(TI->get(), G, TV->get(), G))
+        << C.Tag << ": deep trees diverge between interpreter and VM";
+    EXPECT_EQ((*IE)->stats().PeakDepth, (*VE)->stats().PeakDepth);
+    EXPECT_EQ((*IE)->stats().PeakDepth, C.In.size() + 1);
+    EXPECT_EQ((*IE)->stats().NodesCreated, (*VE)->stats().NodesCreated);
+    EXPECT_EQ((*IE)->stats().TermsExecuted, (*VE)->stats().TermsExecuted);
+    EXPECT_EQ((*IE)->stats().MemoHits, (*VE)->stats().MemoHits);
+    EXPECT_EQ((*IE)->stats().MemoMisses, (*VE)->stats().MemoMisses);
+
+    // The limit trips identically — hard, with the same diagnostic.
+    EngineOptions Tight = Opts;
+    Tight.MaxDepth = C.In.size() / 2;
+    auto IE2 = makeEngine(EngineKind::Interp, G, nullptr, Tight);
+    auto VE2 = makeEngine(EngineKind::Vm, G, nullptr, Tight);
+    ASSERT_TRUE(IE2);
+    ASSERT_TRUE(VE2) << VE2.message();
+    auto FI = (*IE2)->parse(ByteSpan::of(C.In));
+    auto FV = (*VE2)->parse(ByteSpan::of(C.In));
+    ASSERT_FALSE(FI);
+    ASSERT_FALSE(FV);
+    EXPECT_EQ(FI.message(), FV.message());
+    EXPECT_NE(FV.message().find("depth"), std::string::npos)
+        << FV.message();
+  }
 }
 
 //===----------------------------------------------------------------------===//

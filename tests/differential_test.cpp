@@ -8,8 +8,9 @@
 /// \file
 /// The differential harness: EVERY format corpus — blackbox formats
 /// included, via the ipg_rt registration hook and the bridges in
-/// formats::genBlackboxBridge — is parsed by BOTH the interpreter and the
-/// compiled generated parser, and the two trees are compared node-by-node
+/// formats::genBlackboxBridge — is parsed by ALL THREE engines (the
+/// interpreter, the compiled generated parser, and the bytecode VM over
+/// the lowered IR), and the trees are compared node-by-node
 /// — shape, node names, start/end, every attribute value, leaf windows.
 /// The comparison goes through one canonical text rendering
 /// (ipg_rt::dumpTree, embedded in every generated parser; renderCanonical
@@ -152,7 +153,13 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
     std::string Exe;
     ASSERT_TRUE(compileGenerated(*Code, FI.Name, Exe, Bridge));
 
+    // The third engine: the bytecode VM shares the interpreter's runtime
+    // core, so beyond tree equality its counters must match exactly.
+    auto FV = formats::makeFormatEngine(FI.Name, EngineKind::Vm);
+    ASSERT_TRUE(FV) << FV.message();
+
     Engine &I = **FE;
+    Engine &V = **FV;
     // Two input sizes per format so array/loop paths differ run-to-run.
     // These scales stay small because each dump is compared as text and
     // canonical dumps indent per level; the megabyte-class sweep below
@@ -173,10 +180,21 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
           << FI.Name << " corpus rejected by the generated parser";
       EXPECT_EQ(Want, Gen.Dump)
           << FI.Name << ": interpreter and generated trees diverge";
+
+      auto RV = V.parse(ByteSpan::of(Bytes));
+      ASSERT_TRUE(RV) << FI.Name
+                      << " corpus rejected by the VM: " << RV.message();
+      EXPECT_EQ(Want, renderCanonical(*RV, FV->Load->G))
+          << FI.Name << ": interpreter and VM trees diverge";
+      EXPECT_EQ(I.stats().NodesCreated, V.stats().NodesCreated) << FI.Name;
+      EXPECT_EQ(I.stats().TermsExecuted, V.stats().TermsExecuted) << FI.Name;
+      EXPECT_EQ(I.stats().MemoHits, V.stats().MemoHits) << FI.Name;
+      EXPECT_EQ(I.stats().MemoMisses, V.stats().MemoMisses) << FI.Name;
+      EXPECT_EQ(I.stats().PeakDepth, V.stats().PeakDepth) << FI.Name;
       ++Compared;
     }
 
-    // Both sides must also agree on rejection: corrupt the first byte.
+    // All sides must also agree on rejection: corrupt the first byte.
     std::vector<uint8_t> Bad = formats::sampleInput(FI.Name, 1);
     Bad[0] ^= 0xff;
     size_t AcceptedNodes = I.stats().NodesCreated;
@@ -191,6 +209,8 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
     ASSERT_LE(GenBad.ExitCode, 1);
     EXPECT_EQ(InterpAccepts, GenBad.ExitCode == 0)
         << FI.Name << ": accept/reject verdicts diverge on corrupt input";
+    EXPECT_EQ(InterpAccepts, static_cast<bool>(V.parse(ByteSpan::of(Bad))))
+        << FI.Name << ": interpreter/VM verdicts diverge on corrupt input";
   }
   EXPECT_EQ(Compared, 2 * formats::allFormats().size());
 }
@@ -272,6 +292,72 @@ TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
 }
 
 //===----------------------------------------------------------------------===//
+// The same sweep for the bytecode VM, entirely in-process — no host
+// compiler needed, so this leg runs in EVERY CI job (the TSan matrix
+// included). Because the VM shares the interpreter's runtime core down to
+// the frame pool, the contract is stronger than verdict agreement: on
+// every probe the trees, the failure messages, and all counters
+// (NodesCreated, TermsExecuted, memo traffic, PeakDepth) must be
+// identical, success or failure alike.
+//===----------------------------------------------------------------------===//
+
+TEST(DifferentialTest, VmMatchesInterpreterOnCorruptAtOffsetSweep) {
+  constexpr size_t ProbesPerFormat = 8;
+
+  size_t Checked = 0;
+  for (const formats::FormatInfo &FI : formats::allFormats()) {
+    SCOPED_TRACE("format: " + FI.Name);
+    auto IE = formats::makeFormatEngine(FI.Name, EngineKind::Interp);
+    ASSERT_TRUE(IE) << IE.message();
+    auto VE = formats::makeFormatEngine(FI.Name, EngineKind::Vm);
+    ASSERT_TRUE(VE) << VE.message();
+
+    const std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, 1);
+    ASSERT_GE(Bytes.size(), ProbesPerFormat);
+
+    std::vector<size_t> Offsets = {0, Bytes.size() - 1};
+    for (size_t K = 1; K + 1 < ProbesPerFormat; ++K)
+      Offsets.push_back(K * Bytes.size() / (ProbesPerFormat - 1));
+
+    for (size_t Off : Offsets) {
+      for (bool Truncate : {false, true}) {
+        SCOPED_TRACE((Truncate ? "truncate @" : "flip @") +
+                     std::to_string(Off));
+        std::vector<uint8_t> Bad =
+            Truncate ? std::vector<uint8_t>(
+                           Bytes.begin(),
+                           Bytes.begin() + static_cast<std::ptrdiff_t>(Off))
+                     : Bytes;
+        if (!Truncate)
+          Bad[Off] ^= 0xff;
+
+        auto RI = (*IE)->parse(ByteSpan::of(Bad));
+        auto RV = (*VE)->parse(ByteSpan::of(Bad));
+        ASSERT_EQ(static_cast<bool>(RI), static_cast<bool>(RV))
+            << "interpreter/VM verdicts diverge";
+        if (RI && RV)
+          EXPECT_TRUE(testutil::treesEqual(RI->get(), IE->Load->G,
+                                           RV->get(), VE->Load->G))
+              << "both accepted the corruption but built different trees";
+        else
+          EXPECT_EQ(RI.message(), RV.message())
+              << "both rejected, with different diagnostics";
+
+        const EngineStats &SI = (*IE)->stats();
+        const EngineStats &SV = (*VE)->stats();
+        EXPECT_EQ(SI.NodesCreated, SV.NodesCreated);
+        EXPECT_EQ(SI.TermsExecuted, SV.TermsExecuted);
+        EXPECT_EQ(SI.MemoHits, SV.MemoHits);
+        EXPECT_EQ(SI.MemoMisses, SV.MemoMisses);
+        EXPECT_EQ(SI.PeakDepth, SV.PeakDepth);
+        ++Checked;
+      }
+    }
+  }
+  EXPECT_EQ(Checked, 2 * ProbesPerFormat * formats::allFormats().size());
+}
+
+//===----------------------------------------------------------------------===//
 // The blackbox hook under load: a zip archive with DEFLATED entries runs
 // the inflate blackbox on both sides (the stored-entry corpus above never
 // reaches it). The decoded output leaf, val/start/end attributes, and the
@@ -305,6 +391,15 @@ TEST(DifferentialTest, ZipDeflatedEntriesAgreeThroughBlackboxHook) {
   ASSERT_EQ(Gen.ExitCode, 0);
   EXPECT_EQ(Want, Gen.Dump)
       << "interpreter and generated trees diverge on deflated zip";
+
+  // The VM resolves `inflate` through the same registry the interpreter
+  // binds (via the lowered module's blackbox site table).
+  auto FV = formats::makeFormatEngine("zip", EngineKind::Vm);
+  ASSERT_TRUE(FV) << FV.message();
+  auto RV = (*FV)->parse(ByteSpan::of(Bytes));
+  ASSERT_TRUE(RV) << RV.message();
+  EXPECT_EQ(Want, renderCanonical(*RV, FV->Load->G))
+      << "interpreter and VM trees diverge on deflated zip";
 
   // An unregistered blackbox is a hard failure, as in the interpreter:
   // the same child without the bridge registration must reject.
@@ -383,6 +478,8 @@ TEST(DifferentialTest, MegabyteCorpusAgreeInProcess) {
     ASSERT_TRUE(IE) << IE.message();
     auto GE = formats::makeFormatEngine(Name, EngineKind::Generated, Opts);
     ASSERT_TRUE(GE) << GE.message();
+    auto VE = formats::makeFormatEngine(Name, EngineKind::Vm, Opts);
+    ASSERT_TRUE(VE) << VE.message();
 
     std::vector<uint8_t> Bytes = formats::sampleInput(Name, 64);
     ASSERT_GE(Bytes.size(), size_t{1} << 20)
@@ -392,19 +489,30 @@ TEST(DifferentialTest, MegabyteCorpusAgreeInProcess) {
     ASSERT_TRUE(TI) << Name << " interp: " << TI.message();
     auto TG = (*GE)->parse(ByteSpan::of(Bytes));
     ASSERT_TRUE(TG) << Name << " generated: " << TG.message();
+    auto TV = (*VE)->parse(ByteSpan::of(Bytes));
+    ASSERT_TRUE(TV) << Name << " vm: " << TV.message();
 
     EXPECT_TRUE(testutil::treesEqual(TI->get(), IE->Load->G, TG->get(),
                                      GE->Load->G))
         << Name << ": interpreter and generated trees diverge at scale 64";
+    EXPECT_TRUE(testutil::treesEqual(TI->get(), IE->Load->G, TV->get(),
+                                     VE->Load->G))
+        << Name << ": interpreter and VM trees diverge at scale 64";
 
-    // Counter parity at depth: both engines report the same recursion
+    // Counter parity at depth: all engines report the same recursion
     // profile, PeakDepth included (the satellite-2 ABI plumbing).
     const EngineStats &SI = (*IE)->stats();
     const EngineStats &SG = (*GE)->stats();
+    const EngineStats &SV = (*VE)->stats();
     EXPECT_EQ(SI.NodesCreated, SG.NodesCreated) << Name;
     EXPECT_EQ(SI.MemoHits, SG.MemoHits) << Name;
     EXPECT_EQ(SI.MemoMisses, SG.MemoMisses) << Name;
     EXPECT_EQ(SI.PeakDepth, SG.PeakDepth) << Name;
+    EXPECT_EQ(SI.NodesCreated, SV.NodesCreated) << Name;
+    EXPECT_EQ(SI.TermsExecuted, SV.TermsExecuted) << Name;
+    EXPECT_EQ(SI.MemoHits, SV.MemoHits) << Name;
+    EXPECT_EQ(SI.MemoMisses, SV.MemoMisses) << Name;
+    EXPECT_EQ(SI.PeakDepth, SV.PeakDepth) << Name;
     EXPECT_GT(SI.PeakDepth, 0u) << Name;
     if (std::string(Name) == "pdf")
       EXPECT_GT(SI.PeakDepth, size_t{1} << 20)
