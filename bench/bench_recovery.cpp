@@ -1,0 +1,139 @@
+//===- bench/bench_recovery.cpp - salvage sweep verdict counts ------------===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error-recovery acceptance artifact: for every format it runs the
+/// deterministic corrupt-at-offset sweep (tests/CorruptCorpus.h — three
+/// damage kinds at eight probe offsets) through both in-process engines
+/// under RecoveryPolicy::Salvage and reports the verdict census.
+/// BENCH_recovery.json (ipg-bench-v1 schema) carries one
+/// `<format>/recovery` entry per format:
+///
+///   probes, verdict_accept, verdict_salvage, verdict_reject — the
+///     machine-independent counters CI GATES against the committed
+///     bench/baseline/BENCH_recovery.json. The sweep grid is pure
+///     arithmetic, so any drift here is a semantic change to the
+///     salvage policy (lowering marks, the BacktrackLive gate, hole
+///     interval resolution), never a perf wobble. The driver itself
+///     enforces interp/VM verdict parity and exits nonzero on a split.
+///   holes_total — total holes reachable from salvaged trees across
+///     the sweep, gated for the same reason.
+///   mean_us — salvage-mode parse cost over the sweep, information
+///     only (damaged inputs explore more alternatives than clean ones).
+///
+/// Usage: bench_recovery [output.json] [reps]
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "../tests/CorruptCorpus.h"
+#include "formats/FormatRegistry.h"
+#include "runtime/Engine.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace ipg;
+using namespace ipg::bench;
+
+int main(int argc, char **argv) {
+  std::string OutPath = benchJsonPath(argc, argv, "recovery");
+  size_t Reps = 5;
+  if (argc > 2)
+    Reps = static_cast<size_t>(std::strtoull(argv[2], nullptr, 10));
+  if (Reps == 0)
+    Reps = 1;
+
+  BenchReport Report("recovery");
+  banner("Salvage verdict census over the corrupt-at-offset sweep (" +
+         std::to_string(Reps) + " timing reps)");
+  std::printf("%-20s | %6s | %6s | %7s | %6s | %6s | %10s\n", "case",
+              "probes", "accept", "salvage", "reject", "holes", "mean us");
+
+  for (const formats::FormatInfo &FI : formats::allFormats()) {
+    EngineOptions Opts;
+    Opts.Recovery = RecoveryPolicy::Salvage;
+    auto IE = formats::makeFormatEngine(FI.Name, EngineKind::Interp, Opts);
+    auto VE = formats::makeFormatEngine(FI.Name, EngineKind::Vm, Opts);
+    if (!IE || !VE) {
+      std::fprintf(stderr, "error: %s: %s\n", FI.Name.c_str(),
+                   (!IE ? IE.message() : VE.message()).c_str());
+      return 1;
+    }
+    std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name);
+
+    // Materialize the sweep once; the timing loop below replays it.
+    std::vector<std::vector<uint8_t>> Sweep;
+    for (const testutil::CorruptProbe &P :
+         testutil::corruptProbes(Bytes.size()))
+      Sweep.push_back(testutil::corruptAt(Bytes, P.Kind, P.Off));
+
+    uint64_t Accepted = 0, Salvaged = 0, Rejected = 0, Holes = 0;
+    for (const std::vector<uint8_t> &Bad : Sweep) {
+      auto RI = IE->E->parse(ByteSpan::of(Bad));
+      auto RV = VE->E->parse(ByteSpan::of(Bad));
+      Verdict VI = IE->E->stats().ParseVerdict;
+      if (VI != VE->E->stats().ParseVerdict ||
+          IE->E->stats().HolesInTree != VE->E->stats().HolesInTree) {
+        std::fprintf(stderr,
+                     "error: %s: interp/VM salvage divergence (%s vs %s)\n",
+                     FI.Name.c_str(), verdictName(VI),
+                     verdictName(VE->E->stats().ParseVerdict));
+        return 1;
+      }
+      (void)RI;
+      (void)RV;
+      switch (VI) {
+      case Verdict::Accept:
+        ++Accepted;
+        break;
+      case Verdict::Salvage:
+        ++Salvaged;
+        Holes += IE->E->stats().HolesInTree;
+        break;
+      default:
+        ++Rejected;
+        break;
+      }
+    }
+
+    double MeanUs =
+        timeIt(
+            [&] {
+              for (const std::vector<uint8_t> &Bad : Sweep) {
+                auto R = VE->E->parse(ByteSpan::of(Bad));
+                (void)R; // rejects are expected on damaged input
+              }
+            },
+            Reps)
+            .MeanUs /
+        static_cast<double>(Sweep.size());
+
+    std::string Entry = FI.Name + "/recovery";
+    Report.add(Entry, "input_bytes", static_cast<double>(Bytes.size()));
+    Report.add(Entry, "probes", static_cast<double>(Sweep.size()));
+    Report.add(Entry, "verdict_accept", static_cast<double>(Accepted));
+    Report.add(Entry, "verdict_salvage", static_cast<double>(Salvaged));
+    Report.add(Entry, "verdict_reject", static_cast<double>(Rejected));
+    Report.add(Entry, "holes_total", static_cast<double>(Holes));
+    Report.add(Entry, "mean_us", MeanUs);
+    std::printf("%-20s | %6zu | %6llu | %7llu | %6llu | %6llu | %10.2f\n",
+                Entry.c_str(), Sweep.size(),
+                static_cast<unsigned long long>(Accepted),
+                static_cast<unsigned long long>(Salvaged),
+                static_cast<unsigned long long>(Rejected),
+                static_cast<unsigned long long>(Holes), MeanUs);
+  }
+
+  Report.add("process", "peak_rss_bytes",
+             static_cast<double>(peakRssBytes()));
+  return Report.writeFile(OutPath) ? 0 : 1;
+}

@@ -31,6 +31,16 @@ GATED_METRICS = [
     "gap_bytes",
     "overlap_bytes",
     "spans",
+    # BENCH_recovery.json: the salvage verdict census over the
+    # deterministic corrupt-at-offset sweep. The three counts always sum
+    # to `probes`, so any redistribution (e.g. salvages degrading to
+    # rejects) raises at least one of them past its baseline; all three
+    # are gated because this checker only catches increases. holes_total
+    # moving means hole placement itself changed.
+    "verdict_accept",
+    "verdict_salvage",
+    "verdict_reject",
+    "holes_total",
 ]
 INFO_METRICS = [
     "bytes_per_sec",

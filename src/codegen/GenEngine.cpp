@@ -70,6 +70,12 @@ std::string abiEpilogue(bool RegisterBlackboxes) {
        "  Out[2] = Q->memoMisses();\n"
        "  Out[3] = Q->nodeCount();\n"
        "  Out[4] = static_cast<unsigned long long>(Q->peakDepth());\n"
+       "  // Failure diagnostics: name-table id + 1 (0 = none recorded)\n"
+       "  // and the absolute byte offset of the failing window.\n"
+       "  Out[5] = Q->failNameId() >= 0\n"
+       "               ? static_cast<unsigned long long>(Q->failNameId() + 1)\n"
+       "               : 0;\n"
+       "  Out[6] = static_cast<unsigned long long>(Q->failOff());\n"
        "}\n"
        "unsigned ipg_mod_num_names() {\n"
        "  return static_cast<unsigned>(sizeof(ipgmod::Names) /\n"
@@ -362,12 +368,21 @@ Expected<TreePtr> GenEngine::parse(ByteSpan In) {
   const void *Root = nullptr;
   int Ok = Module->Parse(Parser, In.data(),
                          static_cast<unsigned long long>(In.size()), &Root);
-  unsigned long long S[5] = {0, 0, 0, 0, 0};
+  unsigned long long S[7] = {0, 0, 0, 0, 0, 0, 0};
   Module->Stats(Parser, S);
   Stats.NodesCreated = static_cast<size_t>(S[0]);
   Stats.MemoHits = static_cast<size_t>(S[1]);
   Stats.MemoMisses = static_cast<size_t>(S[2]);
   Stats.PeakDepth = static_cast<size_t>(S[4]);
+  // Failure diagnostics (slot 5 is the module name id + 1, 0 = none):
+  // translate the module's name-table id back to a grammar Symbol so
+  // FailRule compares equal across engines.
+  if (S[5] != 0) {
+    unsigned NameId = static_cast<unsigned>(S[5] - 1);
+    Stats.FailRule =
+        NameId < IdToSym.size() ? IdToSym[NameId] : InvalidSymbol;
+    Stats.FailOffset = static_cast<int64_t>(S[6]);
+  }
   // TermsExecuted stays 0: an interpreter-only counter.
   if (!Ok) {
     Stats.ArenaBytesUsed = Cur->arenaBytesUsed();
@@ -423,6 +438,9 @@ Expected<TreePtr> GenEngine::parse(ByteSpan In) {
         "tree conversion produced no root node");
 
   Stats.ArenaBytesUsed = Cur->arenaBytesUsed();
+  // Generated parsers are Strict-only (makeEngine rejects Salvage), so a
+  // successful parse is always a hole-free Accept.
+  Stats.ParseVerdict = Verdict::Accept;
   TreeStore *Owned = Cur;
   Cur = nullptr;
   return Expected<TreePtr>(TreePtr(Owned, Owned->node(RootId)));

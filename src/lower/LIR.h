@@ -181,6 +181,17 @@ struct TermL {
   uint32_t ArmsBegin = 0;        ///< Select arm window
   uint32_t ArmsEnd = 0;
   uint32_t Bb = ~0u;             ///< blackbox site index (CallBlackbox)
+  /// Whether RecoveryPolicy::Salvage may replace this term's failure
+  /// with a hole covering its (resolved) interval. Computed ONCE at
+  /// lowering (lower/Lower.cpp's marking pass) so the engines share one
+  /// decision point and cannot diverge: positional terms (CallRule,
+  /// MatchBytes, MatchRaw, Select, CallBlackbox) of each rule's LAST
+  /// alternative, excluding the self alternative of Flattened rules
+  /// (its descend/replay machinery must see real failures). Data-
+  /// dependent terms (SetAttr, Check, ForArray) are never recoverable —
+  /// their damage escalates to the nearest enclosing recoverable
+  /// boundary.
+  bool Recoverable = false;
   const Term *Src = nullptr;     ///< source AST term
 };
 

@@ -201,6 +201,7 @@ public:
       RL.Alts.reserve(R.Alts.size());
       for (const Alternative &Alt : R.Alts)
         RL.Alts.push_back(lowerAlt(Alt));
+      markRecoverable(RL);
     }
     M.Start = G.findGlobal(G.startSymbol());
     return std::move(M);
@@ -212,6 +213,48 @@ private:
   std::unordered_map<std::string, uint32_t> LitIds;
   std::unordered_map<Symbol, uint32_t> BbIds;
   std::vector<XInstr> *Buf = nullptr; ///< program under construction
+
+  /// The shared salvage decision point (see lir::TermL::Recoverable):
+  /// mark the positional terms of the rule's LAST alternative. Earlier
+  /// alternatives must fail for real so biased choice still reaches the
+  /// ones after them. This static mark is only half the policy: a term
+  /// in a last alternative can still have a live backtrack point
+  /// somewhere UP the stack — gif's `Block -> Ext / Img` is reached
+  /// from the non-last alternative of `Blocks -> Block Blocks / ...`,
+  /// whose whole list termination depends on Block failing at the
+  /// trailer byte (and `Ext`, a single-alternative rule, must likewise
+  /// fail honestly at an Img block so Block can try Img). The engines
+  /// therefore gate hole emission dynamically on "no enclosing
+  /// alternative anywhere on the stack has untried later alternatives"
+  /// (the BacktrackLive counter in Interp/BytecodeVM): a hole is legal
+  /// exactly when Strict would have failed the whole parse rather than
+  /// backtracked, which keeps Salvage strictly additive. The self
+  /// alternative of a Flattened rule is excluded wholesale (the
+  /// descend/replay loop banks child results and probes terminals
+  /// without building leaves; a hole emitted mid-probe would be
+  /// double-materialized on replay).
+  void markRecoverable(RuleL &RL) {
+    if (RL.Alts.empty())
+      return;
+    const size_t Last = RL.Alts.size() - 1;
+    if (RL.Shape == ExecShape::Flattened && RL.Flatten.SelfAlt == Last)
+      return;
+    for (TermL &T : RL.Alts[Last].Exec) {
+      switch (T.Op) {
+      case TermOp::CallRule:
+      case TermOp::MatchBytes:
+      case TermOp::MatchRaw:
+      case TermOp::Select:
+      case TermOp::CallBlackbox:
+        T.Recoverable = true;
+        break;
+      case TermOp::SetAttr:
+      case TermOp::Check:
+      case TermOp::ForArray:
+        break; // data-dependent: never recoverable
+      }
+    }
+  }
 
   uint32_t touchName(Symbol S) {
     if (S >= M.SymToName.size())

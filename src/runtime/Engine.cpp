@@ -37,6 +37,13 @@ ipg::makeEngine(EngineKind Kind, const Grammar &G,
   case EngineKind::Vm:
     return Ret(std::make_unique<BytecodeVM>(G, Blackboxes, Opts));
   case EngineKind::Generated: {
+    // Generated parsers compile Strict-mode control flow in; salvage
+    // would need a regenerated module with recovery dispatch, which the
+    // emitter does not produce. Refuse rather than silently parse Strict.
+    if (Opts.Recovery == RecoveryPolicy::Salvage)
+      return Ret::failure("generated parsers do not support "
+                          "RecoveryPolicy::Salvage; use the interpreter or "
+                          "bytecode VM");
     // The module compiles the options in (memoization policy, default
     // depth limit); blackboxes bind through GenConfig's bridge source,
     // not the host registry — reject a silent mismatch.

@@ -53,6 +53,7 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <chrono>
 #include <memory>
 
 namespace ipg {
@@ -94,6 +95,17 @@ public:
   /// ownership); false leaves ownership with the caller (destroy it or
   /// keep it for another engine). Call only on the engine's thread.
   virtual bool adoptStore(TreeStore *S) { return false; }
+
+  /// Arms a deadline every subsequent parse() checks at recoverable
+  /// boundaries (rule entry / machine act start, amortized): a parse past
+  /// it aborts with a clean Verdict::Timeout instead of running
+  /// unbounded. The deadline stays armed until clearDeadline(). Returns
+  /// false when the engine does not support deadlines (generated
+  /// parsers), leaving it unarmed.
+  virtual bool setDeadline(std::chrono::steady_clock::time_point) {
+    return false;
+  }
+  virtual void clearDeadline() {}
 
 protected:
   Engine() = default;

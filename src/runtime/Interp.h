@@ -58,6 +58,7 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <chrono>
 #include <cstddef>
 #include <memory>
 
@@ -102,12 +103,24 @@ public:
   /// Declines (returns false) when a parked store already waits.
   bool adoptStore(TreeStore *Store) override;
 
+  /// Deadline support (checked at rule entries / flattened levels /
+  /// machine act starts, amortized): a parse past the armed deadline
+  /// aborts with Verdict::Timeout.
+  bool setDeadline(std::chrono::steady_clock::time_point D) override {
+    HasDeadline = true;
+    Deadline = D;
+    return true;
+  }
+  void clearDeadline() override { HasDeadline = false; }
+
 private:
   const Grammar &G;
   const BlackboxRegistry *Blackboxes;
   InterpOptions Opts;
   InterpStats Stats;
   std::unique_ptr<ParseScratch> S;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
 };
 
 } // namespace ipg

@@ -174,6 +174,10 @@ struct ParseScratch {
     uint32_t PendTI = 0;    ///< term index of the suspended child
     int64_t PendLo = 0;
     int64_t PendHi = 0;
+    /// Salvage delivery: whether a soft failure of the suspended child
+    /// becomes a hole over [PendLo, PendHi), and the hole's rule name.
+    bool PendRecov = false;
+    Symbol PendHole = InvalidSymbol;
     const lir::TermL *Arr = nullptr; ///< in-flight array term, if any
     int64_t ArrK = 0;
     int64_t ArrTo = 0;

@@ -86,6 +86,89 @@ size_t ipg::treeSize(const ParseTree &T) {
   return Total;
 }
 
+void ipg::collectHoles(const ParseTree &Root, std::vector<HoleRecord> &Out) {
+  // Accumulates BaseOrigin exactly as Printer::walkNode does (root node
+  // anchors at its own shift; node/array-element edges add the child's
+  // shift; leaf offsets are relative to the enclosing node's origin), so
+  // the recorded intervals are the absolute positions the holes reprint
+  // at. treeSize's walk cannot be reused: it never resolves shifts.
+  struct Item {
+    const ParseTree *T;
+    int64_t BaseOrigin;
+  };
+  std::vector<Item> Work;
+  int64_t RootOrigin = 0;
+  if (const auto *N = dyn_cast<NodeTree>(&Root))
+    RootOrigin = N->shift();
+  Work.push_back(Item{&Root, RootOrigin});
+  while (!Work.empty()) {
+    Item It = Work.back();
+    Work.pop_back();
+    switch (It.T->kind()) {
+    case ParseTree::Kind::Leaf: {
+      const auto &L = *cast<LeafTree>(It.T);
+      if (L.isHole()) {
+        int64_t Lo = It.BaseOrigin + L.offset();
+        Out.push_back(
+            HoleRecord{L.holeRule(), Lo,
+                       Lo + static_cast<int64_t>(L.length())});
+      }
+      break;
+    }
+    case ParseTree::Kind::Node: {
+      const auto &N = *cast<NodeTree>(It.T);
+      size_t Mark = Work.size();
+      for (TreeRef C : N.children()) {
+        if (const auto *Sub = dyn_cast<NodeTree>(C.get()))
+          Work.push_back(Item{Sub, It.BaseOrigin + Sub->shift()});
+        else
+          Work.push_back(Item{C.get(), It.BaseOrigin});
+      }
+      std::reverse(Work.begin() + Mark, Work.end());
+      break;
+    }
+    case ParseTree::Kind::Array: {
+      const auto &A = *cast<ArrayTree>(It.T);
+      size_t Mark = Work.size();
+      for (TreeRef C : A.elements()) {
+        if (const auto *Elem = dyn_cast<NodeTree>(C.get()))
+          Work.push_back(Item{Elem, It.BaseOrigin + Elem->shift()});
+        else
+          Work.push_back(Item{C.get(), It.BaseOrigin});
+      }
+      std::reverse(Work.begin() + Mark, Work.end());
+      break;
+    }
+    }
+  }
+}
+
+size_t ipg::countHoles(const ParseTree &Root) {
+  // Cheaper than collectHoles (no origin bookkeeping): hole-ness does not
+  // depend on where a shifted view re-anchors the leaf.
+  size_t Total = 0;
+  std::vector<const ParseTree *> Work{&Root};
+  while (!Work.empty()) {
+    const ParseTree *Cur = Work.back();
+    Work.pop_back();
+    switch (Cur->kind()) {
+    case ParseTree::Kind::Leaf:
+      if (cast<LeafTree>(Cur)->isHole())
+        ++Total;
+      break;
+    case ParseTree::Kind::Node:
+      for (TreeRef C : cast<NodeTree>(Cur)->children())
+        Work.push_back(C.get());
+      break;
+    case ParseTree::Kind::Array:
+      for (TreeRef C : cast<ArrayTree>(Cur)->elements())
+        Work.push_back(C.get());
+      break;
+    }
+  }
+  return Total;
+}
+
 std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
                               int Indent) {
   struct Item {
@@ -101,6 +184,12 @@ std::string ipg::treeToString(const ParseTree &T, const StringInterner &Names,
     switch (It.T->kind()) {
     case ParseTree::Kind::Leaf: {
       const auto &L = *cast<LeafTree>(It.T);
+      if (L.isHole()) {
+        S += Pad + "Leaf@" + std::to_string(L.offset()) + " <hole " +
+             std::string(Names.name(L.holeRule())) + " " +
+             std::to_string(L.length()) + " bytes>\n";
+        break;
+      }
       if (L.isOpaque()) {
         S += Pad + "Leaf@" + std::to_string(L.offset()) + " <raw " +
              std::to_string(L.length()) + " bytes>\n";

@@ -292,11 +292,19 @@ private:
 /// behaviour Section 7 credits for the ZIP result — and blackbox output
 /// leaves alias an arena copy of the decoded bytes. An opaque leaf is a
 /// wildcard match whose bytes were never inspected.
+///
+/// A HOLE is an opaque leaf with a rule name attached: under
+/// RecoveryPolicy::Salvage it stands in for a subparse that failed over
+/// an already-resolved interval, aliasing the damaged bytes exactly as a
+/// `raw` match would. Hole-ness changes nothing about how the leaf
+/// prints or walks — only isHole()/holeRule() and the verdict machinery
+/// observe it.
 class LeafTree : public ParseTree {
 public:
-  LeafTree(const uint8_t *Data, size_t Length, int64_t Offset, bool Opaque)
+  LeafTree(const uint8_t *Data, size_t Length, int64_t Offset, bool Opaque,
+           Symbol Hole = InvalidSymbol)
       : ParseTree(Kind::Leaf), Data(Data), Length(Length), Offset(Offset),
-        Opaque(Opaque) {}
+        Opaque(Opaque), Hole(Hole) {}
   static bool classof(const ParseTree *T) { return T->kind() == Kind::Leaf; }
 
   std::string_view bytes() const {
@@ -305,12 +313,17 @@ public:
   int64_t offset() const { return Offset; }
   size_t length() const { return Length; }
   bool isOpaque() const { return Opaque; }
+  bool isHole() const { return Hole != InvalidSymbol; }
+  /// The rule (or terminal owner) whose failed subparse this hole fences;
+  /// InvalidSymbol for ordinary leaves.
+  Symbol holeRule() const { return Hole; }
 
 private:
   const uint8_t *Data;
   size_t Length;
   int64_t Offset;
   bool Opaque;
+  Symbol Hole;
 };
 
 /// Owns every tree object of one (or, when reused, the latest) parse: a
@@ -438,6 +451,14 @@ public:
   uint32_t makeLeaf(const uint8_t *Data, size_t Length, int64_t Offset,
                     bool Opaque) {
     return addNode(Mem.make<LeafTree>(Data, Length, Offset, Opaque));
+  }
+
+  /// Hole leaf: a zero-copy opaque window over bytes a failed subparse of
+  /// \p Rule should have covered (RecoveryPolicy::Salvage).
+  uint32_t makeHole(const uint8_t *Data, size_t Length, int64_t Offset,
+                    Symbol Rule) {
+    return addNode(
+        Mem.make<LeafTree>(Data, Length, Offset, /*Opaque=*/true, Rule));
   }
 
   /// Leaf over an arena-owned copy of \p Data (blackbox output).
@@ -684,6 +705,24 @@ inline FrozenTree TreePtr::detach() {
 
 /// Total number of tree objects under \p T (diagnostics / benchmarks).
 size_t treeSize(const ParseTree &T);
+
+/// One hole reachable from a salvaged tree: the rule whose subparse
+/// failed and the ABSOLUTE byte interval [Lo, Hi) the hole covers
+/// (shifts of memoized/re-anchored ancestors already applied, exactly as
+/// the Printer resolves them).
+struct HoleRecord {
+  Symbol Rule;
+  int64_t Lo;
+  int64_t Hi;
+};
+
+/// Collects every hole leaf reachable from \p Root, in pre-order, with
+/// absolute intervals.
+void collectHoles(const ParseTree &Root, std::vector<HoleRecord> &Out);
+
+/// Number of hole leaves reachable from \p Root (the Salvage verdict
+/// basis: 0 holes = Accept).
+size_t countHoles(const ParseTree &Root);
 
 /// Multi-line debug rendering.
 std::string treeToString(const ParseTree &T, const StringInterner &Names,

@@ -102,8 +102,10 @@ private:
   Error writeLeaf(const LeafTree &L, int64_t BaseOrigin, uint32_t Depth) {
     int64_t Abs = BaseOrigin + L.offset();
     if (Opts.CollectSpans && L.length() > 0)
-      R.Spans.push_back(PrintSpan{PrintSpan::Kind::Leaf, InvalidSymbol, Abs,
-                                  Abs + static_cast<int64_t>(L.length()),
+      R.Spans.push_back(PrintSpan{L.isHole() ? PrintSpan::Kind::Hole
+                                             : PrintSpan::Kind::Leaf,
+                                  L.isHole() ? L.holeRule() : InvalidSymbol,
+                                  Abs, Abs + static_cast<int64_t>(L.length()),
                                   Depth});
     return writeBytes(Abs,
                       reinterpret_cast<const uint8_t *>(L.bytes().data()),

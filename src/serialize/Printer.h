@@ -74,11 +74,14 @@ struct PrintOptions {
 
 /// One placed tree object: the absolute byte range a node / leaf landed
 /// on. Node spans come from the start/end interval attributes the parse
-/// recorded; untouched nodes (no start/end) are skipped.
+/// recorded; untouched nodes (no start/end) are skipped. Hole leaves
+/// (salvage parsing; see RecoveryPolicy) carry the rule they stand in
+/// for in Name.
 struct PrintSpan {
-  enum class Kind : uint8_t { Node, Blackbox, Leaf };
+  enum class Kind : uint8_t { Node, Blackbox, Leaf, Hole };
   Kind K = Kind::Node;
-  Symbol Name = InvalidSymbol; ///< rule / blackbox name; InvalidSymbol for leaves
+  Symbol Name = InvalidSymbol; ///< rule / blackbox / hole name; InvalidSymbol
+                               ///< for ordinary leaves
   int64_t Lo = 0; ///< absolute start offset in the printed output
   int64_t Hi = 0; ///< absolute end offset (exclusive)
   uint32_t Depth = 0;

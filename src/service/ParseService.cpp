@@ -10,6 +10,7 @@
 #include "codegen/GenEngine.h"
 #include "formats/FormatRegistry.h"
 #include "runtime/Interp.h"
+#include "vm/BytecodeVM.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -91,6 +92,7 @@ namespace {
 
 struct Job {
   ParseRequest Req;
+  SubmitOptions SOpts;
   std::promise<ParseResult> Promise;
   std::chrono::steady_clock::time_point Submitted;
 };
@@ -173,6 +175,9 @@ void ParseService::Impl::process(
     if (!Eng) {
       if (Opts.Mode == EngineKind::Generated)
         Eng = std::make_unique<GenEngine>(FC.Module, FC.Load->G);
+      else if (Opts.Mode == EngineKind::Vm)
+        Eng = std::make_unique<BytecodeVM>(FC.Load->G, FC.Blackboxes.get(),
+                                           Opts.Engine);
       else
         Eng = std::make_unique<Interp>(FC.Load->G, FC.Blackboxes.get(),
                                        Opts.Engine);
@@ -187,13 +192,22 @@ void ParseService::Impl::process(
       if (!Eng->adoptStore(S))
         TreeStore::destroy(S);
 
-    Expected<TreePtr> T = Eng->parse(R.Input->span());
-    R.Stats = Eng->stats();
-    if (T) {
-      R.Tree = (*T).detach(); // severs engine-thread affinity
-      R.Slot = SlotRef;
+    bool DeadlineArmed = false;
+    if (J.SOpts.hasDeadline() && !(DeadlineArmed = Eng->setDeadline(
+                                       J.SOpts.Deadline))) {
+      R.Err = std::string("engine '") + engineKindName(Opts.Mode) +
+              "' does not support deadlines";
     } else {
-      R.Err = T.message();
+      Expected<TreePtr> T = Eng->parse(R.Input->span());
+      R.Stats = Eng->stats();
+      if (DeadlineArmed)
+        Eng->clearDeadline();
+      if (T) {
+        R.Tree = (*T).detach(); // severs engine-thread affinity
+        R.Slot = SlotRef;
+      } else {
+        R.Err = T.message();
+      }
     }
   }
 
@@ -211,6 +225,12 @@ ParseService::create(const std::vector<std::string> &Formats,
                      const ParseServiceOptions &Opts) {
   using Ret = Expected<std::unique_ptr<ParseService>>;
   std::unique_ptr<ParseService> Svc(new ParseService());
+  // Same limitation makeEngine enforces: compiled parsers carry
+  // Strict-mode control flow only.
+  if (Opts.Mode == EngineKind::Generated &&
+      Opts.Engine.Recovery == RecoveryPolicy::Salvage)
+    return Ret::failure("generated parsers do not support "
+                        "RecoveryPolicy::Salvage; use interp or vm mode");
   Impl &I = *Svc->I;
   I.Opts = Opts;
   if (I.Opts.Workers == 0) {
@@ -271,8 +291,14 @@ ParseService::~ParseService() {
 }
 
 std::future<ParseResult> ParseService::submit(ParseRequest Request) {
+  return submit(std::move(Request), SubmitOptions());
+}
+
+std::future<ParseResult> ParseService::submit(ParseRequest Request,
+                                              const SubmitOptions &Options) {
   Job J;
   J.Req = std::move(Request);
+  J.SOpts = Options;
   J.Submitted = std::chrono::steady_clock::now();
   std::future<ParseResult> F = J.Promise.get_future();
 

@@ -52,6 +52,7 @@
 #include "service/InputSource.h"
 #include "support/Result.h"
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -67,6 +68,21 @@ class ParseService;
 struct ParseRequest {
   std::string Format;
   std::shared_ptr<InputSource> Input;
+};
+
+/// Per-request knobs for the submit overloads. Default-constructed
+/// options change nothing.
+struct SubmitOptions {
+  /// Absolute deadline for this request (steady clock). A parse still
+  /// running at the deadline aborts cleanly with Verdict::Timeout — the
+  /// engine checks at recoverable boundaries (rule entries / machine act
+  /// starts, amortized), so the abort is prompt but not instantaneous.
+  /// The default (epoch) means no deadline. Generated-mode services fail
+  /// deadline requests up front: compiled parsers cannot be interrupted.
+  std::chrono::steady_clock::time_point Deadline{};
+  bool hasDeadline() const {
+    return Deadline != std::chrono::steady_clock::time_point{};
+  }
 };
 
 namespace detail {
@@ -99,6 +115,12 @@ public:
   /// Engine stats of this parse (copied out of the worker's engine
   /// before it moved on).
   const EngineStats &stats() const { return Stats; }
+
+  /// The parse's outcome classification (stats().ParseVerdict): Accept,
+  /// Salvage (the tree carries hole nodes over damaged bytes), Reject,
+  /// or Timeout (the request's SubmitOptions::Deadline fired). Requests
+  /// that failed before reaching an engine report Reject.
+  Verdict verdict() const { return Stats.ParseVerdict; }
 
   /// End-to-end latency: submit() to result-ready, microseconds.
   uint64_t latencyUs() const { return LatencyUs; }
@@ -142,6 +164,10 @@ public:
   /// finishes it; a request for a format not passed to create() (or a
   /// null input) fails fast without touching a worker.
   std::future<ParseResult> submit(ParseRequest Request);
+
+  /// Like submit(), with per-request options (e.g. a deadline).
+  std::future<ParseResult> submit(ParseRequest Request,
+                                  const SubmitOptions &Options);
 
   /// Enqueues a batch in submission order (one queue broadcast instead
   /// of M). Results complete out of order across workers; index I of the

@@ -757,6 +757,8 @@ public:
     Memo.clear(); // O(1) generational clear; capacity is kept
     ArrayNest = 0;
     Hard = false;
+    FailName = -1;
+    FailOff = -1;
     Frozen = 0;
     Hits = 0;
     Misses = 0;
@@ -772,6 +774,20 @@ public:
   /// check hardFailed() after every failed alternative.
   void hardFail() { Hard = true; }
   bool hardFailed() const { return Hard; }
+
+  /// First-failure diagnostics, the generated twin of
+  /// EngineStats::FailRule/FailOffset: the first noteFail() of a parse
+  /// wins (deeper failures fire first on the way out, exactly as the
+  /// interpreter records them). \p NameId indexes the module name table;
+  /// \p Off is the absolute input offset of the failing window.
+  void noteFail(unsigned NameId, long long Off) {
+    if (FailName >= 0)
+      return;
+    FailName = static_cast<long long>(NameId);
+    FailOff = Off;
+  }
+  long long failNameId() const { return FailName; } ///< -1 when none
+  long long failOff() const { return FailOff; }
 
   /// The effective recursion limit (emitted rule functions compare their
   /// Depth against it). Defaults to MaxDepth; setDepthLimit lets a
@@ -871,11 +887,13 @@ public:
           return 0;
         if (Out.End < 0 ||
             static_cast<unsigned long long>(Out.End) > Len) {
+          noteFail(NameId, static_cast<long long>(Data - Base));
           hardFail();
           return 0;
         }
         return 1;
       }
+    noteFail(NameId, static_cast<long long>(Data - Base));
     hardFail();
     return 0;
   }
@@ -1038,6 +1056,8 @@ private:
   std::vector<Task> Steps;
   size_t ArrayNest = 0;
   bool Hard = false;
+  long long FailName = -1;
+  long long FailOff = -1;
   size_t Frozen = 0;
   size_t Hits = 0;
   size_t Misses = 0;
@@ -1265,11 +1285,13 @@ inline Node *Node::kid(size_t I) const { return C->node(KidIds[I]); }
 /// matches the interpreter exactly: a push is refused (hard failure) once
 /// the stack already holds depthLimit() tasks, and the peak is noted
 /// after each push.
-inline bool runMachine(Ctx &C, const StepFn *Fns, unsigned StartRule,
-                       size_t AbsLo, size_t AbsHi, unsigned &Out) {
+inline bool runMachine(Ctx &C, const StepFn *Fns, const unsigned *NameIds,
+                       unsigned StartRule, size_t AbsLo, size_t AbsHi,
+                       unsigned &Out) {
   std::vector<Task> &S = C.stepTasks();
   S.clear();
   if (static_cast<long long>(S.size()) >= C.depthLimit()) {
+    C.noteFail(NameIds[StartRule], static_cast<long long>(AbsLo));
     C.hardFail();
     return false;
   }
@@ -1287,6 +1309,7 @@ inline bool runMachine(Ctx &C, const StepFn *Fns, unsigned StartRule,
     }
     if (R == StepCall) {
       if (static_cast<long long>(S.size()) >= C.depthLimit()) {
+        C.noteFail(NameIds[T.CallRule], static_cast<long long>(T.CallLo));
         C.hardFail();
         S.clear();
         return false;

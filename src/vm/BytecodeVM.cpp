@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -337,9 +338,12 @@ class Runner {
 public:
   Runner(const Grammar &G, const EngineOptions &Opts, EngineStats &Stats,
          ParseScratch &St, const std::vector<QE> &Quick,
-         const std::vector<BytecodeVM::DigitTerm> &Digits)
+         const std::vector<BytecodeVM::DigitTerm> &Digits, bool HasDeadline,
+         std::chrono::steady_clock::time_point Deadline)
       : G(G), L(St.Lowered), Opts(Opts), Stats(Stats), St(St),
-        Store(*St.Cur), Quick(Quick), Digits(Digits) {}
+        Store(*St.Cur), Quick(Quick), Digits(Digits),
+        Salvage(Opts.Recovery == RecoveryPolicy::Salvage),
+        HasDeadline(HasDeadline), Deadline(Deadline) {}
 
   Expected<TreePtr> run(ByteSpan Input, RuleId Start) {
     uint32_t RootId = L.Rules[Start].Shape == ExecShape::Step
@@ -350,12 +354,25 @@ public:
             ? nullptr
             : cast<NodeTree>(Store.node(RootId));
     Stats.ArenaBytesUsed = Store.arenaBytesUsed();
-    if (Hard)
+    if (Hard) {
+      Stats.ParseVerdict =
+          Stats.TimedOut ? Verdict::Timeout : Verdict::Reject;
       return Expected<TreePtr>(std::move(Hard));
-    if (!Node)
+    }
+    if (!Node) {
+      Stats.ParseVerdict = Verdict::Reject;
+      noteFail(L.Rules[Start].Name, Input.absBase());
       return Expected<TreePtr>::failure(
           "parse failed: input rejected by rule '" +
           std::string(G.interner().name(L.Rules[Start].Name)) + "'");
+    }
+    // The verdict counts holes reachable from the RESULT — HolesFilled
+    // also counts holes in activations a later (non-backtrack) failure
+    // abandoned, so it only gates the walk.
+    if (Salvage && Stats.HolesFilled)
+      Stats.HolesInTree = countHoles(*Node);
+    Stats.ParseVerdict =
+        Stats.HolesInTree ? Verdict::Salvage : Verdict::Accept;
     // Move the store out to the result: the engine keeps no reference
     // (zero refcount traffic on this path), and when the caller drops the
     // TreePtr the store parks itself in St.Pool for the next parse.
@@ -373,8 +390,22 @@ private:
   TreeStore &Store;
   const std::vector<QE> &Quick;
   const std::vector<BytecodeVM::DigitTerm> &Digits;
+  const bool Salvage;
+  const bool HasDeadline;
+  const std::chrono::steady_clock::time_point Deadline;
+  unsigned Tick = 0; ///< amortizes the deadline clock reads
   Error Hard = Error::success();
   size_t Depth = 0;
+
+  /// Salvage gate (see Lower.cpp's markRecoverable): the number of
+  /// alternative attempts anywhere on the (virtual) stack that still
+  /// have a later alternative to try. A hole may only be emitted when
+  /// this is zero — i.e. when Strict would have failed the whole parse
+  /// rather than backtracked — otherwise salvage would steal a choice
+  /// from an enclosing biased alternative (gif's Block/Blocks). Every
+  /// tier keeps it balanced on soft paths; hard aborts may leak it, but
+  /// Hard already vetoes all salvage and the Runner lives one parse.
+  size_t BacktrackLive = 0;
 
   /// parseRule's failure id (nodes are 32-bit store indices).
   static constexpr uint32_t InvalidNode = ~0u;
@@ -1095,6 +1126,7 @@ private:
     switch (T.Op) {
     case lir::TermOp::CallRule: {
       if (T.Rule == InvalidRuleId) {
+        noteFail(T.Sym, F.Input.absBase());
         Hard = Error::failure("internal: unresolved nonterminal '" +
                               std::string(G.interner().name(T.Sym)) +
                               "' (run checkAttributes before parsing)");
@@ -1219,6 +1251,7 @@ private:
     if (!evalProgram(F, T.E0, From) || !evalProgram(F, T.E1, To))
       return false;
     if (T.Rule == InvalidRuleId) {
+      noteFail(T.Elem, F.Input.absBase());
       Hard = Error::failure("internal: unresolved array element");
       return false;
     }
@@ -1298,6 +1331,7 @@ private:
     // construction (lower/LIR.h's BbSite table).
     const BlackboxFn *Fn = St.BbFns[T.Bb];
     if (!Fn) {
+      noteFail(T.Sym, F.Input.absBase() + Lo);
       Hard = Error::failure("blackbox parser '" +
                             L.BbSites[T.Bb].NameStr +
                             "' is not registered");
@@ -1309,6 +1343,7 @@ private:
     if (!Res.Ok)
       return false;
     if (Res.End > Slice.size()) {
+      noteFail(T.Sym, F.Input.absBase() + Lo);
       Hard = Error::failure("blackbox parser '" +
                             L.BbSites[T.Bb].NameStr +
                             "' consumed past its interval");
@@ -1344,8 +1379,120 @@ private:
     return true;
   }
 
+  /// Records the failing rule/offset diagnostics. First failure wins: a
+  /// hard error's site is THE failure (everything unwinds through it),
+  /// and soft-reject sites only report at the top level.
+  void noteFail(Symbol Rule, int64_t Off) {
+    if (Stats.FailRule != ~0u)
+      return;
+    Stats.FailRule = Rule;
+    Stats.FailOffset = Off;
+  }
+
+  /// Amortized deadline check at recoverable boundaries (rule entry /
+  /// flattened level / machine act start): the clock is read once per
+  /// 256 boundaries. A trip raises a hard error and flags TimedOut so
+  /// the verdict becomes Timeout.
+  bool pastDeadline(Symbol RuleName, int64_t AbsLo) {
+    if (!HasDeadline)
+      return false;
+    if ((++Tick & 0xFFu) != 0)
+      return false;
+    if (std::chrono::steady_clock::now() < Deadline)
+      return false;
+    Stats.TimedOut = true;
+    noteFail(RuleName, AbsLo);
+    Hard = Error::failure(
+        "parse aborted: deadline exceeded while parsing rule '" +
+        std::string(G.interner().name(RuleName)) + "'");
+    return true;
+  }
+
+  /// execTerm plus the Salvage wrapper: a term that fails SOFTLY at a
+  /// boundary the lowering marked recoverable (lir::TermL::Recoverable)
+  /// is fenced by a hole leaf over its interval and the sequence
+  /// continues. \p Owner names the enclosing rule, used for holes at
+  /// terminal boundaries (which have no callee name of their own).
+  bool execTermSalvage(Frame &F, const lir::TermL &T, Symbol Owner) {
+    if (execTerm(F, T))
+      return true;
+    if (!Salvage || Hard || !T.Recoverable || BacktrackLive != 0)
+      return false;
+    return emitHole(F, T, Owner);
+  }
+
+  /// Fences a failed recoverable term: resolves its interval (the
+  /// committed arm's for Select) and emits a hole leaf over exactly that
+  /// window. False — damage escalates to the enclosing boundary — when
+  /// the interval no longer resolves or lands outside the input (e.g.
+  /// truncation), which keeps salvaged reprints byte-exact.
+  bool emitHole(Frame &F, const lir::TermL &T, Symbol Owner) {
+    const lir::IntervalL *Iv = nullptr;
+    Symbol HoleSym = Owner;
+    switch (T.Op) {
+    case lir::TermOp::CallRule:
+    case lir::TermOp::CallBlackbox:
+      Iv = &T.Iv;
+      HoleSym = T.Sym;
+      break;
+    case lir::TermOp::MatchBytes:
+    case lir::TermOp::MatchRaw:
+      Iv = &T.Iv;
+      break;
+    case lir::TermOp::Select: {
+      // Re-find the committed arm (condition evaluation is pure): the
+      // hole covers the arm the parse committed to, not the whole term.
+      for (uint32_t AI = T.ArmsBegin; AI != T.ArmsEnd; ++AI) {
+        const lir::ArmL &C = L.Arms[AI];
+        if (C.Cond != lir::NoExpr) {
+          int64_t V;
+          if (!evalProgram(F, C.Cond, V))
+            return false;
+          if (V == 0)
+            continue;
+        }
+        Iv = &C.Iv;
+        if (C.Rule != InvalidRuleId)
+          HoleSym = L.Rules[C.Rule].Name;
+        break;
+      }
+      if (!Iv)
+        return false; // no arm matched: nothing bounds the damage
+      break;
+    }
+    default:
+      return false; // SetAttr/Check/ForArray are never recoverable
+    }
+    int64_t Lo, Hi;
+    if (!evalInterval(F, *Iv, Lo, Hi) || Hard)
+      return false;
+    if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
+      return false;
+    if (Hi <= Lo)
+      return false; // a hole must cover at least one damaged byte —
+                    // zero-width success where Strict fails could turn
+                    // a proven-terminating list into a livelock
+    emitHoleAt(F, T.TermIdx, Lo, Hi, HoleSym);
+    return true;
+  }
+
+  /// Emits the hole leaf once its window is known, with the exact frame
+  /// effects a `raw` match over [Lo, Hi) would have — so every later
+  /// term (start/end, termEnd references) sees a consistent parse.
+  void emitHoleAt(Frame &F, uint32_t TI, int64_t Lo, int64_t Hi,
+                  Symbol HoleSym) {
+    updStartEnd(F.E, Lo, Hi, Hi > Lo);
+    F.ChildIds.push_back(Store.makeHole(F.Input.data() + Lo,
+                                        static_cast<size_t>(Hi - Lo), Lo,
+                                        HoleSym));
+    F.ChildTermIdx.push_back(TI);
+    F.rec(TI, Lo, Hi);
+    ++Stats.HolesFilled;
+  }
+
   /// The depth-limit hard error, shared by all three execution tiers.
-  Error depthError(const lir::RuleL &R) {
+  Error depthError(const lir::RuleL &R, int64_t AbsLo) {
+    noteFail(R.Name, AbsLo);
     return Error::failure(
         "recursion depth limit exceeded while parsing rule '" +
         std::string(G.interner().name(R.Name)) +
@@ -1368,17 +1515,23 @@ private:
     assert(R.Shape != ExecShape::Step &&
            "step rules only run on the machine (up-closure violated)");
     if (Depth >= Opts.MaxDepth) {
-      Hard = depthError(R);
+      Hard = depthError(R, Input.absBase());
       return InvalidNode;
     }
+    if (pastDeadline(R.Name, Input.absBase()))
+      return InvalidNode;
     ++Depth;
     Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
 
     // Local rules are never memoized (their meaning depends on the
     // enclosing frame); leaf rules are excluded as a pure optimization —
     // re-matching a handful of terminals/attrdefs is cheaper than a probe
-    // (the RuleL::Memoizable policy shared with all engines).
-    bool Memoize = Opts.UseMemo && R.Memoizable;
+    // (the RuleL::Memoizable policy shared with all engines). Salvage
+    // disables memoization wholesale: with the BacktrackLive gate the
+    // outcome of a subparse depends on the enclosing backtrack state, so
+    // caching it (a hole-bearing tree, or a gated failure) would replay
+    // it into contexts where the opposite decision is required.
+    bool Memoize = Opts.UseMemo && R.Memoizable && !Salvage;
     bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
     IntervalKey Key;
     if (Memoize || TrackReentry)
@@ -1400,7 +1553,9 @@ private:
 
     uint32_t Result = InvalidNode;
     Frame &F = St.frameAt(Depth);
-    for (const lir::AltL &Alt : R.Alts) {
+    for (size_t AI = 0, AE = R.Alts.size(); AI < AE; ++AI) {
+      const lir::AltL &Alt = R.Alts[AI];
+      const bool BT = AI + 1 < AE; // a later alternative is still untried
       F.beginAlt(Input, R.IsLocal ? Lexical : nullptr, Alt.Exec.size());
       // The environment starts empty: EOI is answered from the frame
       // (never stored as an attribute, so a grammar attribute named "EOI"
@@ -1408,12 +1563,14 @@ private:
       // only once a term touches bytes (first-update updStartEnd) — a
       // byte-untouched node exposes neither, and reading its X.start
       // fails with partiality, exactly as in the generated parsers.
+      BacktrackLive += BT;
       bool Ok = true;
       for (const lir::TermL &T : Alt.Exec)
-        if (!execTerm(F, T)) {
+        if (!execTermSalvage(F, T, R.Name)) {
           Ok = false;
           break;
         }
+      BacktrackLive -= BT;
       if (Hard)
         break;
       if (Ok) {
@@ -1453,8 +1610,11 @@ private:
     const lir::AltL &SAlt = R.Alts[FI.SelfAlt];
     const lir::TermL &SelfT = SAlt.Exec[FI.SelfExecPos];
     const size_t PN = FI.PrefixNTTerms.size();
-    const bool Memoize = Opts.UseMemo && R.Memoizable;
+    const bool Memoize = Opts.UseMemo && R.Memoizable && !Salvage;
     const bool TrackReentry = Opts.DetectReentry; // never a local rule
+    // Each level contributes to BacktrackLive while inside its self
+    // alternative iff post-self alternatives exist to fall back to.
+    const bool HasPost = FI.SelfAlt + 1 < R.Alts.size();
     const size_t EntryDepth = Depth;
     const size_t LvBase = St.FlatLevels.size();
     const size_t KidBase = St.FlatKids.size();
@@ -1474,9 +1634,11 @@ private:
     // figure the recursive form would have reached.
     Depth = EntryDepth + (St.FlatLevels.size() - LvBase);
     if (Depth >= Opts.MaxDepth) {
-      Hard = depthError(R);
+      Hard = depthError(R, Cur.absBase());
       goto flat_hard;
     }
+    if (pastDeadline(R.Name, Cur.absBase()))
+      goto flat_hard;
     ++Depth;
     Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
     if (Memoize) {
@@ -1503,12 +1665,14 @@ private:
     for (size_t AI = 0; AI < FI.SelfAlt; ++AI) {
       const lir::AltL &Alt = R.Alts[AI];
       F.beginAlt(Cur, nullptr, Alt.Exec.size());
+      ++BacktrackLive; // the self alternative is still untried
       bool Ok = true;
       for (const lir::TermL &T : Alt.Exec)
-        if (!execTerm(F, T)) {
+        if (!execTermSalvage(F, T, R.Name)) {
           Ok = false;
           break;
         }
+      --BacktrackLive;
       if (Hard)
         goto flat_hard;
       if (Ok) {
@@ -1524,11 +1688,16 @@ private:
     // and descend into the self interval.
     {
       F.beginAlt(Cur, nullptr, SAlt.Exec.size());
+      // This level enters its self alternative: it contributes to
+      // BacktrackLive until it leaves it — through the prefix, the
+      // whole descent below, and the replay (flat_resolved).
+      BacktrackLive += HasPost;
       for (size_t Step = 0; Step < FI.SelfExecPos; ++Step) {
         const lir::TermL &T = SAlt.Exec[Step];
         bool Ok;
         if (T.Op == lir::TermOp::CallRule) {
           if (T.Rule == InvalidRuleId) {
+            noteFail(T.Sym, F.Input.absBase());
             Hard = Error::failure(
                 "internal: unresolved nonterminal '" +
                 std::string(G.interner().name(T.Sym)) +
@@ -1549,6 +1718,7 @@ private:
         if (!Ok) {
           if (Hard)
             goto flat_hard;
+          BacktrackLive -= HasPost; // prefix failed: leave the self alt
           goto flat_post_alts;
         }
       }
@@ -1556,11 +1726,14 @@ private:
       if (!evalInterval(F, SelfT.Iv, SLo, SHi) || Hard) {
         if (Hard)
           goto flat_hard;
+        BacktrackLive -= HasPost; // leave the self alt
         goto flat_post_alts;
       }
       if (!ipg_rt::intervalOk(SLo, SHi,
-                              static_cast<int64_t>(F.Input.size())))
+                              static_cast<int64_t>(F.Input.size()))) {
+        BacktrackLive -= HasPost; // leave the self alt
         goto flat_post_alts;
+      }
       St.FlatLevels.push_back(Cur);
       Cur = F.Input.slice(static_cast<size_t>(SLo),
                           static_cast<size_t>(SHi));
@@ -1586,13 +1759,16 @@ private:
                        (St.FlatLevels.size() - LvBase) * PN);
     for (size_t AI = FI.SelfAlt + 1; AI < R.Alts.size(); ++AI) {
       const lir::AltL &Alt = R.Alts[AI];
+      const bool BT = AI + 1 < R.Alts.size(); // a later alt is untried
       F.beginAlt(Cur, nullptr, Alt.Exec.size());
+      BacktrackLive += BT;
       bool Ok = true;
       for (const lir::TermL &T : Alt.Exec)
-        if (!execTerm(F, T)) {
+        if (!execTermSalvage(F, T, R.Name)) {
           Ok = false;
           break;
         }
+      BacktrackLive -= BT;
       if (Hard)
         goto flat_hard;
       if (Ok) {
@@ -1621,6 +1797,7 @@ private:
     }
     Cur = St.FlatLevels.back();
     St.FlatLevels.pop_back();
+    BacktrackLive -= HasPost; // the parent level leaves its self alt
     goto flat_post_alts;
 
     // A level resolved to node Sub: unwind, deepest pending level first —
@@ -1667,6 +1844,7 @@ private:
       }
       if (Hard)
         goto flat_hard;
+      BacktrackLive -= HasPost; // replay done: leave the self alt
       if (!Ok)
         goto flat_post_alts;
       Sub = Store.makeNode(
@@ -1721,12 +1899,14 @@ private:
   StartStatus startAct(RuleId Id, ByteSpan In, const Frame *Lex) {
     const lir::RuleL &R = L.Rules[Id];
     if (Depth >= Opts.MaxDepth) {
-      Hard = depthError(R);
+      Hard = depthError(R, In.absBase());
       return ActDoneFail;
     }
+    if (pastDeadline(R.Name, In.absBase()))
+      return ActDoneFail;
     ++Depth;
     Stats.PeakDepth = std::max(Stats.PeakDepth, Depth);
-    bool Memoize = Opts.UseMemo && R.Memoizable;
+    bool Memoize = Opts.UseMemo && R.Memoizable && !Salvage;
     bool TrackReentry = Opts.DetectReentry && !R.IsLocal;
     IntervalKey Key;
     if (Memoize || TrackReentry)
@@ -1758,6 +1938,7 @@ private:
     A.Key = Key;
     A.Memoize = Memoize;
     A.Inserted = Inserted;
+    BacktrackLive += R.Alts.size() > 1; // alt 0 begins with later alts
     St.Acts.push_back(A);
     return ActPushed;
   }
@@ -1773,6 +1954,7 @@ private:
       St.Memo.insert(A.Key, ipg_rt::memoPack(
                                 Result == InvalidNode ? 0u : Result,
                                 Result != InvalidNode));
+    BacktrackLive -= A.AltIdx + 1 < L.Rules[A.Id].Alts.size();
     --Depth;
     St.Acts.pop_back();
     ChildOk = Result != InvalidNode && !Hard;
@@ -1878,17 +2060,23 @@ private:
 
   /// Suspends act \p I on a child parse of \p Target (NT term or switch
   /// arm); resolves inline when the child answers from the memo table.
+  /// \p Recov / \p HoleSym carry the term's recoverability so a soft
+  /// child failure under Salvage becomes a hole over [Lo, Hi) — both on
+  /// the inline paths here and on the delivery path in advance().
   int suspendChild(size_t I, Frame &F, uint32_t TI, RuleId Target,
-                   const lir::IntervalL &Iv) {
+                   const lir::IntervalL &Iv, bool Recov, Symbol HoleSym) {
     int64_t Lo, Hi;
     if (!evalInterval(F, Iv, Lo, Hi) || Hard)
       return 0;
     if (!ipg_rt::intervalOk(Lo, Hi, static_cast<int64_t>(F.Input.size())))
       return 0;
+    Recov = Recov && Hi > Lo; // zero-width holes are refused (see emitHole)
     MachineAct &A = St.Acts[I];
     A.PendTI = TI;
     A.PendLo = Lo;
     A.PendHi = Hi;
+    A.PendRecov = Salvage && Recov;
+    A.PendHole = HoleSym;
     A.Wait = MachineAct::WaitNT;
     StartStatus S2 = startAct(Target,
                               F.Input.slice(static_cast<size_t>(Lo),
@@ -1897,8 +2085,15 @@ private:
     if (S2 == ActPushed)
       return 2;
     St.Acts[I].Wait = MachineAct::WaitNone;
-    if (S2 == ActDoneFail || Hard)
+    if (Hard)
       return 0;
+    if (S2 == ActDoneFail) {
+      if (Salvage && Recov && BacktrackLive == 0) {
+        emitHoleAt(F, TI, Lo, Hi, HoleSym);
+        return 1;
+      }
+      return 0;
+    }
     completeChildNT(F, TI, Lo, Hi, StartNode);
     return 1;
   }
@@ -1907,13 +2102,15 @@ private:
   /// suspend; everything else delegates to the recursive helpers.
   /// Returns 0 (failed), 1 (done), or 2 (suspended).
   int execTermMachine(size_t I, Frame &F, const lir::TermL &T) {
+    const Symbol Owner = L.Rules[St.Acts[I].Id].Name;
     switch (T.Op) {
     case lir::TermOp::CallRule: {
       if (T.Rule == InvalidRuleId ||
           L.Rules[T.Rule].Shape != ExecShape::Step)
-        return execTerm(F, T) ? 1 : 0;
+        return execTermSalvage(F, T, Owner) ? 1 : 0;
       ++Stats.TermsExecuted;
-      return suspendChild(I, F, T.TermIdx, T.Rule, T.Iv);
+      return suspendChild(I, F, T.TermIdx, T.Rule, T.Iv, T.Recoverable,
+                          T.Sym);
     }
     case lir::TermOp::Select: {
       // Find the committed arm first (condition evaluation is pure);
@@ -1939,19 +2136,20 @@ private:
       }
       if (Chosen->Rule == InvalidRuleId ||
           L.Rules[Chosen->Rule].Shape != ExecShape::Step)
-        return execTerm(F, T) ? 1 : 0;
+        return execTermSalvage(F, T, Owner) ? 1 : 0;
       ++Stats.TermsExecuted;
-      return suspendChild(I, F, T.TermIdx, Chosen->Rule, Chosen->Iv);
+      return suspendChild(I, F, T.TermIdx, Chosen->Rule, Chosen->Iv,
+                          T.Recoverable, L.Rules[Chosen->Rule].Name);
     }
     case lir::TermOp::ForArray: {
       if (T.Rule == InvalidRuleId ||
           L.Rules[T.Rule].Shape != ExecShape::Step)
-        return execTerm(F, T) ? 1 : 0;
+        return execTerm(F, T) ? 1 : 0; // arrays never salvage
       ++Stats.TermsExecuted;
       return startArrayMachine(I, F, T);
     }
     default:
-      return execTerm(F, T) ? 1 : 0;
+      return execTermSalvage(F, T, Owner) ? 1 : 0;
     }
   }
 
@@ -1968,6 +2166,12 @@ private:
       A.Wait = MachineAct::WaitNone;
       if (ChildOk) {
         completeChildNT(F, A.PendTI, A.PendLo, A.PendHi, ChildNode);
+        ++A.StepIdx;
+      } else if (A.PendRecov && !Hard && BacktrackLive == 0) {
+        // BacktrackLive is judged at failure-delivery time: the child's
+        // own contributions are gone, what remains is this act's current
+        // alternative plus everything enclosing it.
+        emitHoleAt(F, A.PendTI, A.PendLo, A.PendHi, A.PendHole);
         ++A.StepIdx;
       } else {
         AltFailed = true;
@@ -2025,6 +2229,8 @@ private:
         return;
       }
       ++A.AltIdx;
+      if (A.AltIdx + 1 == R.Alts.size())
+        --BacktrackLive; // this act just entered its last alternative
       A.StepIdx = 0;
       A.NeedBegin = true;
       AltFailed = false;
@@ -2090,12 +2296,15 @@ Expected<TreePtr> BytecodeVM::parse(ByteSpan Input, Symbol StartNT) {
   RuleId Start = StartNT == G.startSymbol()
                      ? S->Lowered.Start
                      : S->Lowered.globalRuleOf(StartNT);
-  if (Start == InvalidRuleId)
+  if (Start == InvalidRuleId) {
+    Stats.FailRule = StartNT;
+    Stats.FailOffset = Input.absBase();
     return Expected<TreePtr>::failure(
         "start nonterminal '" +
         std::string(G.interner().name(StartNT)) + "' has no rule");
+  }
   S->beginParse(Stats);
-  Runner R(G, Opts, Stats, *S, Quick, QuickDigits);
+  Runner R(G, Opts, Stats, *S, Quick, QuickDigits, HasDeadline, Deadline);
   return R.run(Input, Start);
 }
 

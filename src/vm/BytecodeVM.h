@@ -53,6 +53,7 @@
 #include "support/Bytes.h"
 #include "support/Result.h"
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -86,6 +87,15 @@ public:
   /// Adopts a store coming home from a FrozenTree round trip (see
   /// Interp::adoptStore).
   bool adoptStore(TreeStore *Store) override;
+
+  /// Deadline support — same recoverable-boundary checks as the
+  /// interpreter's (see Interp::setDeadline).
+  bool setDeadline(std::chrono::steady_clock::time_point D) override {
+    HasDeadline = true;
+    Deadline = D;
+    return true;
+  }
+  void clearDeadline() override { HasDeadline = false; }
 
   /// The closed form of one trivial expression program, decoded once at
   /// engine construction (see the file comment). Every quick form is
@@ -153,6 +163,8 @@ private:
   std::unique_ptr<ParseScratch> S;
   std::vector<QuickExpr> Quick;       ///< indexed by lir::ExprId
   std::vector<DigitTerm> QuickDigits; ///< side table for QuickExpr::Digits
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
 };
 
 } // namespace ipg

@@ -1,0 +1,105 @@
+//===- tests/CorruptCorpus.h - shared corrupt-at-offset sweep ---*- C++ -*-===//
+//
+// Part of the IPG reproduction of "Interval Parsing Grammars for File Format
+// Parsing" (PLDI 2023). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic damage model shared by the differential harness
+/// (tests/differential_test.cpp), the salvage tests
+/// (tests/recovery_test.cpp), and the robustness bench
+/// (bench/bench_recovery.cpp): K probe offsets spread across a corpus —
+/// both extremes plus evenly spaced interior positions — crossed with
+/// three mutation kinds:
+///
+///   flip      — one byte XORed with 0xff (same length, local damage);
+///   truncate  — the input cut at the offset (structure ends mid-
+///               construct);
+///   zero-run  — a 16-byte run zeroed from the offset (a torn sector /
+///               unwritten page, damage wider than one field).
+///
+/// Everything is pure arithmetic on (size, probe count): no RNG, so
+/// every consumer sweeps the identical grid and their verdict counts
+/// are comparable across binaries and CI runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPG_TESTS_CORRUPTCORPUS_H
+#define IPG_TESTS_CORRUPTCORPUS_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipg::testutil {
+
+enum class CorruptKind { Flip, Truncate, ZeroRun };
+
+inline const char *corruptKindName(CorruptKind K) {
+  switch (K) {
+  case CorruptKind::Flip:
+    return "flip";
+  case CorruptKind::Truncate:
+    return "truncate";
+  case CorruptKind::ZeroRun:
+    return "zero-run";
+  }
+  return "?";
+}
+
+/// Width of the CorruptKind::ZeroRun damage window (clamped at EOF).
+constexpr size_t ZeroRunBytes = 16;
+
+/// The probe grid for a corpus of \p Size bytes: offset 0, the final
+/// byte, and Probes-2 evenly spread interior offsets. Requires
+/// Size >= Probes (callers assert; every format sample is far larger).
+inline std::vector<size_t> corruptOffsets(size_t Size, size_t Probes = 8) {
+  std::vector<size_t> Offsets = {0, Size - 1};
+  for (size_t K = 1; K + 1 < Probes; ++K)
+    Offsets.push_back(K * Size / (Probes - 1));
+  return Offsets;
+}
+
+/// Applies one mutation to a copy of \p Bytes. \p Off must be < size.
+inline std::vector<uint8_t> corruptAt(const std::vector<uint8_t> &Bytes,
+                                      CorruptKind K, size_t Off) {
+  std::vector<uint8_t> Bad = Bytes;
+  switch (K) {
+  case CorruptKind::Flip:
+    Bad[Off] ^= 0xff;
+    break;
+  case CorruptKind::Truncate:
+    Bad.resize(Off);
+    break;
+  case CorruptKind::ZeroRun:
+    std::fill(Bad.begin() + static_cast<std::ptrdiff_t>(Off),
+              Bad.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(Off + ZeroRunBytes, Bad.size())),
+              uint8_t{0});
+    break;
+  }
+  return Bad;
+}
+
+/// One entry of the full sweep grid.
+struct CorruptProbe {
+  CorruptKind Kind;
+  size_t Off;
+};
+
+/// The full deterministic grid: every kind at every probe offset.
+inline std::vector<CorruptProbe> corruptProbes(size_t Size,
+                                               size_t Probes = 8) {
+  std::vector<CorruptProbe> Out;
+  for (CorruptKind K :
+       {CorruptKind::Flip, CorruptKind::Truncate, CorruptKind::ZeroRun})
+    for (size_t Off : corruptOffsets(Size, Probes))
+      Out.push_back(CorruptProbe{K, Off});
+  return Out;
+}
+
+} // namespace ipg::testutil
+
+#endif // IPG_TESTS_CORRUPTCORPUS_H

@@ -36,6 +36,7 @@
 #include "codegen/CppEmitter.h"
 
 #include "CodegenTestHarness.h"
+#include "CorruptCorpus.h"
 #include "TreeCanonical.h"
 #include "formats/FormatRegistry.h"
 #include "formats/Zip.h"
@@ -217,21 +218,19 @@ TEST(DifferentialTest, AllFormatCorporaAgree) {
 
 //===----------------------------------------------------------------------===//
 // Corrupt-at-offset sweep: the single corrupt-first-byte probe above only
-// sees one failure path per format. This sweep plants flips and
-// truncations at fixed offsets spread across each corpus — headers,
-// directory structures, payload middles, trailers — and demands verdict
-// agreement at every one; when both engines accept a corruption (a flip
-// in don't-care payload bytes), their trees must still be identical.
-// The per-offset verdict grid is the seed of ROADMAP item 4's robustness
-// bench schema.
+// sees one failure path per format. This sweep plants the shared damage
+// grid (tests/CorruptCorpus.h: flips, truncations, and zero-runs at fixed
+// offsets spread across each corpus — headers, directory structures,
+// payload middles, trailers) and demands verdict agreement at every
+// entry; when both engines accept a corruption (damage confined to
+// don't-care payload bytes), their trees must still be identical.
+// The same grid feeds tests/recovery_test.cpp and bench/bench_recovery.
 //===----------------------------------------------------------------------===//
 
 TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
   if (!hostCompilerAvailable())
     GTEST_SKIP() << "no host C++ compiler";
 
-  // Deterministic probe positions: K evenly spread interior offsets plus
-  // both extremes (offset 0 and the final byte).
   constexpr size_t ProbesPerFormat = 8;
 
   size_t Checked = 0;
@@ -250,45 +249,25 @@ TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
     const std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, 1);
     ASSERT_GE(Bytes.size(), ProbesPerFormat);
 
-    std::vector<size_t> Offsets = {0, Bytes.size() - 1};
-    for (size_t K = 1; K + 1 < ProbesPerFormat; ++K)
-      Offsets.push_back(K * Bytes.size() / (ProbesPerFormat - 1));
-
-    for (size_t Off : Offsets) {
-      // Flip: same length, one damaged byte.
-      {
-        SCOPED_TRACE("flip @" + std::to_string(Off));
-        std::vector<uint8_t> Bad = Bytes;
-        Bad[Off] ^= 0xff;
-        auto R = I.parse(ByteSpan::of(Bad));
-        GenRun Gen = runGenerated(Exe, "sweep_" + FI.Name, Bad);
-        ASSERT_GE(Gen.ExitCode, 0);
-        ASSERT_LE(Gen.ExitCode, 1);
-        EXPECT_EQ(static_cast<bool>(R), Gen.ExitCode == 0)
-            << "accept/reject verdicts diverge";
-        if (R && Gen.ExitCode == 0) {
-          EXPECT_EQ(renderCanonical(*R, G), Gen.Dump)
-              << "both accepted the flip but built different trees";
-        }
-        ++Checked;
+    for (const testutil::CorruptProbe &P :
+         testutil::corruptProbes(Bytes.size(), ProbesPerFormat)) {
+      SCOPED_TRACE(std::string(testutil::corruptKindName(P.Kind)) + " @" +
+                   std::to_string(P.Off));
+      std::vector<uint8_t> Bad = testutil::corruptAt(Bytes, P.Kind, P.Off);
+      auto R = I.parse(ByteSpan::of(Bad));
+      GenRun Gen = runGenerated(Exe, "sweep_" + FI.Name, Bad);
+      ASSERT_GE(Gen.ExitCode, 0);
+      ASSERT_LE(Gen.ExitCode, 1);
+      EXPECT_EQ(static_cast<bool>(R), Gen.ExitCode == 0)
+          << "accept/reject verdicts diverge";
+      if (R && Gen.ExitCode == 0) {
+        EXPECT_EQ(renderCanonical(*R, G), Gen.Dump)
+            << "both accepted the corruption but built different trees";
       }
-      // Truncate: structure cut mid-construct.
-      {
-        SCOPED_TRACE("truncate @" + std::to_string(Off));
-        std::vector<uint8_t> Bad(Bytes.begin(),
-                                 Bytes.begin() +
-                                     static_cast<std::ptrdiff_t>(Off));
-        auto R = I.parse(ByteSpan::of(Bad));
-        GenRun Gen = runGenerated(Exe, "sweep_" + FI.Name, Bad);
-        ASSERT_GE(Gen.ExitCode, 0);
-        ASSERT_LE(Gen.ExitCode, 1);
-        EXPECT_EQ(static_cast<bool>(R), Gen.ExitCode == 0)
-            << "accept/reject verdicts diverge";
-        ++Checked;
-      }
+      ++Checked;
     }
   }
-  EXPECT_EQ(Checked, 2 * ProbesPerFormat * formats::allFormats().size());
+  EXPECT_EQ(Checked, 3 * ProbesPerFormat * formats::allFormats().size());
 }
 
 //===----------------------------------------------------------------------===//
@@ -296,9 +275,12 @@ TEST(DifferentialTest, CorruptAtOffsetSweepVerdictsAgree) {
 // compiler needed, so this leg runs in EVERY CI job (the TSan matrix
 // included). Because the VM shares the interpreter's runtime core down to
 // the frame pool, the contract is stronger than verdict agreement: on
-// every probe the trees, the failure messages, and all counters
-// (NodesCreated, TermsExecuted, memo traffic, PeakDepth) must be
-// identical, success or failure alike.
+// every probe the trees, the failure messages, the failure diagnostics
+// (failing rule + absolute byte offset), and all counters (NodesCreated,
+// TermsExecuted, memo traffic, PeakDepth) must be identical, success or
+// failure alike. FailRule is compared by interner NAME, not raw Symbol:
+// the two engines load the grammar separately and may intern in a
+// different order.
 //===----------------------------------------------------------------------===//
 
 TEST(DifferentialTest, VmMatchesInterpreterOnCorruptAtOffsetSweep) {
@@ -315,46 +297,43 @@ TEST(DifferentialTest, VmMatchesInterpreterOnCorruptAtOffsetSweep) {
     const std::vector<uint8_t> Bytes = formats::sampleInput(FI.Name, 1);
     ASSERT_GE(Bytes.size(), ProbesPerFormat);
 
-    std::vector<size_t> Offsets = {0, Bytes.size() - 1};
-    for (size_t K = 1; K + 1 < ProbesPerFormat; ++K)
-      Offsets.push_back(K * Bytes.size() / (ProbesPerFormat - 1));
+    for (const testutil::CorruptProbe &P :
+         testutil::corruptProbes(Bytes.size(), ProbesPerFormat)) {
+      SCOPED_TRACE(std::string(testutil::corruptKindName(P.Kind)) + " @" +
+                   std::to_string(P.Off));
+      std::vector<uint8_t> Bad = testutil::corruptAt(Bytes, P.Kind, P.Off);
 
-    for (size_t Off : Offsets) {
-      for (bool Truncate : {false, true}) {
-        SCOPED_TRACE((Truncate ? "truncate @" : "flip @") +
-                     std::to_string(Off));
-        std::vector<uint8_t> Bad =
-            Truncate ? std::vector<uint8_t>(
-                           Bytes.begin(),
-                           Bytes.begin() + static_cast<std::ptrdiff_t>(Off))
-                     : Bytes;
-        if (!Truncate)
-          Bad[Off] ^= 0xff;
+      auto RI = (*IE)->parse(ByteSpan::of(Bad));
+      auto RV = (*VE)->parse(ByteSpan::of(Bad));
+      ASSERT_EQ(static_cast<bool>(RI), static_cast<bool>(RV))
+          << "interpreter/VM verdicts diverge";
+      if (RI && RV)
+        EXPECT_TRUE(testutil::treesEqual(RI->get(), IE->Load->G, RV->get(),
+                                         VE->Load->G))
+            << "both accepted the corruption but built different trees";
+      else
+        EXPECT_EQ(RI.message(), RV.message())
+            << "both rejected, with different diagnostics";
 
-        auto RI = (*IE)->parse(ByteSpan::of(Bad));
-        auto RV = (*VE)->parse(ByteSpan::of(Bad));
-        ASSERT_EQ(static_cast<bool>(RI), static_cast<bool>(RV))
-            << "interpreter/VM verdicts diverge";
-        if (RI && RV)
-          EXPECT_TRUE(testutil::treesEqual(RI->get(), IE->Load->G,
-                                           RV->get(), VE->Load->G))
-              << "both accepted the corruption but built different trees";
-        else
-          EXPECT_EQ(RI.message(), RV.message())
-              << "both rejected, with different diagnostics";
-
-        const EngineStats &SI = (*IE)->stats();
-        const EngineStats &SV = (*VE)->stats();
-        EXPECT_EQ(SI.NodesCreated, SV.NodesCreated);
-        EXPECT_EQ(SI.TermsExecuted, SV.TermsExecuted);
-        EXPECT_EQ(SI.MemoHits, SV.MemoHits);
-        EXPECT_EQ(SI.MemoMisses, SV.MemoMisses);
-        EXPECT_EQ(SI.PeakDepth, SV.PeakDepth);
-        ++Checked;
-      }
+      const EngineStats &SI = (*IE)->stats();
+      const EngineStats &SV = (*VE)->stats();
+      EXPECT_EQ(SI.NodesCreated, SV.NodesCreated);
+      EXPECT_EQ(SI.TermsExecuted, SV.TermsExecuted);
+      EXPECT_EQ(SI.MemoHits, SV.MemoHits);
+      EXPECT_EQ(SI.MemoMisses, SV.MemoMisses);
+      EXPECT_EQ(SI.PeakDepth, SV.PeakDepth);
+      ASSERT_EQ(SI.FailRule == ~0u, SV.FailRule == ~0u)
+          << "only one engine recorded a failure location";
+      if (SI.FailRule != ~0u)
+        EXPECT_EQ(IE->Load->G.interner().name(SI.FailRule),
+                  VE->Load->G.interner().name(SV.FailRule))
+            << "failing-rule diagnostics diverge";
+      EXPECT_EQ(SI.FailOffset, SV.FailOffset)
+          << "failure-offset diagnostics diverge";
+      ++Checked;
     }
   }
-  EXPECT_EQ(Checked, 2 * ProbesPerFormat * formats::allFormats().size());
+  EXPECT_EQ(Checked, 3 * ProbesPerFormat * formats::allFormats().size());
 }
 
 //===----------------------------------------------------------------------===//

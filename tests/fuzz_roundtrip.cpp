@@ -28,6 +28,12 @@
 /// window error, or a re-print that re-parses to its own fixpoint) and
 /// nothing else.
 ///
+/// Every mutant additionally runs through a RecoveryPolicy::Salvage
+/// engine, which owes the same honesty: Accept or hole-fenced Salvage
+/// (and then the reprint obligations above — hole leaves alias the
+/// damaged bytes byte-for-byte), or a clean reject. "internal:" is a
+/// failure in this pass too.
+///
 /// Runs standalone (no gtest): a fixed-seed shallow pass is registered
 /// with ctest so every `ctest` invocation replays the same mutants, and
 /// CI's fuzz-smoke job runs an open-ended pass seeded from the run id
@@ -68,6 +74,12 @@ struct Stats {
   uint64_t Canonicalized = 0;
   uint64_t Rejected = 0;
   uint64_t Failures = 0;
+  // The Salvage-mode pass over the same mutants (RecoveryPolicy::
+  // Salvage): every mutant must land in accept / hole-fenced salvage /
+  // clean reject — the same print obligations as the strict pass.
+  uint64_t SalvageAccepted = 0;
+  uint64_t SalvageHoled = 0;
+  uint64_t SalvageRejected = 0;
 };
 
 struct Options {
@@ -175,6 +187,13 @@ bool fuzzCorpus(const Options &O, const Corpus &C, Stats &Total) {
   // file — hit the clean depth-limit reject, never a stack overflow,
   // even under ASan's fat frames.
   Interp I(Load->G, &BB, InterpOptions{});
+  // The salvage twin: same grammar, same mutants, RecoveryPolicy::
+  // Salvage. Damage the strict engine rejects may come back as a tree
+  // with hole leaves — which must then reprint the mutant byte-exact,
+  // holes included.
+  InterpOptions SalvageOpts;
+  SalvageOpts.Recovery = RecoveryPolicy::Salvage;
+  Interp SI(Load->G, &BB, SalvageOpts);
 
   // Pristine pass: parse and span-collecting print must be byte-exact —
   // anything else is a setup bug, not a fuzzing discovery.
@@ -198,6 +217,40 @@ bool fuzzCorpus(const Options &O, const Corpus &C, Stats &Total) {
   const std::vector<serialize::PrintSpan> Spans =
       std::move(PristinePrint->Spans);
 
+  // Shared print obligation for anything an engine accepted: exact
+  // reprint, or — blackbox corpora only — the canonicalization escape.
+  // A mutant stream that decodes but re-encodes to a different-length
+  // canonical stream trips the inverse's window check (the serializer
+  // refusing to forge bytes it cannot reproduce); a same-length
+  // re-encode must at least be its own fixpoint — it re-parses, and
+  // printing THAT parse reproduces it byte-for-byte.
+  enum class PrintCheck { Exact, Canonical, Broken };
+  std::string PrintWhy;
+  auto checkPrint = [&](Interp &Eng, const TreePtr &Tree,
+                        const std::vector<uint8_t> &Mutant) {
+    auto P = serialize::printTree(*Tree, Load->G, &BB, fillOpts(Mutant));
+    if (!P) {
+      if (C.Blackbox &&
+          P.message().find("blackbox inverse") != std::string::npos)
+        return PrintCheck::Canonical;
+      PrintWhy = "accepted but print failed: " + P.message();
+      return PrintCheck::Broken;
+    }
+    if (P->Bytes == Mutant)
+      return PrintCheck::Exact;
+    if (C.Blackbox) {
+      auto R2 = Eng.parse(ByteSpan::of(P->Bytes));
+      if (R2) {
+        auto P2 = serialize::printTree(**R2, Load->G, &BB,
+                                       fillOpts(P->Bytes));
+        if (P2 && P2->Bytes == P->Bytes)
+          return PrintCheck::Canonical;
+      }
+    }
+    PrintWhy = "accepted but print(parse(m)) != m";
+    return PrintCheck::Broken;
+  };
+
   // Every corpus gets its own deterministic stream: --format replays the
   // exact mutants the all-corpora run produced for that corpus.
   std::mt19937_64 Rng(O.Seed ^ std::hash<std::string>{}(C.Name));
@@ -217,58 +270,61 @@ bool fuzzCorpus(const Options &O, const Corpus &C, Stats &Total) {
       } else {
         ++S.Rejected;
       }
-      continue;
+    } else {
+      ++S.Accepted;
+      switch (checkPrint(I, *R, Mutant)) {
+      case PrintCheck::Exact:
+        ++S.AcceptedExact;
+        break;
+      case PrintCheck::Canonical:
+        ++S.Canonicalized;
+        break;
+      case PrintCheck::Broken:
+        writeRepro(O, C, Iter, Mutant, Desc + ": " + PrintWhy);
+        ++S.Failures;
+        break;
+      }
     }
 
-    ++S.Accepted;
-    auto P = serialize::printTree(**R, Load->G, &BB, fillOpts(Mutant));
-    if (!P) {
-      // Blackbox corpora: a mutant stream that decodes but re-encodes to
-      // a different-length canonical stream trips the inverse's window
-      // check. That is the serializer refusing to forge bytes it cannot
-      // reproduce — expected. Any other print failure is a bug.
-      if (C.Blackbox &&
-          P.message().find("blackbox inverse") != std::string::npos) {
-        ++S.Canonicalized;
-        continue;
+    // The salvage pass over the SAME mutant: Salvage may only widen
+    // acceptance (fencing damage into holes), and everything it accepts
+    // owes the same reprint obligation — hole leaves alias the damaged
+    // bytes, so they must come back out verbatim.
+    auto RS = SI.parse(ByteSpan::of(Mutant));
+    if (!RS) {
+      if (RS.message().rfind("internal:", 0) == 0) {
+        writeRepro(O, C, Iter, Mutant,
+                   Desc + ": salvage internal error: " + RS.message());
+        ++S.Failures;
+      } else {
+        ++S.SalvageRejected;
       }
-      writeRepro(O, C, Iter, Mutant,
-                 Desc + ": accepted but print failed: " + P.message());
+      continue;
+    }
+    if (SI.stats().ParseVerdict == Verdict::Salvage)
+      ++S.SalvageHoled;
+    else
+      ++S.SalvageAccepted;
+    if (checkPrint(SI, *RS, Mutant) == PrintCheck::Broken) {
+      writeRepro(O, C, Iter, Mutant, Desc + ": salvage " + PrintWhy);
       ++S.Failures;
-      continue;
     }
-    if (P->Bytes == Mutant) {
-      ++S.AcceptedExact;
-      continue;
-    }
-    if (C.Blackbox) {
-      // Same root cause, same length: the re-encoded stream differs from
-      // the mutant's. The print must then be a fixpoint — it re-parses,
-      // and printing THAT parse reproduces it byte-for-byte.
-      auto R2 = I.parse(ByteSpan::of(P->Bytes));
-      if (R2) {
-        auto P2 = serialize::printTree(**R2, Load->G, &BB,
-                                       fillOpts(P->Bytes));
-        if (P2 && P2->Bytes == P->Bytes) {
-          ++S.Canonicalized;
-          continue;
-        }
-      }
-    }
-    writeRepro(O, C, Iter, Mutant,
-               Desc + ": accepted but print(parse(m)) != m");
-    ++S.Failures;
   }
 
   std::printf("%-12s iters=%" PRIu64 " accepted=%" PRIu64 " (exact=%" PRIu64
               " canonicalized=%" PRIu64 ") rejected=%" PRIu64
-              " failures=%" PRIu64 "\n",
+              " salvage=[accept=%" PRIu64 " holed=%" PRIu64
+              " reject=%" PRIu64 "] failures=%" PRIu64 "\n",
               C.Name.c_str(), O.Iterations, S.Accepted, S.AcceptedExact,
-              S.Canonicalized, S.Rejected, S.Failures);
+              S.Canonicalized, S.Rejected, S.SalvageAccepted, S.SalvageHoled,
+              S.SalvageRejected, S.Failures);
   Total.Accepted += S.Accepted;
   Total.AcceptedExact += S.AcceptedExact;
   Total.Canonicalized += S.Canonicalized;
   Total.Rejected += S.Rejected;
+  Total.SalvageAccepted += S.SalvageAccepted;
+  Total.SalvageHoled += S.SalvageHoled;
+  Total.SalvageRejected += S.SalvageRejected;
   Total.Failures += S.Failures;
   return S.Failures == 0;
 }
@@ -317,8 +373,10 @@ int main(int argc, char **argv) {
   }
   std::printf("total: accepted=%" PRIu64 " (exact=%" PRIu64
               " canonicalized=%" PRIu64 ") rejected=%" PRIu64
-              " failures=%" PRIu64 "\n",
+              " salvage=[accept=%" PRIu64 " holed=%" PRIu64
+              " reject=%" PRIu64 "] failures=%" PRIu64 "\n",
               Total.Accepted, Total.AcceptedExact, Total.Canonicalized,
-              Total.Rejected, Total.Failures);
+              Total.Rejected, Total.SalvageAccepted, Total.SalvageHoled,
+              Total.SalvageRejected, Total.Failures);
   return Ok ? 0 : 1;
 }
